@@ -1,0 +1,39 @@
+// Shared helpers for the bench harnesses: profile-driven flow runs and
+// percentage formatting.
+#pragma once
+
+#include <string>
+
+#include "core/flow.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_profiles.hpp"
+
+namespace lrsizer::bench {
+
+/// Default options used by every paper-reproduction bench (documented in
+/// EXPERIMENTS.md): unit-size start, A0 = D_init, P0 = 0.15·cap_init,
+/// X0 = 0.10·noise_init.
+inline core::FlowOptions paper_flow_options() {
+  core::FlowOptions options;
+  options.num_vectors = 32;
+  options.bound_factors.delay = 1.0;
+  options.bound_factors.power = 0.15;
+  options.bound_factors.noise = 0.10;
+  options.initial_size = 1.0;
+  return options;
+}
+
+/// Run the full two-stage flow for one paper profile.
+inline core::FlowResult run_profile(const std::string& name, std::uint64_t seed = 1,
+                                    const core::FlowOptions& options =
+                                        paper_flow_options()) {
+  const auto spec = netlist::spec_for_profile(name, seed);
+  const auto logic = netlist::generate_circuit(spec);
+  return core::run_two_stage_flow(logic, options);
+}
+
+inline double improvement_pct(double init, double fin) {
+  return init > 0.0 ? 100.0 * (init - fin) / init : 0.0;
+}
+
+}  // namespace lrsizer::bench

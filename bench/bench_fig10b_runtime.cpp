@@ -1,0 +1,61 @@
+// Figure 10(b) reproduction: runtime per OGWS iteration vs circuit size.
+// The paper plots seconds/iteration growing linearly in #gates+#wires
+// (their largest point ~350 s on a 1996 SPARC; ours are milliseconds —
+// the reproduced claim is the linear *shape*, quantified by the fit R²).
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lrsizer;
+
+  std::printf("Figure 10(b) — runtime per iteration vs circuit size\n\n");
+
+  // Fixed iteration count and a fixed number of LRS passes per iteration so
+  // every circuit does the same per-iteration work (the paper's own plot
+  // scatters where circuit structure changes the pass count; see §5 "some
+  // points deviate from the linear line").
+  auto options = bench::paper_flow_options();
+  options.ogws.max_iterations = 12;
+  options.ogws.gap_tol = 0.0;  // never stop early
+  options.ogws.record_history = true;
+  options.ogws.lrs.max_passes = 6;
+  options.ogws.lrs.tol = 0.0;  // always run all 6 passes
+
+  util::TextTable table(
+      {"Ckt", "#G+#W", "ms/iter", "lrs passes/iter", "paper s/iter"});
+  std::vector<double> sizes;
+  std::vector<double> per_iter;
+  for (const auto& profile : netlist::iscas85_profiles()) {
+    const auto flow = bench::run_profile(profile.name, 1, options);
+    double seconds = 0.0;
+    double passes = 0.0;
+    for (const auto& it : flow.ogws.history) {
+      seconds += it.seconds;
+      passes += it.lrs_passes;
+    }
+    const auto iters = static_cast<double>(flow.ogws.history.size());
+    const double total = profile.num_gates + profile.num_wires;
+    sizes.push_back(total);
+    per_iter.push_back(seconds / iters);
+    table.add_row(
+        {profile.name, util::TextTable::integer(static_cast<long long>(total)),
+         util::TextTable::num(1e3 * seconds / iters, 3),
+         util::TextTable::num(passes / iters, 1),
+         util::TextTable::num(static_cast<double>(profile.paper.time_sec) /
+                                  profile.paper.iterations,
+                              1)});
+  }
+  table.print(std::cout);
+
+  const auto fit = util::fit_line(sizes, per_iter);
+  std::printf("\nlinear fit: s/iter = %.3g * size + %.3g   (R² = %.4f)\n", fit.slope,
+              fit.intercept, fit.r_squared);
+  std::printf("paper claim: runtime per iteration grows linearly — %s\n",
+              fit.r_squared > 0.95 ? "REPRODUCED" : "NOT reproduced");
+  return 0;
+}

@@ -1,0 +1,126 @@
+// google-benchmark micro-benchmarks of the O(|V|+|E|) kernels behind the
+// paper's "linear runtime per iteration" claim (Figure 10b): the load pass,
+// the upstream pass, arrivals, one full LRS pass, and the flow projection.
+#include <benchmark/benchmark.h>
+
+#include "core/lrs.hpp"
+#include "core/multipliers.hpp"
+#include "layout/channels.hpp"
+#include "layout/neighbors.hpp"
+#include "netlist/elaborator.hpp"
+#include "netlist/generator.hpp"
+#include "timing/arrival.hpp"
+#include "timing/loads.hpp"
+#include "timing/upstream.hpp"
+
+namespace {
+
+using namespace lrsizer;
+
+struct Instance {
+  netlist::Circuit circuit;
+  layout::CouplingSet coupling;
+  std::vector<double> mu;
+};
+
+Instance make_instance(std::int64_t gates) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = static_cast<std::int32_t>(gates);
+  spec.num_wires = static_cast<std::int32_t>(gates * 2 + 16);
+  spec.num_inputs = 32;
+  spec.num_outputs = 16;
+  spec.depth = 20;
+  spec.seed = 3;
+  const auto logic = netlist::generate_circuit(spec);
+  auto elab = netlist::elaborate(logic, netlist::TechParams{}, spec.elab);
+
+  const auto channels =
+      layout::assign_channels(elab.circuit, elab.net_of_node, logic);
+  layout::NeighborOptions nopt;
+  nopt.fold_miller = false;
+  auto coupling = layout::build_coupling_set(elab.circuit, channels.channels, nopt);
+
+  elab.circuit.set_uniform_size(1.0);
+  core::MultiplierState m(elab.circuit);
+  m.init_default(elab.circuit);
+  std::vector<double> mu;
+  m.compute_mu(elab.circuit, mu);
+  for (double& v : mu) v *= 1e13;
+  return Instance{std::move(elab.circuit), std::move(coupling), std::move(mu)};
+}
+
+void BM_LoadPass(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0));
+  timing::LoadAnalysis loads;
+  for (auto _ : state) {
+    timing::compute_loads(inst.circuit, inst.coupling, inst.circuit.sizes(),
+                          timing::CouplingLoadMode::kLocalOnly, loads);
+    benchmark::DoNotOptimize(loads.cap_delay.data());
+  }
+  state.SetComplexityN(inst.circuit.num_nodes());
+}
+BENCHMARK(BM_LoadPass)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity(benchmark::oN);
+
+void BM_UpstreamPass(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0));
+  std::vector<double> r_up;
+  for (auto _ : state) {
+    timing::compute_weighted_upstream(inst.circuit, inst.circuit.sizes(), inst.mu,
+                                      r_up);
+    benchmark::DoNotOptimize(r_up.data());
+  }
+  state.SetComplexityN(inst.circuit.num_nodes());
+}
+BENCHMARK(BM_UpstreamPass)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity(benchmark::oN);
+
+void BM_ArrivalPass(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0));
+  timing::LoadAnalysis loads;
+  timing::compute_loads(inst.circuit, inst.coupling, inst.circuit.sizes(),
+                        timing::CouplingLoadMode::kLocalOnly, loads);
+  timing::ArrivalAnalysis arrivals;
+  for (auto _ : state) {
+    timing::compute_arrivals(inst.circuit, inst.circuit.sizes(), loads, arrivals);
+    benchmark::DoNotOptimize(arrivals.arrival.data());
+  }
+  state.SetComplexityN(inst.circuit.num_nodes());
+}
+BENCHMARK(BM_ArrivalPass)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity(benchmark::oN);
+
+void BM_LrsSolve(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0));
+  core::LrsWorkspace ws;
+  core::LrsOptions options;
+  auto x = inst.circuit.sizes();
+  for (auto _ : state) {
+    core::run_lrs(inst.circuit, inst.coupling, inst.mu, 0.0, 0.0, options, x, ws);
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetComplexityN(inst.circuit.num_nodes());
+}
+BENCHMARK(BM_LrsSolve)->Arg(500)->Arg(1000)->Arg(2000)->Complexity(benchmark::oN);
+
+void BM_FlowProjection(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0));
+  core::MultiplierState m(inst.circuit);
+  m.init_default(inst.circuit);
+  for (auto _ : state) {
+    m.project_flow(inst.circuit);
+    benchmark::DoNotOptimize(m.lambda.data());
+  }
+  state.SetComplexityN(inst.circuit.num_edges());
+}
+BENCHMARK(BM_FlowProjection)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity(benchmark::oN);
+
+void BM_NoiseMetric(benchmark::State& state) {
+  const auto inst = make_instance(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inst.coupling.noise_linear(inst.circuit.sizes()));
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(inst.coupling.pairs().size()));
+}
+BENCHMARK(BM_NoiseMetric)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

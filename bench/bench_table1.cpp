@@ -1,0 +1,85 @@
+// Table 1 reproduction: Init vs Fin noise / delay / power / area for the
+// ten ISCAS85-profile circuits, plus iterations, runtime, and memory, with
+// the paper's published row printed underneath each measured row.
+//
+// Expected shape (see EXPERIMENTS.md): noise lands on the 10% bound
+// (≈90% improvement), area and power drop by roughly an order of
+// magnitude, delay stays within a few percent of its bound.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace lrsizer;
+  using bench::improvement_pct;
+
+  std::printf(
+      "Table 1 — simultaneous noise/delay/power/area optimization (OGWS)\n"
+      "bounds: A0 = 1.00 x init delay, P0 = 0.15 x init power, X0 = 0.10 x init "
+      "noise\nrows: measured (this machine) / paper (SUN UltraSPARC-I, 1999)\n\n");
+
+  util::TextTable table({"Ckt", "row", "#G", "#W", "Noise I(pF)", "Noise F(pF)",
+                         "Delay I(ps)", "Delay F(ps)", "Pow I(mW)", "Pow F(mW)",
+                         "Area I(um2)", "Area F(um2)", "ite", "time(s)", "mem(KB)"});
+
+  double impr_noise = 0.0;
+  double impr_delay = 0.0;
+  double impr_power = 0.0;
+  double impr_area = 0.0;
+  int rows = 0;
+
+  for (const auto& profile : netlist::iscas85_profiles()) {
+    util::WallTimer timer;
+    const auto flow = bench::run_profile(profile.name);
+    const double seconds = timer.seconds();
+
+    const auto& init = flow.init_metrics;
+    const auto& fin = flow.final_metrics;
+    table.add_row({profile.name, "meas", util::TextTable::integer(profile.num_gates),
+                   util::TextTable::integer(profile.num_wires),
+                   util::TextTable::num(init.noise_f * 1e12, 2),
+                   util::TextTable::num(fin.noise_f * 1e12, 2),
+                   util::TextTable::num(init.delay_s * 1e12, 1),
+                   util::TextTable::num(fin.delay_s * 1e12, 1),
+                   util::TextTable::num(init.power_w * 1e3, 1),
+                   util::TextTable::num(fin.power_w * 1e3, 1),
+                   util::TextTable::num(init.area_um2, 0),
+                   util::TextTable::num(fin.area_um2, 0),
+                   util::TextTable::integer(flow.ogws.iterations),
+                   util::TextTable::num(seconds, 1),
+                   util::TextTable::integer(
+                       static_cast<long long>(flow.memory_bytes / 1024))});
+    const auto& p = profile.paper;
+    table.add_row({profile.name, "paper", "", "",
+                   util::TextTable::num(p.noise_init_pf, 2),
+                   util::TextTable::num(p.noise_fin_pf, 2),
+                   util::TextTable::num(p.delay_init_ps, 1),
+                   util::TextTable::num(p.delay_fin_ps, 1),
+                   util::TextTable::num(p.power_init_mw, 1),
+                   util::TextTable::num(p.power_fin_mw, 1),
+                   util::TextTable::num(p.area_init_um2, 0),
+                   util::TextTable::num(p.area_fin_um2, 0),
+                   util::TextTable::integer(p.iterations),
+                   util::TextTable::integer(p.time_sec),
+                   util::TextTable::integer(p.mem_kb)});
+
+    impr_noise += improvement_pct(init.noise_f, fin.noise_f);
+    impr_delay += improvement_pct(init.delay_s, fin.delay_s);
+    impr_power += improvement_pct(init.power_w, fin.power_w);
+    impr_area += improvement_pct(init.area_um2, fin.area_um2);
+    ++rows;
+  }
+
+  table.print(std::cout);
+
+  std::printf("\naverage improvement (measured): noise %.2f%%  delay %.1f%%  "
+              "power %.2f%%  area %.2f%%\n",
+              impr_noise / rows, impr_delay / rows, impr_power / rows,
+              impr_area / rows);
+  std::printf("average improvement (paper):    noise 89.67%%  delay 5.3%%  "
+              "power 86.82%%  area 87.90%%\n");
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Figure 6/7 evaluation: WOSS ordering quality (vs initial, random, and —
+// on small instances — the exhaustive optimum) and its O(n²) runtime.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "layout/ordering.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lrsizer;
+
+layout::DenseWeights random_weights(std::int32_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> w(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  for (std::int32_t a = 0; a < n; ++a) {
+    for (std::int32_t b = a + 1; b < n; ++b) {
+      const double v = rng.uniform(0.0, 2.0);  // Miller-weight range [0,2]
+      w[static_cast<std::size_t>(a * n + b)] = v;
+      w[static_cast<std::size_t>(b * n + a)] = v;
+    }
+  }
+  return layout::DenseWeights(n, std::move(w));
+}
+
+}  // namespace
+
+int main() {
+  using namespace lrsizer;
+
+  std::printf("WOSS (paper Figure 7) — ordering quality\n\n");
+  util::TextTable quality({"n", "seeds", "initial", "random", "WOSS", "optimal",
+                           "WOSS/opt"});
+  for (const std::int32_t n : {6, 8, 10, 12, 14}) {
+    double c_init = 0.0;
+    double c_rand = 0.0;
+    double c_woss = 0.0;
+    double c_opt = 0.0;
+    const int seeds = 10;
+    for (std::uint64_t seed = 1; seed <= seeds; ++seed) {
+      const auto w = random_weights(n, seed);
+      std::vector<std::int32_t> identity(static_cast<std::size_t>(n));
+      for (std::int32_t i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+      c_init += layout::ordering_cost(w, identity);
+      c_rand += layout::ordering_cost(w, layout::random_ordering(n, seed + 50));
+      c_woss += layout::ordering_cost(w, layout::woss_ordering(w));
+      c_opt += layout::ordering_cost(w, layout::optimal_ordering_bruteforce(w));
+    }
+    quality.add_row({util::TextTable::integer(n), util::TextTable::integer(seeds),
+                     util::TextTable::num(c_init / seeds, 3),
+                     util::TextTable::num(c_rand / seeds, 3),
+                     util::TextTable::num(c_woss / seeds, 3),
+                     util::TextTable::num(c_opt / seeds, 3),
+                     util::TextTable::num(c_woss / c_opt, 3)});
+  }
+  quality.print(std::cout);
+
+  std::printf("\nWOSS runtime scaling (claim: O(n^2))\n\n");
+  util::TextTable runtime({"n", "ms", "ms/n^2 x 1e6"});
+  std::vector<double> log_n;
+  std::vector<double> log_t;
+  for (const std::int32_t n : {100, 200, 400, 800, 1600}) {
+    const auto w = random_weights(n, 7);
+    util::WallTimer timer;
+    const auto order = layout::woss_ordering(w);
+    const double ms = timer.milliseconds();
+    if (order.size() != static_cast<std::size_t>(n)) return 1;
+    runtime.add_row({util::TextTable::integer(n), util::TextTable::num(ms, 2),
+                     util::TextTable::num(1e6 * ms / (static_cast<double>(n) * n), 3)});
+    log_n.push_back(std::log(static_cast<double>(n)));
+    log_t.push_back(std::log(ms + 1e-3));
+  }
+  runtime.print(std::cout);
+  const auto fit = util::fit_line(log_n, log_t);
+  std::printf("\nlog-log slope = %.2f (2.0 = quadratic, as Figure 7 claims)\n",
+              fit.slope);
+  return 0;
+}

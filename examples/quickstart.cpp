@@ -1,0 +1,122 @@
+// Quickstart: size the paper's Figure 1 circuit.
+//
+// Three input drivers, three gates, seven wires and one output load. We
+// build the circuit graph by hand with CircuitBuilder, declare two routing
+// channels so the wires have coupling neighbors, derive bounds from the
+// unit-size metrics and run OGWS. Output: a before/after metric table plus
+// the per-component sizes.
+//
+// Run: build/examples/quickstart
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "core/ogws.hpp"
+#include "core/problem.hpp"
+#include "layout/neighbors.hpp"
+#include "netlist/builder.hpp"
+#include "timing/metrics.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lrsizer;
+
+  // ---- build the Figure 1 circuit ----------------------------------------
+  netlist::TechParams tech;
+  netlist::CircuitBuilder builder(tech);
+
+  const auto d1 = builder.add_driver();
+  const auto d2 = builder.add_driver();
+  const auto d3 = builder.add_driver();
+
+  const auto w1 = builder.add_wire(300.0);
+  const auto w2 = builder.add_wire(250.0);
+  const auto w3 = builder.add_wire(400.0);
+  const auto gate_a = builder.add_gate();
+  const auto w4 = builder.add_wire(350.0);
+  const auto w5 = builder.add_wire(200.0);
+  const auto gate_b = builder.add_gate();
+  const auto w6 = builder.add_wire(300.0);
+  const auto gate_c = builder.add_gate();
+  const auto w7 = builder.add_wire(450.0);
+
+  builder.connect(d1, w1);
+  builder.connect(d2, w2);
+  builder.connect(d3, w3);
+  builder.connect(w1, gate_a);
+  builder.connect(w2, gate_a);
+  builder.connect(gate_a, w4);
+  builder.connect(gate_a, w5);
+  builder.connect(w3, gate_b);
+  builder.connect(w4, gate_b);
+  builder.connect(gate_b, w6);
+  builder.connect(w5, gate_c);
+  builder.connect(w6, gate_c);
+  builder.connect(gate_c, w7);
+  builder.mark_primary_output(w7, tech.output_load);
+
+  netlist::Circuit circuit = builder.finalize();
+
+  // ---- coupling: two routing channels -------------------------------------
+  // Input wires run side by side, and so do the inter-gate wires.
+  const std::vector<std::vector<netlist::NodeId>> channels = {
+      {builder.node_of(w1), builder.node_of(w2), builder.node_of(w3)},
+      {builder.node_of(w4), builder.node_of(w5), builder.node_of(w6),
+       builder.node_of(w7)},
+  };
+  layout::NeighborOptions neighbor_options;
+  neighbor_options.fold_miller = false;  // no simulation in this example
+  const layout::CouplingSet coupling =
+      layout::build_coupling_set(circuit, channels, neighbor_options);
+
+  // ---- bounds from the unit-size starting point ----------------------------
+  circuit.set_uniform_size(1.0);
+  const auto mode = timing::CouplingLoadMode::kLocalOnly;
+  const timing::Metrics init =
+      timing::compute_metrics(circuit, coupling, circuit.sizes(), mode);
+
+  core::BoundFactors factors;  // delay 1.0x, power 0.15x, noise 0.10x
+  const core::Bounds bounds =
+      core::derive_bounds(circuit, coupling, circuit.sizes(), mode, factors);
+
+  // ---- optimize -------------------------------------------------------------
+  const core::OgwsResult sized = core::run_ogws(circuit, coupling, bounds);
+  circuit.mutable_sizes() = sized.sizes;
+  const timing::Metrics fin =
+      timing::compute_metrics(circuit, coupling, circuit.sizes(), mode);
+
+  // ---- report ---------------------------------------------------------------
+  std::printf("OGWS: %s after %d iterations (gap %.3f%%, violation %.3f%%)\n\n",
+              sized.converged ? "converged" : "stopped", sized.iterations,
+              100.0 * sized.rel_gap, 100.0 * sized.max_violation);
+
+  util::TextTable table({"metric", "bound", "init", "final", "impr%"});
+  auto impr = [](double a, double b) { return 100.0 * (a - b) / a; };
+  table.add_row({"noise (fF)", util::TextTable::num(bounds.noise_f * 1e15),
+                 util::TextTable::num(init.noise_f * 1e15),
+                 util::TextTable::num(fin.noise_f * 1e15),
+                 util::TextTable::num(impr(init.noise_f, fin.noise_f), 1)});
+  table.add_row({"delay (ps)", util::TextTable::num(bounds.delay_s * 1e12),
+                 util::TextTable::num(init.delay_s * 1e12),
+                 util::TextTable::num(fin.delay_s * 1e12),
+                 util::TextTable::num(impr(init.delay_s, fin.delay_s), 1)});
+  table.add_row({"power (mW)",
+                 util::TextTable::num(bounds.cap_f * circuit.tech().power_per_farad() * 1e3),
+                 util::TextTable::num(init.power_w * 1e3),
+                 util::TextTable::num(fin.power_w * 1e3),
+                 util::TextTable::num(impr(init.power_w, fin.power_w), 1)});
+  table.add_row({"area (um2)", "-", util::TextTable::num(init.area_um2),
+                 util::TextTable::num(fin.area_um2),
+                 util::TextTable::num(impr(init.area_um2, fin.area_um2), 1)});
+  table.print(std::cout);
+
+  std::printf("\nfinal sizes (um):\n");
+  const char* names[] = {"w1", "w2", "w3", "gateA", "w4", "w5",
+                         "gateB", "w6", "gateC", "w7"};
+  const netlist::CircuitBuilder::Handle handles[] = {w1, w2, w3, gate_a, w4, w5,
+                                                     gate_b, w6, gate_c, w7};
+  for (std::size_t i = 0; i < std::size(handles); ++i) {
+    std::printf("  %-6s %.3f\n", names[i], circuit.size(builder.node_of(handles[i])));
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// The end-to-end two-stage flow (paper §1):
+//
+//   stage 0  physical elaboration  (logic netlist -> circuit graph)
+//   stage 1  logic simulation -> switching similarity -> WOSS track
+//            ordering per channel -> coupling pairs N(i)/I(i)
+//   stage 2  bounds derivation -> OGWS (LR sizing)
+//
+// This is the one-call API the examples and benches use; every stage is
+// also available individually through the module headers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/ogws.hpp"
+#include "core/problem.hpp"
+#include "layout/channels.hpp"
+#include "layout/neighbors.hpp"
+#include "netlist/elaborator.hpp"
+#include "netlist/logic_netlist.hpp"
+#include "sim/simulator.hpp"
+#include "timing/metrics.hpp"
+
+namespace lrsizer::core {
+
+struct FlowOptions {
+  netlist::TechParams tech;
+  netlist::ElabOptions elab;
+  sim::SimOptions sim;
+  std::int32_t num_vectors = 32;
+  std::uint64_t pattern_seed = 7;
+  layout::ChannelOptions channels;
+  layout::NeighborOptions neighbors;
+  /// Stage 1 on/off: off keeps the initial (shuffled) track order.
+  bool use_woss = true;
+  BoundFactors bound_factors;
+  OgwsOptions ogws;
+  /// Initial component size (the paper's Table 1 "Init" point).
+  double initial_size = 1.0;
+};
+
+struct FlowResult {
+  netlist::Circuit circuit;        ///< sizes = final solution
+  layout::CouplingSet coupling;
+  Bounds bounds;
+  timing::Metrics init_metrics;
+  timing::Metrics final_metrics;
+  OgwsResult ogws;
+  /// Effective-loading cost Σ(1 − similarity) of adjacent tracks before and
+  /// after WOSS (stage 1's own objective).
+  double ordering_cost_initial = 0.0;
+  double ordering_cost_woss = 0.0;
+  double stage1_seconds = 0.0;
+  double stage2_seconds = 0.0;
+  /// Structure bytes + fixed base (Table 1 "mem", Figure 10a).
+  std::size_t memory_bytes = 0;
+};
+
+FlowResult run_two_stage_flow(const netlist::LogicNetlist& netlist,
+                              const FlowOptions& options = FlowOptions{});
+
+}  // namespace lrsizer::core

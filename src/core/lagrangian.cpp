@@ -1,0 +1,36 @@
+#include "core/lagrangian.hpp"
+
+#include "timing/metrics.hpp"
+
+namespace lrsizer::core {
+
+double lagrangian_value(const netlist::Circuit& circuit,
+                        const layout::CouplingSet& coupling,
+                        const std::vector<double>& x, const std::vector<double>& mu,
+                        double mu_sink, double beta, const NoiseMultipliers& gamma,
+                        const Bounds& bounds, timing::CouplingLoadMode mode) {
+  timing::LoadAnalysis loads;
+  timing::compute_loads(circuit, coupling, x, mode, loads);
+
+  double value = timing::total_area(circuit, x);
+  value += beta * (timing::total_cap(circuit, x) - bounds.cap_f);
+  value += gamma.total * (coupling.noise_linear(x) - bounds.noise_f);
+  if (gamma.per_net != nullptr && bounds.per_net_enabled()) {
+    for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+         ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      const double g = (*gamma.per_net)[i];
+      if (g <= 0.0) continue;
+      value += g * (coupling.owned_noise_linear(v, x) - bounds.per_net_noise_f[i]);
+    }
+  }
+  for (netlist::NodeId v = 1; v < circuit.sink(); ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    const double delay = circuit.resistance(v, x[i]) * loads.cap_delay[i];
+    value += mu[i] * delay;
+  }
+  value -= mu_sink * bounds.delay_s;
+  return value;
+}
+
+}  // namespace lrsizer::core

@@ -1,0 +1,79 @@
+#include "core/lrs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "timing/upstream.hpp"
+#include "util/assert.hpp"
+
+namespace lrsizer::core {
+
+double optimal_resize(const netlist::Circuit& circuit,
+                      const layout::CouplingSet& coupling,
+                      const std::vector<double>& mu, double beta,
+                      const NoiseMultipliers& gamma, const std::vector<double>& x,
+                      const timing::LoadAnalysis& loads,
+                      const std::vector<double>& r_up, netlist::NodeId v) {
+  const auto i = static_cast<std::size_t>(v);
+
+  double couple_nbr = 0.0;         // Σ ĉ_ij x_j
+  double couple_gamma_coef = 0.0;  // Σ γ_ij ĉ_ij (γ_ij per the pair's owner)
+  for (const auto& nb : coupling.neighbors(v)) {
+    couple_nbr += nb.c_hat * x[static_cast<std::size_t>(nb.other)];
+    const netlist::NodeId owner = coupling.pairs()[static_cast<std::size_t>(nb.pair)].a;
+    couple_gamma_coef += gamma.for_owner(owner) * nb.c_hat;
+  }
+
+  const double numerator =
+      mu[i] * circuit.unit_res(v) * (loads.cap_prime[i] + couple_nbr);
+  const double denominator = circuit.area_weight(v) +
+                             (beta + r_up[i]) * circuit.unit_cap(v) +
+                             couple_gamma_coef;
+  LRSIZER_ASSERT_MSG(denominator > 0.0, "area weights must be positive");
+  return std::sqrt(std::max(numerator, 0.0) / denominator);
+}
+
+LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
+                 const std::vector<double>& mu, double beta,
+                 const NoiseMultipliers& gamma, const LrsOptions& options,
+                 std::vector<double>& x, LrsWorkspace& workspace) {
+  LRSIZER_ASSERT(x.size() == static_cast<std::size_t>(circuit.num_nodes()));
+  LRSIZER_ASSERT(mu.size() == x.size());
+
+  // S1: start from the lower bounds (or the caller's x when warm).
+  if (!options.warm_start) {
+    for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+         ++v) {
+      x[static_cast<std::size_t>(v)] = circuit.lower_bound(v);
+    }
+  }
+
+  LrsStats stats;
+  for (int pass = 0; pass < options.max_passes; ++pass) {
+    // S2 + S3: global analyses at the current sizes.
+    timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads);
+    timing::compute_weighted_upstream(circuit, x, mu, workspace.r_up);
+
+    // S4: greedy closed-form resize, components in index order. Neighbor
+    // sizes are read live (Gauss-Seidel), matching the paper's sweep.
+    double max_rel_change = 0.0;
+    for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+         ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      const double opt = optimal_resize(circuit, coupling, mu, beta, gamma, x,
+                                        workspace.loads, workspace.r_up, v);
+      const double next =
+          std::clamp(opt, circuit.lower_bound(v), circuit.upper_bound(v));
+      max_rel_change = std::max(max_rel_change, std::abs(next - x[i]) / x[i]);
+      x[i] = next;
+    }
+
+    stats.passes = pass + 1;
+    stats.max_rel_change = max_rel_change;
+    // S5: "repeat until no improvement".
+    if (max_rel_change < options.tol) break;
+  }
+  return stats;
+}
+
+}  // namespace lrsizer::core

@@ -1,0 +1,89 @@
+// LRS — the greedy, optimal solver for the Lagrangian relaxation
+// subproblem LRS₂ (paper Figure 8 + Theorem 5).
+//
+//   S1. x_i ← L_i
+//   S2. compute C'_i         (reverse topological pass)
+//   S3. compute R_i          (topological pass, μ-weighted)
+//   S4. x_i ← min(U_i, max(L_i, opt_i)) for every component, where
+//
+//               ┌ μ_i r̂_i (C'_i + Σ_{j∈N(i)} ĉ_ij x_j)          ┐ ½
+//       opt_i = │ ─────────────────────────────────────────────  │
+//               └ α_i + (β + R_i) ĉ_i + γ Σ_{j∈N(i)} ĉ_ij        ┘
+//
+//   S5. repeat S2–S4 until no improvement.
+//
+// Because the transformed problem is convex with a unique optimum, this
+// coordinate-greedy scheme converges to the subproblem's global minimum
+// (Theorem on page 4); tests verify stationarity against numeric gradients.
+#pragma once
+
+#include <vector>
+
+#include "core/multipliers.hpp"
+#include "core/problem.hpp"
+#include "layout/neighbors.hpp"
+#include "netlist/circuit.hpp"
+#include "timing/loads.hpp"
+
+namespace lrsizer::core {
+
+/// Crosstalk-constraint multipliers. The paper's base formulation uses one
+/// γ for the total-noise bound; its §4.1 note ("the crosstalk constraint
+/// can easily be extended to the case with a distributed crosstalk bound on
+/// each net") adds one multiplier per owning wire — pair (i,j), j ∈ I(i),
+/// then carries weight total + per_net[i]. Implicitly constructible from a
+/// plain double so total-bound call sites read naturally.
+struct NoiseMultipliers {
+  NoiseMultipliers(double total_gamma = 0.0) : total(total_gamma) {}  // NOLINT
+  NoiseMultipliers(double total_gamma, const std::vector<double>* per_net_gamma)
+      : total(total_gamma), per_net(per_net_gamma) {}
+
+  double total = 0.0;
+  /// Indexed by owner NodeId; nullptr when the distributed bound is off.
+  const std::vector<double>* per_net = nullptr;
+
+  /// Effective multiplier for a pair owned by `owner`.
+  double for_owner(netlist::NodeId owner) const {
+    return total +
+           (per_net != nullptr ? (*per_net)[static_cast<std::size_t>(owner)] : 0.0);
+  }
+};
+
+struct LrsOptions {
+  int max_passes = 100;
+  /// Fixpoint tolerance: stop when max_i |Δx_i|/x_i falls below this.
+  double tol = 1e-4;
+  /// Paper S1 resets x to the lower bounds every call; warm start reuses
+  /// the incoming x (ablation A1 measures the difference).
+  bool warm_start = false;
+  timing::CouplingLoadMode mode = timing::CouplingLoadMode::kLocalOnly;
+};
+
+struct LrsStats {
+  int passes = 0;
+  double max_rel_change = 0.0;  ///< at the last pass
+};
+
+/// Scratch buffers reused across calls (the OGWS loop calls LRS every
+/// iteration; reusing keeps allocation out of the per-iteration cost).
+struct LrsWorkspace {
+  timing::LoadAnalysis loads;
+  std::vector<double> r_up;
+};
+
+/// Minimize L_{λ,β,γ}(x) over the size box; x is in/out (indexed by NodeId).
+LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
+                 const std::vector<double>& mu, double beta, const NoiseMultipliers& gamma,
+                 const LrsOptions& options, std::vector<double>& x,
+                 LrsWorkspace& workspace);
+
+/// Theorem 5's opt_i for one component given current analyses; exposed for
+/// tests (stationarity checks) and diagnostics.
+double optimal_resize(const netlist::Circuit& circuit,
+                      const layout::CouplingSet& coupling,
+                      const std::vector<double>& mu, double beta, const NoiseMultipliers& gamma,
+                      const std::vector<double>& x,
+                      const timing::LoadAnalysis& loads,
+                      const std::vector<double>& r_up, netlist::NodeId v);
+
+}  // namespace lrsizer::core

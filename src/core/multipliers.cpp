@@ -1,0 +1,89 @@
+#include "core/multipliers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace lrsizer::core {
+
+MultiplierState::MultiplierState(const netlist::Circuit& circuit)
+    : lambda(static_cast<std::size_t>(circuit.num_edges()), 0.0) {}
+
+void MultiplierState::init_default(const netlist::Circuit& circuit) {
+  std::fill(lambda.begin(), lambda.end(), 0.0);
+  for (netlist::EdgeId e : circuit.input_edges(circuit.sink())) {
+    lambda[static_cast<std::size_t>(e)] = 1.0;
+  }
+  project_flow(circuit);
+  beta = 0.0;
+  gamma = 0.0;
+}
+
+void MultiplierState::clamp_nonnegative() {
+  for (double& v : lambda) v = std::max(v, 0.0);
+  beta = std::max(beta, 0.0);
+  gamma = std::max(gamma, 0.0);
+  for (double& v : gamma_net) v = std::max(v, 0.0);
+}
+
+void MultiplierState::project_flow(const netlist::Circuit& circuit) {
+  // Reverse topological order: every node's out-edges are final before its
+  // in-edges are rescaled (out-edges of v are in-edges of nodes > v, plus
+  // sink edges which are never rescaled).
+  for (netlist::NodeId v = circuit.sink() - 1; v >= 1; --v) {
+    double out_sum = 0.0;
+    for (netlist::EdgeId e : circuit.output_edges(v)) {
+      out_sum += lambda[static_cast<std::size_t>(e)];
+    }
+    const auto in_edges = circuit.input_edges(v);
+    double in_sum = 0.0;
+    for (netlist::EdgeId e : in_edges) in_sum += lambda[static_cast<std::size_t>(e)];
+    if (in_sum > 0.0) {
+      const double scale = out_sum / in_sum;
+      for (netlist::EdgeId e : in_edges) lambda[static_cast<std::size_t>(e)] *= scale;
+    } else {
+      const double share = out_sum / static_cast<double>(in_edges.size());
+      for (netlist::EdgeId e : in_edges) lambda[static_cast<std::size_t>(e)] = share;
+    }
+  }
+}
+
+void MultiplierState::compute_mu(const netlist::Circuit& circuit,
+                                 std::vector<double>& mu) const {
+  mu.assign(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  for (netlist::EdgeId e = 0; e < circuit.num_edges(); ++e) {
+    mu[static_cast<std::size_t>(circuit.edge_to(e))] += lambda[static_cast<std::size_t>(e)];
+  }
+}
+
+double MultiplierState::sink_mu(const netlist::Circuit& circuit) const {
+  double sum = 0.0;
+  for (netlist::EdgeId e : circuit.input_edges(circuit.sink())) {
+    sum += lambda[static_cast<std::size_t>(e)];
+  }
+  return sum;
+}
+
+double MultiplierState::flow_residual(const netlist::Circuit& circuit) const {
+  double worst = 0.0;
+  for (netlist::NodeId v = 1; v < circuit.sink(); ++v) {
+    double in_sum = 0.0;
+    double out_sum = 0.0;
+    for (netlist::EdgeId e : circuit.input_edges(v)) {
+      in_sum += lambda[static_cast<std::size_t>(e)];
+    }
+    for (netlist::EdgeId e : circuit.output_edges(v)) {
+      out_sum += lambda[static_cast<std::size_t>(e)];
+    }
+    worst = std::max(worst, std::abs(out_sum - in_sum) / std::max(in_sum, 1e-30));
+  }
+  return worst;
+}
+
+void MultiplierState::account_memory(util::MemoryTracker& tracker) const {
+  tracker.add("multipliers/lambda",
+              util::vector_bytes(lambda) + util::vector_bytes(gamma_net));
+}
+
+}  // namespace lrsizer::core

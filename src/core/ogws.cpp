@@ -1,0 +1,261 @@
+#include "core/ogws.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/lagrangian.hpp"
+#include "timing/arrival.hpp"
+#include "timing/metrics.hpp"
+#include "util/assert.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace lrsizer::core {
+
+namespace {
+
+double relative_violation(double value, double bound) {
+  LRSIZER_ASSERT(bound > 0.0);
+  return (value - bound) / bound;
+}
+
+}  // namespace
+
+OgwsResult run_ogws(const netlist::Circuit& circuit,
+                    const layout::CouplingSet& coupling, const Bounds& bounds,
+                    const OgwsOptions& options) {
+  LRSIZER_ASSERT(bounds.delay_s > 0.0 && bounds.cap_f > 0.0 && bounds.noise_f > 0.0);
+
+  const double area_ref = std::max(timing::total_area(circuit, circuit.sizes()), 1e-12);
+
+  // Normalization scales: multipliers live at (objective / constraint-unit)
+  // magnitude, subgradients are used in bound-relative form.
+  const double lambda_scale = area_ref / bounds.delay_s;
+  const double beta_scale = area_ref / bounds.cap_f;
+  const double gamma_scale = area_ref / bounds.noise_f;
+
+  // A1: initial multipliers (λ flow-conserving at λ-scale).
+  MultiplierState multipliers(circuit);
+  multipliers.init_default(circuit);
+  for (double& v : multipliers.lambda) v *= lambda_scale;
+
+  // Distributed per-net crosstalk bounds (paper §4.1 extension): one extra
+  // multiplier per owning wire, driven by the same update rule.
+  const bool per_net = bounds.per_net_enabled();
+  if (per_net) {
+    LRSIZER_ASSERT(bounds.per_net_noise_f.size() ==
+                   static_cast<std::size_t>(circuit.num_nodes()));
+    multipliers.gamma_net.assign(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+  }
+  auto noise_duals = [&]() {
+    return per_net ? NoiseMultipliers(multipliers.gamma, &multipliers.gamma_net)
+                   : NoiseMultipliers(multipliers.gamma);
+  };
+
+  std::vector<double> x = circuit.sizes();
+  std::vector<double> mu;
+  LrsWorkspace workspace;
+  timing::ArrivalAnalysis arrivals;
+
+  OgwsResult result;
+  result.sizes = x;
+  // Certificate tracking: the best dual value is a monotone lower bound on
+  // the optimal area; the best feasible iterate is a monotone upper bound.
+  // A7 stops when they agree to gap_tol — robust against the oscillation of
+  // individual subgradient iterates.
+  double best_feasible_area = std::numeric_limits<double>::infinity();
+  double best_dual = -std::numeric_limits<double>::infinity();
+  double best_violation = std::numeric_limits<double>::infinity();
+
+  for (int k = 1; k <= options.max_iterations; ++k) {
+    util::WallTimer iter_timer;
+
+    // A2: node weights from edge multipliers.
+    multipliers.compute_mu(circuit, mu);
+
+    // A3: inner minimization + arrival times of the sized circuit.
+    const LrsStats lrs_stats = run_lrs(circuit, coupling, mu, multipliers.beta,
+                                       noise_duals(), options.lrs, x, workspace);
+    timing::compute_loads(circuit, coupling, x, options.lrs.mode, workspace.loads);
+    timing::compute_arrivals(circuit, x, workspace.loads, arrivals);
+
+    // Metrics of this iterate.
+    const double area = timing::total_area(circuit, x);
+    const double cap = timing::total_cap(circuit, x);
+    const double noise = coupling.noise_linear(x);
+    const double delay = arrivals.critical_delay;
+    const double dual =
+        lagrangian_value(circuit, coupling, x, mu, multipliers.sink_mu(circuit),
+                         multipliers.beta, noise_duals(), bounds, options.lrs.mode);
+
+    const double viol_delay = relative_violation(delay, bounds.delay_s);
+    const double viol_cap = relative_violation(cap, bounds.cap_f);
+    const double viol_noise = relative_violation(noise, bounds.noise_f);
+    double viol_per_net = 0.0;
+    if (per_net) {
+      for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+           ++v) {
+        const auto i = static_cast<std::size_t>(v);
+        if (bounds.per_net_noise_f[i] <= 0.0) continue;
+        viol_per_net = std::max(
+            viol_per_net, relative_violation(coupling.owned_noise_linear(v, x),
+                                             bounds.per_net_noise_f[i]));
+      }
+    }
+    const double max_violation =
+        std::max({viol_delay, viol_cap, viol_noise, viol_per_net, 0.0});
+
+    best_dual = std::max(best_dual, dual);
+    // Track the best iterate: feasible (within tolerance) with least area,
+    // or — before anything feasible shows up — least violating.
+    if (max_violation <= options.feas_tol) {
+      if (area < best_feasible_area) {
+        best_feasible_area = area;
+        result.sizes = x;
+        result.max_violation = max_violation;
+      }
+    } else if (best_feasible_area == std::numeric_limits<double>::infinity() &&
+               max_violation < best_violation) {
+      best_violation = max_violation;
+      result.sizes = x;
+      result.max_violation = max_violation;
+    }
+
+    const bool have_feasible =
+        best_feasible_area < std::numeric_limits<double>::infinity();
+    const double cert_gap =
+        have_feasible
+            ? std::max(best_feasible_area - best_dual, 0.0) / best_feasible_area
+            : std::numeric_limits<double>::infinity();
+
+    result.iterations = k;
+    result.area = have_feasible ? best_feasible_area : area;
+    result.dual = best_dual;
+    result.rel_gap = cert_gap;
+    if (options.record_history) {
+      result.history.push_back(OgwsIterate{k, area, delay, cap, noise, dual,
+                                           cert_gap, max_violation,
+                                           lrs_stats.passes, iter_timer.seconds()});
+    }
+
+    // A7: stop when the primal/dual certificates agree.
+    if (cert_gap <= options.gap_tol) {
+      result.converged = true;
+      if (options.record_history) {
+        result.history.back().seconds = iter_timer.seconds();
+      }
+      break;
+    }
+
+    // A4: multiplier step, ρ_k = step0 / sqrt(k) (ρ_k → 0, Σ ρ_k = ∞).
+    const double rho = options.step0 / std::sqrt(static_cast<double>(k));
+    if (options.step_rule == StepRule::kSubgradient) {
+      for (netlist::NodeId v = 1; v < circuit.num_nodes(); ++v) {
+        const auto in_nodes = circuit.inputs(v);
+        const auto in_edges = circuit.input_edges(v);
+        for (std::size_t idx = 0; idx < in_edges.size(); ++idx) {
+          const auto j = static_cast<std::size_t>(in_nodes[idx]);
+          const auto i = static_cast<std::size_t>(v);
+          double slack = 0.0;  // in seconds
+          if (v == circuit.sink()) {
+            slack = arrivals.arrival[j] - bounds.delay_s;
+          } else if (circuit.is_driver(v)) {
+            slack = arrivals.delay[i] - arrivals.arrival[i];
+          } else {
+            slack = arrivals.arrival[j] + arrivals.delay[i] - arrivals.arrival[i];
+          }
+          multipliers.lambda[static_cast<std::size_t>(in_edges[idx])] +=
+              rho * lambda_scale * (slack / bounds.delay_s);
+        }
+      }
+      multipliers.beta += rho * beta_scale * relative_violation(cap, bounds.cap_f);
+      multipliers.gamma +=
+          rho * gamma_scale * relative_violation(noise, bounds.noise_f);
+      if (per_net) {
+        for (netlist::NodeId v = circuit.first_component();
+             v < circuit.end_component(); ++v) {
+          const auto i = static_cast<std::size_t>(v);
+          const double bound_i = bounds.per_net_noise_f[i];
+          if (bound_i <= 0.0) continue;
+          multipliers.gamma_net[i] +=
+              rho * (area_ref / bound_i) *
+              relative_violation(coupling.owned_noise_linear(v, x), bound_i);
+        }
+      }
+    } else {
+      // Multiplicative: every multiplier scales by (its constraint ratio)^ρ.
+      // Ratios > 1 (violated) inflate, < 1 (slack) decay; positivity is
+      // automatic. Driver edges use D_i/a_i (== 1 by construction).
+      auto pow_clamped = [rho](double ratio) {
+        return std::pow(std::clamp(ratio, 0.05, 20.0), rho);
+      };
+      for (netlist::NodeId v = 1; v < circuit.num_nodes(); ++v) {
+        const auto in_nodes = circuit.inputs(v);
+        const auto in_edges = circuit.input_edges(v);
+        for (std::size_t idx = 0; idx < in_edges.size(); ++idx) {
+          const auto j = static_cast<std::size_t>(in_nodes[idx]);
+          const auto i = static_cast<std::size_t>(v);
+          double ratio = 1.0;
+          if (v == circuit.sink()) {
+            ratio = arrivals.arrival[j] / bounds.delay_s;
+          } else if (!circuit.is_driver(v)) {
+            ratio = (arrivals.arrival[j] + arrivals.delay[i]) /
+                    std::max(arrivals.arrival[i], 1e-30);
+          }
+          multipliers.lambda[static_cast<std::size_t>(in_edges[idx])] *=
+              pow_clamped(ratio);
+        }
+      }
+      // β and γ start at 0; seed them from their scale the first time their
+      // constraint is violated, then update multiplicatively.
+      const double cap_ratio = cap / bounds.cap_f;
+      const double noise_ratio = noise / bounds.noise_f;
+      if (multipliers.beta <= 0.0 && cap_ratio > 1.0) {
+        multipliers.beta = 1e-3 * beta_scale;
+      }
+      if (multipliers.gamma <= 0.0 && noise_ratio > 1.0) {
+        multipliers.gamma = 1e-3 * gamma_scale;
+      }
+      multipliers.beta *= pow_clamped(cap_ratio);
+      multipliers.gamma *= pow_clamped(noise_ratio);
+      if (per_net) {
+        for (netlist::NodeId v = circuit.first_component();
+             v < circuit.end_component(); ++v) {
+          const auto i = static_cast<std::size_t>(v);
+          const double bound_i = bounds.per_net_noise_f[i];
+          if (bound_i <= 0.0) continue;
+          const double ratio = coupling.owned_noise_linear(v, x) / bound_i;
+          double& g = multipliers.gamma_net[i];
+          if (g <= 0.0 && ratio > 1.0) g = 1e-3 * area_ref / bound_i;
+          g *= pow_clamped(ratio);
+        }
+      }
+    }
+
+    // A5: nonnegativity + flow conservation.
+    multipliers.clamp_nonnegative();
+    multipliers.project_flow(circuit);
+
+    if (options.record_history) {
+      result.history.back().seconds = iter_timer.seconds();
+    }
+    util::log_debug() << "ogws k=" << k << " area=" << area << " gap=" << cert_gap
+                      << " viol=" << max_violation;
+  }
+
+  // Working-set accounting for the Table 1 "mem" column / Figure 10(a).
+  util::MemoryTracker tracker;
+  multipliers.account_memory(tracker);
+  tracker.add("ogws/x+mu", util::vector_bytes(x) + util::vector_bytes(mu));
+  tracker.add("ogws/loads", util::vector_bytes(workspace.loads.cap_delay) +
+                                util::vector_bytes(workspace.loads.cap_prime) +
+                                util::vector_bytes(workspace.loads.load_in) +
+                                util::vector_bytes(workspace.r_up));
+  tracker.add("ogws/arrivals", util::vector_bytes(arrivals.delay) +
+                                   util::vector_bytes(arrivals.arrival));
+  result.workspace_bytes = tracker.tracked_bytes();
+  return result;
+}
+
+}  // namespace lrsizer::core

@@ -1,0 +1,96 @@
+// OGWS — Optimal Gate and Wire Sizing (paper Figure 9): maximize the
+// Lagrangian dual by projected subgradient ascent on (λ, β, γ), solving the
+// inner subproblem with LRS each iteration.
+//
+//   A1. initialize multipliers (λ flow-conserving, β = γ = 0)
+//   A2. μ_i = Σ_{j∈input(i)} λ_ji
+//   A3. run LRS; compute arrival times a
+//   A4. subgradient step with ρ_k = step0/k (ρ_k → 0, Σ ρ_k = ∞):
+//         λ_jm += ρ_k (a_j − A0)                    [sink edges]
+//         λ_ji += ρ_k (a_j + D_i − a_i)             [component edges]
+//         λ_0i += ρ_k (D_i − a_i)                   [driver edges]
+//         β    += ρ_k (Σ c_i − P0)
+//         γ    += ρ_k (X(x) − X0)
+//   A5. clamp at 0 and project λ onto flow conservation (Theorem 3)
+//   A7. stop when the duality gap Σ α_i x_i − L(x) is within the error
+//       bound and the iterate is feasible within tolerance
+//
+// Normalization (DESIGN.md §5): the raw subgradients mix seconds, farads
+// and µm²; each update is scaled by (A_ref / bound) / bound where A_ref is
+// the area at the initial sizes, making all multiplier magnitudes
+// commensurate with the objective. This is a pure reparametrization of the
+// step sizes and preserves the ρ_k conditions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/lrs.hpp"
+#include "core/multipliers.hpp"
+#include "core/problem.hpp"
+#include "layout/neighbors.hpp"
+#include "netlist/circuit.hpp"
+#include "util/memtrack.hpp"
+
+namespace lrsizer::core {
+
+/// Multiplier update rule for step A4.
+enum class StepRule {
+  /// λ += ρ_k · subgradient (normalized); the literal Figure 9 step.
+  kSubgradient,
+  /// λ *= (constraint ratio)^ρ_k — the multiplicative update practical LR
+  /// sizers use (violated constraints inflate their multipliers by the
+  /// violation ratio); converges in far fewer iterations on these problems
+  /// and satisfies the same ρ_k → 0, Σρ_k = ∞ schedule.
+  kMultiplicative,
+};
+
+struct OgwsOptions {
+  int max_iterations = 500;
+  /// A7 error bound: relative duality gap (the paper quotes "within 1%").
+  double gap_tol = 0.01;
+  /// Allowed relative constraint violation for an iterate to count feasible.
+  double feas_tol = 0.01;
+  /// ρ_k = step0 / sqrt(k). The multiplicative rule tolerates (and wants)
+  /// aggressive steps; the additive subgradient rule prefers ~0.25.
+  double step0 = 4.0;
+  StepRule step_rule = StepRule::kMultiplicative;
+  LrsOptions lrs;
+  bool record_history = true;
+};
+
+struct OgwsIterate {
+  int k = 0;
+  double area = 0.0;
+  double delay = 0.0;
+  double cap = 0.0;
+  double noise = 0.0;
+  double dual = 0.0;        ///< L(x) — the dual lower bound at this iterate
+  double rel_gap = 0.0;     ///< certificate gap so far (best primal vs best dual)
+  double max_violation = 0.0;  ///< max relative constraint violation
+  int lrs_passes = 0;
+  double seconds = 0.0;     ///< wall time of this iteration
+};
+
+struct OgwsResult {
+  /// Best feasible iterate (least area; least-violating when nothing ever
+  /// reached feasibility), indexed by NodeId.
+  std::vector<double> sizes;
+  bool converged = false;
+  int iterations = 0;
+  double area = 0.0;     ///< area of the returned sizes
+  double dual = 0.0;     ///< best dual lower bound seen
+  double rel_gap = 0.0;  ///< (area − dual) / area at termination
+  double max_violation = 0.0;  ///< violation of the returned sizes
+  std::vector<OgwsIterate> history;
+  std::size_t workspace_bytes = 0;  ///< multiplier + analysis working set
+};
+
+/// Run OGWS. The circuit's current sizes define the reference area used for
+/// normalization; the returned sizes are written back into nothing — the
+/// caller applies result.sizes if desired.
+OgwsResult run_ogws(const netlist::Circuit& circuit,
+                    const layout::CouplingSet& coupling, const Bounds& bounds,
+                    const OgwsOptions& options = OgwsOptions{});
+
+}  // namespace lrsizer::core

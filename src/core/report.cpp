@@ -1,0 +1,28 @@
+#include "core/report.hpp"
+
+#include <cstdio>
+
+namespace lrsizer::core {
+
+void write_history_csv(const OgwsResult& result, std::ostream& out) {
+  out << "k,area_um2,delay_s,cap_f,noise_f,dual,rel_gap,max_violation,"
+         "lrs_passes,seconds\n";
+  char buf[256];
+  for (const auto& it : result.history) {
+    std::snprintf(buf, sizeof(buf), "%d,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%.6g,%d,%.6g\n",
+                  it.k, it.area, it.delay, it.cap, it.noise, it.dual, it.rel_gap,
+                  it.max_violation, it.lrs_passes, it.seconds);
+    out << buf;
+  }
+}
+
+std::string summarize(const OgwsResult& result) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%s in %d iterations: area %.1f um2, gap %.2f%%, violation %.2f%%",
+                result.converged ? "converged" : "stopped", result.iterations,
+                result.area, 100.0 * result.rel_gap, 100.0 * result.max_violation);
+  return buf;
+}
+
+}  // namespace lrsizer::core

@@ -1,0 +1,19 @@
+// Reporting helpers around OGWS results: CSV export of the convergence
+// history (for plotting gap/violation trajectories) and a one-line summary.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/ogws.hpp"
+
+namespace lrsizer::core {
+
+/// One CSV row per OGWS iteration: k, area, delay, cap, noise, dual,
+/// rel_gap, max_violation, lrs_passes, seconds. Requires record_history.
+void write_history_csv(const OgwsResult& result, std::ostream& out);
+
+/// "converged in 63 iterations: area 2311.4 um2, gap 0.95%, violation 1.0%".
+std::string summarize(const OgwsResult& result);
+
+}  // namespace lrsizer::core

@@ -1,0 +1,56 @@
+#include "layout/channels.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lrsizer::layout {
+
+ChannelAssignment assign_channels(const netlist::Circuit& circuit,
+                                  const std::vector<std::int32_t>& net_of_node,
+                                  const netlist::LogicNetlist& netlist,
+                                  const ChannelOptions& options) {
+  LRSIZER_ASSERT(options.max_channel_width >= 2);
+  LRSIZER_ASSERT(net_of_node.size() == static_cast<std::size_t>(circuit.num_nodes()));
+
+  // Wires per logic level.
+  std::vector<std::vector<netlist::NodeId>> by_level(
+      static_cast<std::size_t>(netlist.depth()) + 1);
+  for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component(); ++v) {
+    if (!circuit.is_wire(v)) continue;
+    const std::int32_t net = net_of_node[static_cast<std::size_t>(v)];
+    LRSIZER_ASSERT_MSG(net >= 0, "wire without a net");
+    const std::int32_t lvl = netlist.level(net);
+    by_level[static_cast<std::size_t>(lvl)].push_back(v);
+  }
+
+  util::Rng rng(options.seed);
+  ChannelAssignment assignment;
+  for (auto& wires : by_level) {
+    if (wires.empty()) continue;
+    // Seeded shuffle = arbitrary initial placement.
+    for (std::size_t k = wires.size() - 1; k > 0; --k) {
+      const auto j = static_cast<std::size_t>(rng.next_below(k + 1));
+      std::swap(wires[k], wires[j]);
+    }
+    // Split into channels of at most max_channel_width tracks.
+    const auto width = static_cast<std::size_t>(options.max_channel_width);
+    for (std::size_t begin = 0; begin < wires.size(); begin += width) {
+      const std::size_t end = std::min(begin + width, wires.size());
+      if (end - begin < 2) {
+        // A single-track channel has no neighbors; merge it into the
+        // previous channel if one exists.
+        if (!assignment.channels.empty() && end > begin) {
+          assignment.channels.back().push_back(wires[begin]);
+        }
+        continue;
+      }
+      assignment.channels.emplace_back(wires.begin() + static_cast<std::ptrdiff_t>(begin),
+                                       wires.begin() + static_cast<std::ptrdiff_t>(end));
+    }
+  }
+  return assignment;
+}
+
+}  // namespace lrsizer::layout

@@ -1,0 +1,38 @@
+// Channel model: which wires can couple with which.
+//
+// The paper assumes a routed design where every wire has known geometric
+// neighbors. Lacking real layout, we reproduce the same abstraction: wires
+// are bucketed into routing channels by the logic level of their net (wires
+// of one pipeline stage run side by side), each channel holding at most
+// `max_channel_width` tracks. The initial track order inside a channel is a
+// seeded shuffle (pre-optimization placement); stage 1 (WOSS) then reorders
+// the tracks. Only wires within one channel couple.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/logic_netlist.hpp"
+
+namespace lrsizer::layout {
+
+struct ChannelOptions {
+  std::int32_t max_channel_width = 24;  ///< tracks per channel
+  std::uint64_t seed = 1;               ///< initial placement shuffle
+};
+
+struct ChannelAssignment {
+  /// Wire node ids per channel, in initial track order.
+  std::vector<std::vector<netlist::NodeId>> channels;
+};
+
+/// Bucket every wire of `circuit` into channels. `net_of_node` maps circuit
+/// nodes to logic-netlist gate indices (from ElabResult); `netlist` supplies
+/// the per-net logic level.
+ChannelAssignment assign_channels(const netlist::Circuit& circuit,
+                                  const std::vector<std::int32_t>& net_of_node,
+                                  const netlist::LogicNetlist& netlist,
+                                  const ChannelOptions& options = ChannelOptions{});
+
+}  // namespace lrsizer::layout

@@ -1,0 +1,32 @@
+#include "layout/coupling.hpp"
+
+#include <cmath>
+
+namespace lrsizer::layout {
+
+double exact_coupling_cap(const CouplingGeometry& geom, double xi, double xj) {
+  const double u = coupling_ratio(xi, xj, geom.pitch_um);
+  LRSIZER_ASSERT_MSG(u < 1.0, "wires overlap: (x_i + x_j)/2 >= pitch");
+  return geom.c_tilde() / (1.0 - u);
+}
+
+double posynomial_coupling_cap(const CouplingGeometry& geom, double xi, double xj,
+                               int order_k) {
+  LRSIZER_ASSERT(order_k >= 1);
+  const double u = coupling_ratio(xi, xj, geom.pitch_um);
+  double sum = 0.0;
+  double term = 1.0;
+  for (int n = 0; n < order_k; ++n) {
+    sum += term;
+    term *= u;
+  }
+  return geom.c_tilde() * sum;
+}
+
+double truncation_error_ratio(double u, int order_k) {
+  LRSIZER_ASSERT(order_k >= 1);
+  LRSIZER_ASSERT(std::abs(u) < 1.0);
+  return std::pow(u, order_k);
+}
+
+}  // namespace lrsizer::layout

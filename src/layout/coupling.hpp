@@ -1,0 +1,47 @@
+// Physical coupling capacitance between adjacent wires (paper §3.1).
+//
+// Exact model (Eq. 2), for wires i, j with sizes (widths) x_i, x_j, overlap
+// length l_ij, middle-to-middle pitch d_ij and unit-length fringing f̂_ij:
+//
+//   c_ij = (f̂_ij · l_ij / d_ij) · 1 / (1 - (x_i + x_j) / (2 d_ij))
+//        = c̃_ij · 1 / (1 - u),     u = (x_i + x_j) / (2 d_ij) ∈ (0, 1)
+//
+// Posynomial approximation (Eq. 3 / Theorem 1): truncate the geometric
+// series 1/(1-u) = Σ uⁿ after k terms; the relative error is exactly uᵏ.
+// The paper uses k = 2, i.e. c_ij ≈ c̃_ij (1 + u) — the linear form whose
+// sizing coefficient is ĉ_ij = c̃_ij / (2 d_ij).
+#pragma once
+
+#include "util/assert.hpp"
+
+namespace lrsizer::layout {
+
+/// Geometry/technology of one adjacent-wire pair.
+struct CouplingGeometry {
+  double overlap_um = 0.0;      ///< l_ij
+  double pitch_um = 4.0;        ///< d_ij
+  double fringe_per_um = 0.25e-15;  ///< f̂_ij [F/µm]
+
+  /// c̃_ij = f̂·l/d — the size-independent prefactor [F].
+  double c_tilde() const { return fringe_per_um * overlap_um / pitch_um; }
+  /// ĉ_ij = c̃/(2d) — the linear sizing coefficient [F/µm].
+  double c_hat() const { return c_tilde() / (2.0 * pitch_um); }
+};
+
+/// u = (x_i + x_j) / (2 d).
+inline double coupling_ratio(double xi, double xj, double pitch_um) {
+  LRSIZER_ASSERT(pitch_um > 0.0);
+  return (xi + xj) / (2.0 * pitch_um);
+}
+
+/// Exact Eq. 2. Requires u < 1 (wires do not touch).
+double exact_coupling_cap(const CouplingGeometry& geom, double xi, double xj);
+
+/// Order-k truncation (Eq. 3 generalized): c̃ · Σ_{n=0}^{k-1} uⁿ, k >= 1.
+double posynomial_coupling_cap(const CouplingGeometry& geom, double xi, double xj,
+                               int order_k);
+
+/// Theorem 1(2): relative error of the order-k truncation = uᵏ.
+double truncation_error_ratio(double u, int order_k);
+
+}  // namespace lrsizer::layout

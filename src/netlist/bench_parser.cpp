@@ -1,0 +1,222 @@
+#include "netlist/bench_parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace lrsizer::netlist {
+
+const char* const kIscas85C17 =
+    "# c17 — smallest ISCAS85 benchmark (6 NAND gates)\n"
+    "INPUT(1)\n"
+    "INPUT(2)\n"
+    "INPUT(3)\n"
+    "INPUT(6)\n"
+    "INPUT(7)\n"
+    "\n"
+    "OUTPUT(22)\n"
+    "OUTPUT(23)\n"
+    "\n"
+    "10 = NAND(1, 3)\n"
+    "11 = NAND(3, 6)\n"
+    "16 = NAND(2, 11)\n"
+    "19 = NAND(11, 7)\n"
+    "22 = NAND(10, 16)\n"
+    "23 = NAND(16, 19)\n";
+
+namespace {
+
+std::string strip(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+LogicOp op_from_name(const std::string& name, int line) {
+  const std::string u = upper(name);
+  if (u == "AND") return LogicOp::kAnd;
+  if (u == "NAND") return LogicOp::kNand;
+  if (u == "OR") return LogicOp::kOr;
+  if (u == "NOR") return LogicOp::kNor;
+  if (u == "NOT" || u == "INV") return LogicOp::kNot;
+  if (u == "BUF" || u == "BUFF") return LogicOp::kBuf;
+  if (u == "XOR") return LogicOp::kXor;
+  if (u == "XNOR") return LogicOp::kXnor;
+  throw BenchParseError(line, "unknown gate type '" + name + "'");
+}
+
+struct PendingGate {
+  std::string name;
+  LogicOp op;
+  std::vector<std::string> fanin_names;
+  int line;
+};
+
+}  // namespace
+
+LogicNetlist parse_bench(std::istream& in) {
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<PendingGate> pending;
+  std::map<std::string, int> defined_at;  // signal -> defining line
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string line = strip(raw);
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line = strip(line.substr(0, hash));
+    }
+    if (line.empty()) continue;
+
+    const std::string u = upper(line);
+    if (u.rfind("INPUT", 0) == 0 || u.rfind("OUTPUT", 0) == 0) {
+      const bool is_input = u.rfind("INPUT", 0) == 0;
+      const auto open = line.find('(');
+      const auto close = line.rfind(')');
+      if (open == std::string::npos || close == std::string::npos || close <= open) {
+        throw BenchParseError(line_no, "malformed INPUT/OUTPUT declaration");
+      }
+      const std::string name = strip(line.substr(open + 1, close - open - 1));
+      if (name.empty()) throw BenchParseError(line_no, "empty signal name");
+      if (is_input) {
+        if (defined_at.count(name) != 0) {
+          throw BenchParseError(line_no, "signal '" + name + "' defined twice");
+        }
+        defined_at[name] = line_no;
+        input_names.push_back(name);
+      } else {
+        output_names.push_back(name);
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw BenchParseError(line_no, "expected 'name = OP(args)'");
+    }
+    const std::string name = strip(line.substr(0, eq));
+    const std::string rhs = strip(line.substr(eq + 1));
+    const auto open = rhs.find('(');
+    const auto close = rhs.rfind(')');
+    if (name.empty() || open == std::string::npos || close == std::string::npos ||
+        close <= open) {
+      throw BenchParseError(line_no, "malformed gate definition");
+    }
+    if (defined_at.count(name) != 0) {
+      throw BenchParseError(line_no, "signal '" + name + "' defined twice");
+    }
+    defined_at[name] = line_no;
+
+    PendingGate gate;
+    gate.name = name;
+    gate.op = op_from_name(strip(rhs.substr(0, open)), line_no);
+    gate.line = line_no;
+    std::stringstream args(rhs.substr(open + 1, close - open - 1));
+    std::string arg;
+    while (std::getline(args, arg, ',')) {
+      arg = strip(arg);
+      if (arg.empty()) throw BenchParseError(line_no, "empty fanin name");
+      gate.fanin_names.push_back(arg);
+    }
+    if (gate.fanin_names.empty()) {
+      throw BenchParseError(line_no, "gate with no fanin");
+    }
+    pending.push_back(std::move(gate));
+  }
+
+  if (input_names.empty()) throw BenchParseError(line_no, "no INPUT declarations");
+  if (output_names.empty()) throw BenchParseError(line_no, "no OUTPUT declarations");
+
+  // The format allows any definition order; topologically order the gates.
+  std::map<std::string, std::int32_t> index_of_pending;
+  for (std::size_t i = 0; i < pending.size(); ++i) {
+    index_of_pending[pending[i].name] = static_cast<std::int32_t>(i);
+  }
+
+  LogicNetlist netlist;
+  std::map<std::string, std::int32_t> netlist_id;
+  for (const auto& name : input_names) netlist_id[name] = netlist.add_input(name);
+
+  // DFS from every gate to emit fanins first; detects cycles.
+  std::vector<int> state(pending.size(), 0);  // 0 = new, 1 = visiting, 2 = done
+  std::vector<std::int32_t> stack;
+  for (std::size_t root = 0; root < pending.size(); ++root) {
+    if (state[root] == 2) continue;
+    stack.push_back(static_cast<std::int32_t>(root));
+    while (!stack.empty()) {
+      const auto g = static_cast<std::size_t>(stack.back());
+      if (state[g] == 2) {
+        stack.pop_back();
+        continue;
+      }
+      bool ready = true;
+      state[g] = 1;
+      for (const auto& fname : pending[g].fanin_names) {
+        if (netlist_id.count(fname) != 0) continue;  // input or emitted gate
+        const auto it = index_of_pending.find(fname);
+        if (it == index_of_pending.end()) {
+          throw BenchParseError(pending[g].line,
+                                "undefined signal '" + fname + "'");
+        }
+        const auto dep = static_cast<std::size_t>(it->second);
+        if (state[dep] == 1) {
+          throw BenchParseError(pending[g].line,
+                                "combinational cycle through '" + fname + "'");
+        }
+        if (state[dep] == 0) {
+          stack.push_back(it->second);
+          ready = false;
+        }
+      }
+      if (!ready) continue;
+      std::vector<std::int32_t> fanin;
+      fanin.reserve(pending[g].fanin_names.size());
+      for (const auto& fname : pending[g].fanin_names) {
+        fanin.push_back(netlist_id.at(fname));
+      }
+      // The .bench format writes NAND(a, a) occasionally via duplicated
+      // names; LogicNetlist accepts duplicate fanins (they become separate
+      // wires during elaboration, as in a real layout).
+      LogicOp op = pending[g].op;
+      if (fanin.size() == 1 && logic_op_is_multi_input(op)) {
+        // Single-argument AND/OR degenerate to a buffer; NAND/NOR/XNOR to NOT.
+        op = (op == LogicOp::kNand || op == LogicOp::kNor || op == LogicOp::kXnor)
+                 ? LogicOp::kNot
+                 : LogicOp::kBuf;
+      }
+      netlist_id[pending[g].name] = netlist.add_gate(pending[g].name, op, std::move(fanin));
+      state[g] = 2;
+      stack.pop_back();
+    }
+  }
+
+  for (const auto& name : output_names) {
+    const auto it = netlist_id.find(name);
+    if (it == netlist_id.end()) {
+      throw BenchParseError(0, "OUTPUT references undefined signal '" + name + "'");
+    }
+    netlist.mark_output(it->second);
+  }
+
+  netlist.finalize();
+  return netlist;
+}
+
+LogicNetlist parse_bench_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_bench(in);
+}
+
+}  // namespace lrsizer::netlist

@@ -1,0 +1,38 @@
+#include "netlist/bench_writer.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace lrsizer::netlist {
+
+void write_bench(const LogicNetlist& netlist, std::ostream& out,
+                 const std::string& header_comment) {
+  LRSIZER_ASSERT(netlist.finalized());
+  if (!header_comment.empty()) out << "# " << header_comment << "\n";
+  for (std::int32_t pi : netlist.primary_inputs()) {
+    out << "INPUT(" << netlist.gate(pi).name << ")\n";
+  }
+  for (std::int32_t po : netlist.primary_outputs()) {
+    out << "OUTPUT(" << netlist.gate(po).name << ")\n";
+  }
+  for (std::int32_t g = 0; g < netlist.num_gates_logic(); ++g) {
+    const LogicGate& gate = netlist.gate(g);
+    if (gate.op == LogicOp::kInput) continue;
+    out << gate.name << " = " << logic_op_name(gate.op) << "(";
+    for (std::size_t k = 0; k < gate.fanin.size(); ++k) {
+      out << netlist.gate(gate.fanin[k]).name
+          << (k + 1 < gate.fanin.size() ? ", " : "");
+    }
+    out << ")\n";
+  }
+}
+
+std::string to_bench_string(const LogicNetlist& netlist,
+                            const std::string& header_comment) {
+  std::ostringstream os;
+  write_bench(netlist, os, header_comment);
+  return os.str();
+}
+
+}  // namespace lrsizer::netlist

@@ -1,0 +1,22 @@
+// Writer for the ISCAS85 `.bench` format — the inverse of bench_parser.
+// Lets users export generated synthetic circuits for use with external
+// tools (ATPG, other sizers) and gives the test suite a round-trip oracle.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "netlist/logic_netlist.hpp"
+
+namespace lrsizer::netlist {
+
+/// Emit `netlist` in .bench syntax (INPUT/OUTPUT declarations, then one
+/// gate definition per line in topological order).
+void write_bench(const LogicNetlist& netlist, std::ostream& out,
+                 const std::string& header_comment = "");
+
+/// Convenience: the .bench text as a string.
+std::string to_bench_string(const LogicNetlist& netlist,
+                            const std::string& header_comment = "");
+
+}  // namespace lrsizer::netlist

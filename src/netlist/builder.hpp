@@ -1,0 +1,77 @@
+// CircuitBuilder: assembles a Circuit from components and connections, then
+// establishes the paper's index contract (drivers first, topological order,
+// artificial source/sink) in finalize().
+//
+// Typical use (the Figure 1 circuit, see examples/quickstart.cpp):
+//   CircuitBuilder b(tech);
+//   auto d1 = b.add_driver(500.0);
+//   auto w1 = b.add_wire(200.0);          // 200 µm
+//   auto g1 = b.add_gate();
+//   b.connect(d1, w1); b.connect(w1, g1);
+//   ...
+//   b.mark_primary_output(w_out, 20e-15); // C_L
+//   Circuit c = std::move(b).finalize();
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/types.hpp"
+
+namespace lrsizer::netlist {
+
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(const TechParams& tech = TechParams{}) : tech_(tech) {}
+
+  /// Handle used before finalize() renumbers everything.
+  using Handle = std::int32_t;
+
+  /// Input driver with resistance `driver_res` (Ω); uses tech default if <= 0.
+  Handle add_driver(double driver_res = 0.0);
+
+  /// Gate with the tech's unit R/C. `area_weight` overrides α_i if > 0.
+  /// `complexity` scales the cell's electrical weight relative to an
+  /// inverter (series transistor stacks raise both r̂ and ĉ): r̂, ĉ and α
+  /// are multiplied by it. 1.0 = inverter-equivalent.
+  Handle add_gate(double area_weight = 0.0, double complexity = 1.0);
+
+  /// Wire segment of `length_um` µm; r̂/ĉ/f scale with length, α_i = length.
+  Handle add_wire(double length_um);
+
+  /// Directed connection: data flows from `from` into `to`.
+  void connect(Handle from, Handle to);
+
+  /// Declare `component` (a gate or wire) to drive a primary output with
+  /// load `load_cap` (C_L). Uses the tech default if `load_cap` <= 0.
+  void mark_primary_output(Handle component, double load_cap = 0.0);
+
+  /// Override the size bounds of one component (defaults come from tech).
+  void set_bounds(Handle component, double lower, double upper);
+
+  std::int32_t num_handles() const { return static_cast<std::int32_t>(kind_.size()); }
+
+  /// Validates (DAG, no dangling components, at least one driver and one
+  /// primary output), renumbers to the index contract, and builds CSR.
+  /// After finalize, handle h maps to NodeId node_of(h). May be called once.
+  Circuit finalize();
+
+  /// Valid only after finalize(): the NodeId a handle was assigned.
+  NodeId node_of(Handle h) const { return handle_to_node_[static_cast<std::size_t>(h)]; }
+
+ private:
+  TechParams tech_;
+  std::vector<NodeKind> kind_;
+  std::vector<double> unit_res_;
+  std::vector<double> unit_cap_;
+  std::vector<double> fringe_cap_;
+  std::vector<double> area_weight_;
+  std::vector<double> pin_load_;
+  std::vector<double> lower_;
+  std::vector<double> upper_;
+  std::vector<double> length_;
+  std::vector<std::pair<Handle, Handle>> connections_;
+  std::vector<NodeId> handle_to_node_;
+};
+
+}  // namespace lrsizer::netlist

@@ -1,0 +1,184 @@
+#include "netlist/elaborator.hpp"
+
+#include <algorithm>
+
+#include "netlist/builder.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lrsizer::netlist {
+
+std::int64_t wires_for_net_pins(std::int64_t pins, const ElabOptions& options) {
+  if (pins <= 0) return 0;
+  if (pins <= options.max_star_fanout) {
+    return pins * options.segments_per_wire;
+  }
+  const std::int64_t left = pins / 2;
+  // One trunk segment per side, then recurse. Mirrors route_net exactly.
+  return 2 + wires_for_net_pins(left, options) +
+         wires_for_net_pins(pins - left, options);
+}
+
+double gate_complexity(LogicOp op, std::size_t fanin_count) {
+  // Logical-effort-flavored weights: an n-input NAND stacks n NMOS in
+  // series (effort ≈ (n+2)/3), a NOR stacks PMOS (≈ (2n+1)/3), XOR/XNOR
+  // cost roughly two stages. Normalized so an inverter is 1.
+  const double n = static_cast<double>(fanin_count);
+  switch (op) {
+    case LogicOp::kInput: return 0.0;
+    case LogicOp::kBuf: return 1.0;
+    case LogicOp::kNot: return 1.0;
+    case LogicOp::kAnd: return (n + 2.0) / 3.0 + 1.0;  // NAND + inverter
+    case LogicOp::kNand: return (n + 2.0) / 3.0;
+    case LogicOp::kOr: return (2.0 * n + 1.0) / 3.0 + 1.0;  // NOR + inverter
+    case LogicOp::kNor: return (2.0 * n + 1.0) / 3.0;
+    case LogicOp::kXor: return 2.0 * n;
+    case LogicOp::kXnor: return 2.0 * n;
+  }
+  return 1.0;
+}
+
+std::int64_t count_wires(const LogicNetlist& netlist, const ElabOptions& options) {
+  LRSIZER_ASSERT(netlist.finalized());
+  std::int64_t total = 0;
+  for (std::int32_t g = 0; g < netlist.num_gates_logic(); ++g) {
+    std::int64_t pins = netlist.fanout_count(g);
+    if (netlist.is_primary_output(g)) ++pins;
+    total += wires_for_net_pins(pins, options);
+  }
+  return total;
+}
+
+namespace {
+
+struct ElabContext {
+  CircuitBuilder* builder;
+  const ElabOptions* options;
+  util::Rng* rng;
+  std::vector<std::int32_t>* net_of_handle;
+
+  double wire_length() {
+    return rng->uniform(options->min_wire_length, options->max_wire_length);
+  }
+
+  /// A chain of `segments_per_wire` segments starting at `from`; returns the
+  /// handle of the last segment.
+  CircuitBuilder::Handle wire_chain(CircuitBuilder::Handle from, std::int32_t net) {
+    CircuitBuilder::Handle head = from;
+    for (std::int32_t s = 0; s < options->segments_per_wire; ++s) {
+      const auto w = builder->add_wire(wire_length());
+      net_of_handle->push_back(net);
+      LRSIZER_ASSERT(static_cast<std::size_t>(w) + 1 == net_of_handle->size());
+      builder->connect(head, w);
+      head = w;
+    }
+    return head;
+  }
+
+  /// Route `pins` sink pins from `from`. A pin is either a gate handle or
+  /// kLoadPin, which marks the last wire segment as a primary output.
+  static constexpr CircuitBuilder::Handle kLoadPin = -2;
+
+  void route_net(CircuitBuilder::Handle from, std::int32_t net,
+                 const std::vector<CircuitBuilder::Handle>& pins) {
+    if (pins.empty()) return;
+    if (static_cast<std::int32_t>(pins.size()) <= options->max_star_fanout) {
+      for (const auto pin : pins) {
+        const auto tail = wire_chain(from, net);
+        if (pin == kLoadPin) {
+          builder->mark_primary_output(tail, options->output_load);
+        } else {
+          builder->connect(tail, pin);
+        }
+      }
+      return;
+    }
+    // Balanced split with one trunk segment per side.
+    const auto mid = pins.begin() + static_cast<std::ptrdiff_t>(pins.size() / 2);
+    for (const auto& [first, last] :
+         {std::pair{pins.begin(), mid}, std::pair{mid, pins.end()}}) {
+      const auto trunk = builder->add_wire(wire_length());
+      net_of_handle->push_back(net);
+      builder->connect(from, trunk);
+      route_net(trunk, net, std::vector<CircuitBuilder::Handle>(first, last));
+    }
+  }
+};
+
+}  // namespace
+
+ElabResult elaborate(const LogicNetlist& netlist, const TechParams& tech,
+                     const ElabOptions& options) {
+  LRSIZER_ASSERT(netlist.finalized());
+  LRSIZER_ASSERT(options.segments_per_wire >= 1);
+  LRSIZER_ASSERT(options.max_star_fanout >= 1);
+  LRSIZER_ASSERT(options.min_wire_length > 0.0 &&
+                 options.min_wire_length <= options.max_wire_length);
+
+  CircuitBuilder builder(tech);
+  util::Rng rng(options.seed);
+
+  const std::int32_t n = netlist.num_gates_logic();
+  std::vector<CircuitBuilder::Handle> handle_of_gate(static_cast<std::size_t>(n));
+  std::vector<std::int32_t> net_of_handle;  // builder handle -> net
+
+  // Components first: drivers for PIs, gates for logic gates (topological
+  // definition order).
+  for (std::int32_t g = 0; g < n; ++g) {
+    const LogicGate& gate = netlist.gate(g);
+    if (gate.op == LogicOp::kInput) {
+      handle_of_gate[static_cast<std::size_t>(g)] =
+          builder.add_driver(options.driver_res > 0.0 ? options.driver_res
+                                                      : tech.driver_res);
+    } else {
+      const double complexity =
+          options.differentiate_gate_types
+              ? gate_complexity(gate.op, gate.fanin.size())
+              : 1.0;
+      handle_of_gate[static_cast<std::size_t>(g)] = builder.add_gate(0.0, complexity);
+    }
+    net_of_handle.push_back(g);
+  }
+
+  // Sink pins per net, in deterministic order (consumers by index, then the
+  // output load).
+  std::vector<std::vector<CircuitBuilder::Handle>> pins_of_net(
+      static_cast<std::size_t>(n));
+  for (std::int32_t consumer = 0; consumer < n; ++consumer) {
+    for (std::int32_t f : netlist.gate(consumer).fanin) {
+      pins_of_net[static_cast<std::size_t>(f)].push_back(
+          handle_of_gate[static_cast<std::size_t>(consumer)]);
+    }
+  }
+  for (std::int32_t g = 0; g < n; ++g) {
+    if (netlist.is_primary_output(g)) {
+      pins_of_net[static_cast<std::size_t>(g)].push_back(ElabContext::kLoadPin);
+    }
+  }
+
+  // Route every net.
+  ElabContext ctx{&builder, &options, &rng, &net_of_handle};
+  for (std::int32_t g = 0; g < n; ++g) {
+    ctx.route_net(handle_of_gate[static_cast<std::size_t>(g)], g,
+                  pins_of_net[static_cast<std::size_t>(g)]);
+  }
+
+  ElabResult result{builder.finalize(), {}, {}};
+
+  // Builder handles -> final node ids (node_of is valid after finalize()).
+  result.node_of_gate.resize(static_cast<std::size_t>(n));
+  result.net_of_node.assign(static_cast<std::size_t>(result.circuit.num_nodes()), -1);
+  for (std::size_t h = 0; h < net_of_handle.size(); ++h) {
+    const NodeId v = builder.node_of(static_cast<CircuitBuilder::Handle>(h));
+    result.net_of_node[static_cast<std::size_t>(v)] = net_of_handle[h];
+  }
+  for (std::int32_t g = 0; g < n; ++g) {
+    result.node_of_gate[static_cast<std::size_t>(g)] =
+        builder.node_of(handle_of_gate[static_cast<std::size_t>(g)]);
+  }
+
+  LRSIZER_ASSERT(result.circuit.num_wires() == count_wires(netlist, options));
+  return result;
+}
+
+}  // namespace lrsizer::netlist

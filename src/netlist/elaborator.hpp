@@ -1,0 +1,68 @@
+// Physical elaboration: LogicNetlist -> Circuit.
+//
+// Every primary input becomes an input driver; every logic gate becomes a
+// sized gate; every net (the output of a PI or gate) becomes a routing tree
+// of sized wire segments:
+//
+//   * nets with at most `max_star_fanout` sink pins are routed as a star —
+//     one chain of `segments_per_wire` segments per sink pin;
+//   * wider nets get a balanced binary trunk tree whose internal nodes are
+//     trunk wire segments (this exercises wire-after-wire upstream paths);
+//   * a primary output is one extra sink pin carrying the output load C_L.
+//
+// Wire lengths and driver strengths are drawn deterministically from the
+// seed. `count_wires` predicts the exact number of wire segments the same
+// options will produce — the generator relies on this to hit the paper's
+// per-circuit #W.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "netlist/logic_netlist.hpp"
+#include "netlist/types.hpp"
+
+namespace lrsizer::netlist {
+
+struct ElabOptions {
+  std::uint64_t seed = 1;
+  double min_wire_length = 400.0;   ///< µm
+  double max_wire_length = 2000.0;  ///< µm
+  std::int32_t max_star_fanout = 8;
+  std::int32_t segments_per_wire = 1;
+  double driver_res = 0.0;         ///< Ω; <= 0 means tech default
+  double output_load = 0.0;        ///< F; <= 0 means tech default
+  /// Scale each gate's electrical weight by its logic function (series
+  /// stacks make NAND/NOR/XOR heavier than an inverter). Off — the default,
+  /// matching the paper's uniform gate model — makes every gate
+  /// inverter-equivalent.
+  bool differentiate_gate_types = false;
+};
+
+/// Inverter-relative electrical complexity used when
+/// `differentiate_gate_types` is set (kInput returns 0 — not a cell).
+double gate_complexity(LogicOp op, std::size_t fanin_count);
+
+struct ElabResult {
+  Circuit circuit;
+  /// logic gate index -> circuit node (drivers for PIs, gates otherwise).
+  std::vector<NodeId> node_of_gate;
+  /// circuit node -> logic gate index of the net the node carries
+  /// (for wires: the net they belong to; for gates/drivers: their own output
+  /// net; -1 for source/sink). Used to attach simulated waveforms to wires.
+  std::vector<std::int32_t> net_of_node;
+};
+
+/// Wire segments used to route one net with `pins` sink pins under
+/// `options` (star chains below the threshold, binary trunk tree above).
+/// Monotone in `pins`. Exposed so the generator can budget exactly.
+std::int64_t wires_for_net_pins(std::int64_t pins, const ElabOptions& options);
+
+/// Exact number of wire segments `elaborate` will create.
+std::int64_t count_wires(const LogicNetlist& netlist, const ElabOptions& options);
+
+ElabResult elaborate(const LogicNetlist& netlist, const TechParams& tech,
+                     const ElabOptions& options);
+
+}  // namespace lrsizer::netlist

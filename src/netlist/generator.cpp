@@ -1,0 +1,364 @@
+#include "netlist/generator.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "netlist/iscas_profiles.hpp"
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace lrsizer::netlist {
+
+namespace {
+
+/// Pick a multi-input op with an ISCAS-like mix.
+LogicOp pick_multi_op(util::Rng& rng) {
+  const double r = rng.next_double();
+  if (r < 0.38) return LogicOp::kNand;
+  if (r < 0.55) return LogicOp::kNor;
+  if (r < 0.70) return LogicOp::kAnd;
+  if (r < 0.82) return LogicOp::kOr;
+  if (r < 0.93) return LogicOp::kXor;
+  return LogicOp::kXnor;
+}
+
+LogicOp pick_single_op(util::Rng& rng) {
+  return rng.bernoulli(0.8) ? LogicOp::kNot : LogicOp::kBuf;
+}
+
+}  // namespace
+
+LogicNetlist generate_circuit(const GeneratorSpec& spec) {
+  LRSIZER_ASSERT(spec.num_gates >= 1);
+  LRSIZER_ASSERT(spec.num_inputs >= 1);
+  LRSIZER_ASSERT(spec.num_outputs >= 1);
+  LRSIZER_ASSERT(spec.depth >= 1);
+  const std::int32_t budget = spec.num_wires - spec.num_outputs;
+  LRSIZER_ASSERT_MSG(budget >= spec.num_gates,
+                     "num_wires too small: need >= num_gates + num_outputs pins");
+  LRSIZER_ASSERT_MSG(budget <= 5 * spec.num_gates,
+                     "num_wires too large: fanin cap is 5 per gate");
+
+  util::Rng rng(spec.seed);
+  const std::int32_t depth = std::min<std::int32_t>(spec.depth, spec.num_gates);
+
+  // --- fanin count per gate, summing exactly to `budget` ------------------
+  std::vector<std::int32_t> fanin_of(static_cast<std::size_t>(spec.num_gates), 0);
+  if (budget <= 2 * spec.num_gates) {
+    // n1 single-input gates, the rest two-input.
+    const std::int32_t n1 = 2 * spec.num_gates - budget;
+    for (std::int32_t g = 0; g < spec.num_gates; ++g) fanin_of[static_cast<std::size_t>(g)] = 2;
+    // Spread the single-input gates across the whole index range.
+    std::vector<std::int32_t> idx(static_cast<std::size_t>(spec.num_gates));
+    for (std::int32_t g = 0; g < spec.num_gates; ++g) idx[static_cast<std::size_t>(g)] = g;
+    for (std::int32_t k = 0; k < n1; ++k) {
+      const auto pick = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(spec.num_gates - k)));
+      std::swap(idx[pick], idx[static_cast<std::size_t>(spec.num_gates - 1 - k)]);
+      fanin_of[static_cast<std::size_t>(idx[static_cast<std::size_t>(spec.num_gates - 1 - k)])] = 1;
+    }
+  } else {
+    for (std::int32_t g = 0; g < spec.num_gates; ++g) fanin_of[static_cast<std::size_t>(g)] = 2;
+    std::int32_t extra = budget - 2 * spec.num_gates;
+    while (extra > 0) {
+      const auto g = static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(spec.num_gates)));
+      if (fanin_of[g] < 5) {
+        ++fanin_of[g];
+        --extra;
+      }
+    }
+  }
+
+  // --- level assignment: a spine guarantees every level is populated ------
+  std::vector<std::int32_t> level_of(static_cast<std::size_t>(spec.num_gates));
+  for (std::int32_t g = 0; g < depth; ++g) level_of[static_cast<std::size_t>(g)] = g + 1;
+  for (std::int32_t g = depth; g < spec.num_gates; ++g) {
+    level_of[static_cast<std::size_t>(g)] = rng.uniform_int(1, depth);
+  }
+  // Gates must be created fanin-first: sort indices by level (stable on the
+  // original order for determinism).
+  std::vector<std::int32_t> creation(static_cast<std::size_t>(spec.num_gates));
+  for (std::int32_t g = 0; g < spec.num_gates; ++g) creation[static_cast<std::size_t>(g)] = g;
+  std::stable_sort(creation.begin(), creation.end(), [&](std::int32_t a, std::int32_t b) {
+    return level_of[static_cast<std::size_t>(a)] < level_of[static_cast<std::size_t>(b)];
+  });
+
+  LogicNetlist netlist;
+  std::vector<std::int32_t> pi_ids;
+  pi_ids.reserve(static_cast<std::size_t>(spec.num_inputs));
+  for (std::int32_t i = 0; i < spec.num_inputs; ++i) {
+    pi_ids.push_back(netlist.add_input("pi" + std::to_string(i)));
+  }
+
+  // Net ids available per level: level 0 = primary inputs.
+  std::vector<std::vector<std::int32_t>> nets_at_level(
+      static_cast<std::size_t>(depth) + 1);
+  nets_at_level[0] = pi_ids;
+
+  // --- create gates level by level ----------------------------------------
+  std::vector<std::int32_t> netlist_id_of(static_cast<std::size_t>(spec.num_gates));
+  for (std::int32_t pos = 0; pos < spec.num_gates; ++pos) {
+    const std::int32_t g = creation[static_cast<std::size_t>(pos)];
+    const std::int32_t lvl = level_of[static_cast<std::size_t>(g)];
+    const std::int32_t want = fanin_of[static_cast<std::size_t>(g)];
+
+    // One fanin is forced from level-1 (keeps the depth exact); the rest are
+    // drawn from any earlier level, biased toward recent ones.
+    std::vector<std::int32_t> fanin;
+    fanin.reserve(static_cast<std::size_t>(want));
+    const auto& prev = nets_at_level[static_cast<std::size_t>(lvl - 1)];
+    LRSIZER_ASSERT(!prev.empty());
+    fanin.push_back(prev[static_cast<std::size_t>(
+        rng.next_below(static_cast<std::uint64_t>(prev.size())))]);
+    while (static_cast<std::int32_t>(fanin.size()) < want) {
+      // Geometric bias: walk back from level-1 with 50% stopping chance.
+      std::int32_t src_lvl = lvl - 1;
+      while (src_lvl > 0 && rng.bernoulli(0.5)) --src_lvl;
+      const auto& pool = nets_at_level[static_cast<std::size_t>(src_lvl)];
+      if (pool.empty()) continue;
+      const std::int32_t cand = pool[static_cast<std::size_t>(
+          rng.next_below(static_cast<std::uint64_t>(pool.size())))];
+      if (std::find(fanin.begin(), fanin.end(), cand) == fanin.end()) {
+        fanin.push_back(cand);
+      } else if (pool.size() <= fanin.size()) {
+        // Tiny pool: allow a duplicate rather than spinning forever.
+        fanin.push_back(cand);
+      }
+    }
+
+    const LogicOp op = want == 1 ? pick_single_op(rng) : pick_multi_op(rng);
+    const std::int32_t id =
+        netlist.add_gate("g" + std::to_string(g), op, std::move(fanin));
+    netlist_id_of[static_cast<std::size_t>(g)] = id;
+    nets_at_level[static_cast<std::size_t>(lvl)].push_back(id);
+  }
+
+  // --- usage repair ---------------------------------------------------------
+  // Every PI and every gate must drive something (fanout > 0) or be a primary
+  // output. Count fanouts, then swap multi-fanout fanins for unused nets.
+  const std::int32_t total = netlist.num_gates_logic();
+  std::vector<std::int32_t> fanout(static_cast<std::size_t>(total), 0);
+  // We need mutable fanins for the repair; rebuild gate fanin lists locally.
+  std::vector<std::vector<std::int32_t>> fanins(static_cast<std::size_t>(total));
+  for (std::int32_t id = 0; id < total; ++id) {
+    fanins[static_cast<std::size_t>(id)] = netlist.gate(id).fanin;
+    for (std::int32_t f : fanins[static_cast<std::size_t>(id)]) {
+      ++fanout[static_cast<std::size_t>(f)];
+    }
+  }
+
+  auto collect_unused = [&]() {
+    std::vector<std::int32_t> unused;
+    for (std::int32_t id = 0; id < total; ++id) {
+      if (fanout[static_cast<std::size_t>(id)] == 0) unused.push_back(id);
+    }
+    return unused;
+  };
+
+  // Primary outputs will absorb up to num_outputs unused gates (never PIs).
+  // Everything else gets spliced into a later gate by replacing one fanin
+  // that can spare the fanout.
+  std::vector<std::int32_t> unused = collect_unused();
+  // PO slots absorb the highest-index unused gates first: those have the
+  // fewest later gates available for splicing.
+  std::vector<std::int32_t> po_candidates;
+  for (auto it = unused.rbegin(); it != unused.rend(); ++it) {
+    if (netlist.gate(*it).op != LogicOp::kInput &&
+        static_cast<std::int32_t>(po_candidates.size()) < spec.num_outputs) {
+      po_candidates.push_back(*it);
+    }
+  }
+  for (std::int32_t id : unused) {
+    const bool is_pi = netlist.gate(id).op == LogicOp::kInput;
+    if (!is_pi &&
+        std::find(po_candidates.begin(), po_candidates.end(), id) != po_candidates.end()) {
+      continue;  // becomes a PO, usage satisfied
+    }
+    // Splice: find a gate after `id` with a fanin whose net has fanout >= 2,
+    // and redirect that fanin to `id` (keeps the pin budget). Try randomly
+    // first, then scan deterministically. If no donor fanin exists anywhere
+    // (sparse circuits), fall back to *appending* `id` as an extra fanin —
+    // the pin budget shifts by one, which the wire-count repair below
+    // rebalances.
+    auto try_splice_into = [&](std::int32_t g) {
+      if (g == id || netlist.gate(g).op == LogicOp::kInput) return false;
+      if (!is_pi && g <= id) return false;
+      auto& fl = fanins[static_cast<std::size_t>(g)];
+      if (std::find(fl.begin(), fl.end(), id) != fl.end()) return false;
+      for (auto& f : fl) {
+        if (f != id && fanout[static_cast<std::size_t>(f)] >= 2) {
+          --fanout[static_cast<std::size_t>(f)];
+          f = id;
+          ++fanout[static_cast<std::size_t>(id)];
+          return true;
+        }
+      }
+      return false;
+    };
+    auto try_append_into = [&](std::int32_t g) {
+      if (g == id || netlist.gate(g).op == LogicOp::kInput) return false;
+      if (!is_pi && g <= id) return false;
+      auto& fl = fanins[static_cast<std::size_t>(g)];
+      if (fl.size() >= 5) return false;
+      if (std::find(fl.begin(), fl.end(), id) != fl.end()) return false;
+      fl.push_back(id);
+      ++fanout[static_cast<std::size_t>(id)];
+      return true;
+    };
+
+    bool repaired = false;
+    const std::int32_t lo = is_pi ? 0 : id + 1;
+    for (std::int32_t attempt = 0; attempt < 64 && !repaired && lo < total; ++attempt) {
+      const std::int32_t g =
+          lo + static_cast<std::int32_t>(
+                   rng.next_below(static_cast<std::uint64_t>(total - lo)));
+      repaired = try_splice_into(g);
+    }
+    for (std::int32_t g = lo; g < total && !repaired; ++g) {
+      repaired = try_splice_into(g);
+    }
+    for (std::int32_t g = lo; g < total && !repaired; ++g) {
+      repaired = try_append_into(g);
+    }
+    LRSIZER_ASSERT_MSG(repaired, "generator could not repair an unused net");
+  }
+
+  // --- primary outputs -------------------------------------------------------
+  // Start with the unused gates kept as POs, then top up with the highest-
+  // index gates (deep logic, like real netlists' outputs).
+  std::vector<bool> is_po(static_cast<std::size_t>(total), false);
+  std::int32_t po_count = 0;
+  for (std::int32_t id : po_candidates) {
+    is_po[static_cast<std::size_t>(id)] = true;
+    ++po_count;
+  }
+  for (std::int32_t id = total - 1; id >= 0 && po_count < spec.num_outputs; --id) {
+    if (netlist.gate(id).op == LogicOp::kInput) continue;
+    if (!is_po[static_cast<std::size_t>(id)]) {
+      is_po[static_cast<std::size_t>(id)] = true;
+      ++po_count;
+    }
+  }
+  LRSIZER_ASSERT_MSG(po_count == spec.num_outputs,
+                     "not enough gates for the requested output count");
+
+  // --- wire-count repair -------------------------------------------------------
+  // Trunk trees on high-fanout nets (and multi-segment routing) make the
+  // elaborated wire count differ from the pin budget. Add or remove fanin
+  // pins — preferring nets inside the star region where one pin costs
+  // exactly segments_per_wire wires — until the count_wires oracle hits the
+  // target.
+  auto net_pins = [&](std::int32_t id) {
+    return static_cast<std::int64_t>(fanout[static_cast<std::size_t>(id)]) +
+           (is_po[static_cast<std::size_t>(id)] ? 1 : 0);
+  };
+  std::int64_t current = 0;
+  for (std::int32_t id = 0; id < total; ++id) {
+    current += wires_for_net_pins(net_pins(id), spec.elab);
+  }
+
+  const std::int64_t target = spec.num_wires;
+  const std::int64_t step = spec.elab.segments_per_wire;
+  for (std::int64_t guard = 0;
+       std::llabs(current - target) >= step && guard < 20LL * total; ++guard) {
+    if (current > target) {
+      // Remove one fanin pin: gate keeps >= 1 pin (ops are re-picked at
+      // rebuild), from a net that stays used (fanout >= 2 or PO).
+      bool done = false;
+      const auto start = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(total)));
+      for (std::int32_t off = 0; off < total && !done; ++off) {
+        const std::int32_t g = (start + off) % total;
+        auto& fl = fanins[static_cast<std::size_t>(g)];
+        if (netlist.gate(g).op == LogicOp::kInput || fl.size() < 2) continue;
+        for (std::size_t k = 0; k < fl.size(); ++k) {
+          const std::int32_t f = fl[k];
+          if (fanout[static_cast<std::size_t>(f)] < 2 &&
+              !is_po[static_cast<std::size_t>(f)]) {
+            continue;  // would orphan the net
+          }
+          const std::int64_t before = wires_for_net_pins(net_pins(f), spec.elab);
+          --fanout[static_cast<std::size_t>(f)];
+          const std::int64_t after = wires_for_net_pins(net_pins(f), spec.elab);
+          fl.erase(fl.begin() + static_cast<std::ptrdiff_t>(k));
+          current += after - before;
+          done = true;
+          break;
+        }
+      }
+      LRSIZER_ASSERT_MSG(done, "wire-count repair: no removable fanin pin");
+    } else {
+      // Add one fanin pin: gate with < 5 pins, from an earlier net in the
+      // star region (so the step is exactly +segments_per_wire).
+      bool done = false;
+      const auto start = static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(total)));
+      for (std::int32_t off = 0; off < total && !done; ++off) {
+        const std::int32_t g = (start + off) % total;
+        auto& fl = fanins[static_cast<std::size_t>(g)];
+        if (netlist.gate(g).op == LogicOp::kInput || fl.empty() || fl.size() >= 5) {
+          continue;
+        }
+        for (std::int32_t f = g - 1; f >= 0; --f) {
+          if (net_pins(f) + 1 > spec.elab.max_star_fanout) continue;
+          if (std::find(fl.begin(), fl.end(), f) != fl.end()) continue;
+          const std::int64_t before = wires_for_net_pins(net_pins(f), spec.elab);
+          ++fanout[static_cast<std::size_t>(f)];
+          const std::int64_t after = wires_for_net_pins(net_pins(f), spec.elab);
+          fl.push_back(f);
+          current += after - before;
+          done = true;
+          break;
+        }
+      }
+      LRSIZER_ASSERT_MSG(done, "wire-count repair: no addable fanin pin");
+    }
+  }
+  LRSIZER_ASSERT_MSG(std::llabs(current - target) < step,
+                     "wire-count repair did not converge");
+
+  // --- rebuild the netlist with the repaired fanins ------------------------
+  // Ops are re-picked where the repair changed a gate's arity.
+  LogicNetlist out;
+  std::vector<std::int32_t> remap(static_cast<std::size_t>(total));
+  for (std::int32_t id = 0; id < total; ++id) {
+    const LogicGate& g = netlist.gate(id);
+    if (g.op == LogicOp::kInput) {
+      remap[static_cast<std::size_t>(id)] = out.add_input(g.name);
+      continue;
+    }
+    std::vector<std::int32_t> fl = fanins[static_cast<std::size_t>(id)];
+    for (auto& f : fl) f = remap[static_cast<std::size_t>(f)];
+    LogicOp op = g.op;
+    if (fl.size() == 1 && logic_op_is_multi_input(op)) op = pick_single_op(rng);
+    if (fl.size() >= 2 && !logic_op_is_multi_input(op)) op = pick_multi_op(rng);
+    remap[static_cast<std::size_t>(id)] = out.add_gate(g.name, op, std::move(fl));
+  }
+  for (std::int32_t id = 0; id < total; ++id) {
+    if (is_po[static_cast<std::size_t>(id)]) {
+      out.mark_output(remap[static_cast<std::size_t>(id)]);
+    }
+  }
+
+  out.finalize();
+  LRSIZER_ASSERT(out.num_real_gates() == spec.num_gates);
+  LRSIZER_ASSERT(std::llabs(count_wires(out, spec.elab) - target) < step);
+  return out;
+}
+
+GeneratorSpec spec_for_profile(const std::string& name, std::uint64_t seed) {
+  const IscasProfile& p = iscas85_profile(name);
+  GeneratorSpec spec;
+  spec.num_gates = p.num_gates;
+  spec.num_wires = p.num_wires;
+  spec.num_inputs = p.num_inputs;
+  spec.num_outputs = p.num_outputs;
+  spec.depth = p.depth;
+  spec.seed = seed;
+  return spec;
+}
+
+}  // namespace lrsizer::netlist

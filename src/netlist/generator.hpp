@@ -1,0 +1,46 @@
+// Synthetic ISCAS-like circuit generator.
+//
+// The paper evaluates on ISCAS85 with component counts that include the
+// authors' (unpublished) wire segmentation. This generator produces seeded
+// random combinational netlists with:
+//   * exactly `num_gates` logic gates,
+//   * exactly `num_inputs` / `num_outputs` primary inputs/outputs,
+//   * a fanin budget chosen so that physical elaboration with the matching
+//     ElabOptions yields exactly `num_wires` wire segments,
+//   * logic depth close to `depth` (ISCAS-like structure: a guaranteed
+//     spine through every level, fanins biased to the previous level).
+//
+// Determinism: the same spec + seed produces the same netlist on every
+// platform (see util/rng.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/elaborator.hpp"
+#include "netlist/logic_netlist.hpp"
+
+namespace lrsizer::netlist {
+
+struct GeneratorSpec {
+  std::int32_t num_gates = 100;   ///< real gates (#G in the paper's Table 1)
+  std::int32_t num_wires = 200;   ///< wire segments after elaboration (#W)
+  std::int32_t num_inputs = 16;
+  std::int32_t num_outputs = 8;
+  std::int32_t depth = 12;        ///< target logic depth
+  std::uint64_t seed = 1;
+  /// Elaboration options the wire budget is computed against (trunk trees
+  /// and multi-segment routing change the count).
+  ElabOptions elab;
+};
+
+/// Build a finalized LogicNetlist per the spec: elaborating the result with
+/// `spec.elab` yields exactly `num_wires` wire segments (a repair loop
+/// adds/removes fanin pins against the count_wires oracle; exactness
+/// requires elab.segments_per_wire == 1, otherwise the count lands within
+/// segments_per_wire - 1 of the target).
+LogicNetlist generate_circuit(const GeneratorSpec& spec);
+
+/// Spec matching one of the paper's Table 1 circuits (by profile name).
+GeneratorSpec spec_for_profile(const std::string& name, std::uint64_t seed = 1);
+
+}  // namespace lrsizer::netlist

@@ -1,0 +1,43 @@
+#include "netlist/iscas_profiles.hpp"
+
+#include "util/assert.hpp"
+
+namespace lrsizer::netlist {
+
+// Paper Table 1, transcribed verbatim (row order as printed).
+// PI/PO widths and depths are the standard ISCAS85 figures.
+const std::vector<IscasProfile>& iscas85_profiles() {
+  static const std::vector<IscasProfile> profiles = {
+      {"c1355", 546, 1064, 41, 32, 24,
+       {20.53, 2.14, 1005.57, 1098.90, 228.34, 28.45, 48299, 5203, 9, 56, 1096}},
+      {"c1908", 880, 1498, 33, 25, 40,
+       {24.55, 2.45, 1444.57, 1338.62, 357.09, 41.45, 71338, 7369, 13, 155, 1184}},
+      {"c2670", 1193, 2076, 233, 140, 32,
+       {33.46, 3.35, 1480.65, 1499.87, 486.38, 58.45, 98067, 10319, 7, 444, 1320}},
+      {"c3540", 1669, 2939, 50, 22, 47,
+       {50.24, 5.03, 1713.47, 1685.51, 682.19, 79.53, 138242, 14292, 8, 553, 1472}},
+      {"c432", 214, 426, 36, 7, 17,
+       {7.89, 0.95, 1442.28, 958.20, 89.95, 18.35, 19200, 2984, 7, 21, 976}},
+      {"c499", 514, 928, 41, 32, 11,
+       {16.37, 1.72, 875.81, 799.31, 211.25, 27.88, 43259, 4834, 10, 97, 1072}},
+      {"c5315", 2307, 4386, 178, 123, 49,
+       {82.06, 8.23, 1649.38, 1548.37, 959.28, 113.92, 200803, 20768, 7, 1321, 1752}},
+      {"c6288", 2416, 4800, 32, 32, 124,
+       {95.36, 9.53, 4888.33, 4494.26, 1015.03, 129.94, 216495, 23341, 14, 2705, 1808}},
+      {"c7552", 3512, 6144, 207, 108, 43,
+       {103.30, 10.33, 1615.32, 1619.37, 1433.49, 168.91, 289707, 30120, 7, 2823, 2120}},
+      {"c880", 383, 729, 60, 26, 24,
+       {13.12, 1.35, 931.49, 794.43, 159.30, 22.14, 33359, 3827, 12, 94, 1032}},
+  };
+  return profiles;
+}
+
+const IscasProfile& iscas85_profile(const std::string& name) {
+  for (const auto& p : iscas85_profiles()) {
+    if (p.name == name) return p;
+  }
+  LRSIZER_ASSERT_MSG(false, "unknown ISCAS85 profile name");
+  return iscas85_profiles().front();  // unreachable
+}
+
+}  // namespace lrsizer::netlist

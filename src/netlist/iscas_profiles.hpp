@@ -1,0 +1,44 @@
+// Profiles of the ten ISCAS85 circuits evaluated in the paper's Table 1.
+//
+// The paper's component counts (#G gates, #W wires) include the post-layout
+// wire segments of the authors' internal flow, which are not recoverable
+// from the public netlists. The synthetic generator consumes these profiles
+// to produce circuits with exactly the paper's #G/#W, ISCAS-like interface
+// widths (PI/PO) and logic depth. Each profile also carries the paper's
+// reported Table 1 row so benches can print paper-vs-measured side by side.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lrsizer::netlist {
+
+/// One row of the paper's Table 1 (values as printed in the paper).
+struct PaperRow {
+  double noise_init_pf, noise_fin_pf;
+  double delay_init_ps, delay_fin_ps;
+  double power_init_mw, power_fin_mw;
+  double area_init_um2, area_fin_um2;
+  int iterations;
+  int time_sec;
+  int mem_kb;
+};
+
+struct IscasProfile {
+  std::string name;
+  std::int32_t num_gates;    ///< paper #G
+  std::int32_t num_wires;    ///< paper #W
+  std::int32_t num_inputs;   ///< ISCAS85 interface width
+  std::int32_t num_outputs;
+  std::int32_t depth;        ///< approximate logic depth of the real circuit
+  PaperRow paper;
+};
+
+/// All ten circuits in the paper's Table 1 row order.
+const std::vector<IscasProfile>& iscas85_profiles();
+
+/// Lookup by name ("c432" ... "c7552"); aborts if unknown.
+const IscasProfile& iscas85_profile(const std::string& name);
+
+}  // namespace lrsizer::netlist

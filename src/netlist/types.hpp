@@ -1,0 +1,59 @@
+// Core identifier types and component taxonomy for the circuit graph
+// (paper §2.1): a circuit is a DAG whose nodes are the source ~s, input
+// drivers, gates, wires, and the sink ~t.
+#pragma once
+
+#include <cstdint>
+
+namespace lrsizer::netlist {
+
+/// Node index into a Circuit. Node 0 is always the source; the highest index
+/// is always the sink; drivers occupy 1..s; sized components s+1..n+s.
+using NodeId = std::int32_t;
+
+/// Edge index into a Circuit (one Lagrange multiplier per edge).
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// Paper §2.1: V = G ∪ W ∪ R ∪ S ∪ T.
+enum class NodeKind : std::uint8_t {
+  kSource,  ///< artificial source ~s (node 0)
+  kDriver,  ///< input driver (resistor R_D), set R
+  kGate,    ///< sizable gate, set G
+  kWire,    ///< sizable wire segment (π model), set W
+  kSink,    ///< artificial sink ~t (node n+s+1)
+};
+
+/// Technology constants shared by every experiment. Resistance/capacitance
+/// per unit size follow the paper's §5 setup (wire 0.07 Ω/µm and
+/// 0.024 fF/µm, gate ĉ 0.16 fF/µm, 3.3 V, 200 MHz, sizes in [0.1, 10] µm).
+/// The paper's gate r̂ is garbled in every available scan ("1 0 ... m" —
+/// 10 Ω·µm, 1.0 kΩ·µm and 10 kΩ·µm are all consistent readings); we use
+/// 1 kΩ·µm, the value that lands the Table 1 delay column in the paper's
+/// range (see DESIGN.md §6 and EXPERIMENTS.md). Wire length, fringing and
+/// area weights are likewise calibrated to the paper's Init magnitudes.
+struct TechParams {
+  double gate_unit_res = 1e3;         ///< gate r̂ [Ω·size]: r = r̂ / x
+  double gate_unit_cap = 0.16e-15;    ///< gate ĉ [F/size]: c = ĉ · x
+  double wire_res_per_um = 0.07;      ///< wire r̂ per µm length [Ω·size/µm]
+  double wire_cap_per_um = 0.024e-15; ///< wire ĉ per µm length [F/(size·µm)]
+  double wire_fringe_per_um = 0.8e-18;///< wire fringing per µm length [F/µm]
+  double supply_voltage = 3.3;        ///< V
+  double frequency = 200e6;           ///< Hz
+  double min_size = 0.1;              ///< L_i [µm]
+  double max_size = 10.0;             ///< U_i [µm]
+  double gate_area_per_size = 25.0;   ///< gate α_i [µm²/size]
+  /// Wire α_i [µm²/size]. The paper charges each component a unit-sized
+  /// area independent of wire length (Table 1's area column divides to
+  /// ≈30 µm² per component); set to 0 to use the physical length·width.
+  double wire_area_per_size = 30.0;
+  double driver_res = 500.0;          ///< default R_D [Ω]
+  double output_load = 20e-15;        ///< default C_L [F]
+
+  /// Dynamic power per farad of switched capacitance: P = V²·f·ΣC.
+  double power_per_farad() const { return supply_voltage * supply_voltage * frequency; }
+};
+
+}  // namespace lrsizer::netlist

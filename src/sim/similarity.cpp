@@ -1,0 +1,45 @@
+#include "sim/similarity.hpp"
+
+#include "util/assert.hpp"
+
+namespace lrsizer::sim {
+
+namespace {
+
+std::vector<double> pairwise(const std::vector<const Waveform*>& w, SimTime horizon) {
+  LRSIZER_ASSERT(horizon > 0);
+  const auto n = w.size();
+  std::vector<double> values(n * n, 1.0);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      const double s = Waveform::similarity(*w[a], *w[b], horizon);
+      values[a * n + b] = s;
+      values[b * n + a] = s;
+    }
+  }
+  return values;
+}
+
+}  // namespace
+
+SimilarityMatrix::SimilarityMatrix(const SimResult& sim,
+                                   const std::vector<std::int32_t>& nets)
+    : n_(static_cast<std::int32_t>(nets.size())) {
+  std::vector<const Waveform*> w;
+  w.reserve(nets.size());
+  for (std::int32_t net : nets) {
+    w.push_back(&sim.waveforms[static_cast<std::size_t>(net)]);
+  }
+  values_ = pairwise(w, sim.horizon);
+}
+
+SimilarityMatrix::SimilarityMatrix(const std::vector<Waveform>& waveforms,
+                                   SimTime horizon)
+    : n_(static_cast<std::int32_t>(waveforms.size())) {
+  std::vector<const Waveform*> w;
+  w.reserve(waveforms.size());
+  for (const auto& wf : waveforms) w.push_back(&wf);
+  values_ = pairwise(w, horizon);
+}
+
+}  // namespace lrsizer::sim

@@ -1,0 +1,43 @@
+// Switching similarity (paper §3.2) and the derived Miller weight.
+//
+//   similarity(i,j) = (1/T_D) ∫ f(i,t) f(j,t) dt ∈ [-1, 1]
+//   miller_weight(i,j) = 1 - similarity(i,j) ∈ [0, 2]
+//
+// miller_weight is the "effective loading" factor the WOSS ordering
+// minimizes: 0 for perfectly correlated neighbors (anti-Miller), 2 for
+// perfectly anti-correlated neighbors (full Miller effect).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/waveform.hpp"
+
+namespace lrsizer::sim {
+
+/// Dense symmetric similarity matrix over a set of nets.
+class SimilarityMatrix {
+ public:
+  /// Compute pairwise similarities of `nets` (indices into sim.waveforms).
+  SimilarityMatrix(const SimResult& sim, const std::vector<std::int32_t>& nets);
+
+  /// Pairwise similarities of explicitly given waveforms over [0, horizon).
+  SimilarityMatrix(const std::vector<Waveform>& waveforms, SimTime horizon);
+
+  std::int32_t size() const { return n_; }
+
+  /// similarity between the a-th and b-th net of the constructor list.
+  double at(std::int32_t a, std::int32_t b) const {
+    return values_[static_cast<std::size_t>(a) * static_cast<std::size_t>(n_) +
+                   static_cast<std::size_t>(b)];
+  }
+
+  double miller_weight(std::int32_t a, std::int32_t b) const { return 1.0 - at(a, b); }
+
+ private:
+  std::int32_t n_;
+  std::vector<double> values_;
+};
+
+}  // namespace lrsizer::sim

@@ -1,0 +1,118 @@
+#include "sim/simulator.hpp"
+
+#include <queue>
+#include <tuple>
+
+#include "util/assert.hpp"
+
+namespace lrsizer::sim {
+
+namespace {
+
+struct Event {
+  SimTime time;
+  std::int32_t gate;
+  int value;
+};
+
+struct EventLater {
+  bool operator()(const Event& a, const Event& b) const { return a.time > b.time; }
+};
+
+}  // namespace
+
+SimResult simulate(const netlist::LogicNetlist& netlist,
+                   const std::vector<std::vector<int>>& vectors,
+                   const SimOptions& options) {
+  LRSIZER_ASSERT(netlist.finalized());
+  LRSIZER_ASSERT(!vectors.empty());
+  LRSIZER_ASSERT(options.vector_period > 0);
+  LRSIZER_ASSERT(options.gate_delay > 0);
+  LRSIZER_ASSERT(options.gate_delay < options.vector_period);
+
+  const std::int32_t n = netlist.num_gates_logic();
+  const auto& pis = netlist.primary_inputs();
+  for (const auto& v : vectors) {
+    LRSIZER_ASSERT_MSG(v.size() == pis.size(), "vector width != #primary inputs");
+  }
+
+  // Fanout lists (consumer gate indices per net).
+  std::vector<std::vector<std::int32_t>> fanouts(static_cast<std::size_t>(n));
+  for (std::int32_t g = 0; g < n; ++g) {
+    for (std::int32_t f : netlist.gate(g).fanin) {
+      fanouts[static_cast<std::size_t>(f)].push_back(g);
+    }
+  }
+
+  // Settle to vector 0 with zero delay (definition order is topological).
+  std::vector<int> value(static_cast<std::size_t>(n), 0);
+  for (std::size_t i = 0; i < pis.size(); ++i) {
+    value[static_cast<std::size_t>(pis[i])] = vectors[0][i];
+  }
+  std::vector<int> scratch;
+  auto eval_gate = [&](std::int32_t g) {
+    const auto& gate = netlist.gate(g);
+    scratch.clear();
+    for (std::int32_t f : gate.fanin) {
+      scratch.push_back(value[static_cast<std::size_t>(f)]);
+    }
+    return netlist::eval_logic_op(gate.op, scratch);
+  };
+  for (std::int32_t g : netlist.topo_order()) {
+    if (netlist.gate(g).op != netlist::LogicOp::kInput) {
+      value[static_cast<std::size_t>(g)] = eval_gate(g);
+    }
+  }
+
+  SimResult result;
+  result.waveforms.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t g = 0; g < n; ++g) {
+    result.waveforms.emplace_back(value[static_cast<std::size_t>(g)]);
+  }
+  result.horizon = static_cast<SimTime>(vectors.size()) * options.vector_period;
+
+  std::priority_queue<Event, std::vector<Event>, EventLater> events;
+  std::vector<int> last_scheduled = value;
+  std::vector<SimTime> dirty_mark(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> dirty;
+
+  // Input changes for vectors 1..end.
+  for (std::size_t k = 1; k < vectors.size(); ++k) {
+    const SimTime t = static_cast<SimTime>(k) * options.vector_period;
+    for (std::size_t i = 0; i < pis.size(); ++i) {
+      events.push(Event{t, pis[i], vectors[k][i]});
+    }
+  }
+
+  while (!events.empty()) {
+    const SimTime t = events.top().time;
+    dirty.clear();
+    // Apply the whole time step, then evaluate affected gates once.
+    while (!events.empty() && events.top().time == t) {
+      const Event ev = events.top();
+      events.pop();
+      const auto g = static_cast<std::size_t>(ev.gate);
+      ++result.total_events;
+      if (value[g] == ev.value) continue;
+      value[g] = ev.value;
+      result.waveforms[g].add_toggle(t);
+      for (std::int32_t consumer : fanouts[g]) {
+        if (dirty_mark[static_cast<std::size_t>(consumer)] != t) {
+          dirty_mark[static_cast<std::size_t>(consumer)] = t;
+          dirty.push_back(consumer);
+        }
+      }
+    }
+    for (std::int32_t g : dirty) {
+      const int nv = eval_gate(g);
+      if (nv != last_scheduled[static_cast<std::size_t>(g)]) {
+        last_scheduled[static_cast<std::size_t>(g)] = nv;
+        events.push(Event{t + options.gate_delay, g, nv});
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace lrsizer::sim

@@ -1,0 +1,24 @@
+// VCD (Value Change Dump) export of simulated waveforms, viewable in
+// GTKWave and friends. Useful for debugging switching-similarity results:
+// wires the flow placed on adjacent tracks should visibly toggle together.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "netlist/logic_netlist.hpp"
+#include "sim/simulator.hpp"
+
+namespace lrsizer::sim {
+
+/// Write all net waveforms of `result` as a VCD file. Net names come from
+/// the logic netlist; `timescale` labels one simulator tick.
+void write_vcd(const netlist::LogicNetlist& netlist, const SimResult& result,
+               std::ostream& out, const std::string& timescale = "1ps");
+
+std::string to_vcd_string(const netlist::LogicNetlist& netlist,
+                          const SimResult& result,
+                          const std::string& timescale = "1ps");
+
+}  // namespace lrsizer::sim

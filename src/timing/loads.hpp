@@ -1,0 +1,51 @@
+// Downstream capacitance passes (paper §2.1 circuit model + §4 coupling).
+//
+// Stage-local Elmore load model: a gate's input capacitance terminates its
+// fanin stage; a wire's π-model puts (ĉx+f)/2 at each end. For every node i
+// we compute, in one reverse-topological sweep:
+//
+//   cap_delay[i]  = C_i   — everything downstream of r_i, including the
+//                           wire's own output half ("self-loading") and the
+//                           wire's coupling capacitance; drives D_i = r_i·C_i.
+//   cap_prime[i]  = C'_i  — C_i with all x_i-proportional terms removed and
+//                           the neighbor-size coupling Σ ĉ_ij·x_j removed
+//                           (Theorem 5 adds that term explicitly).
+//   load_in[i]    = the capacitance component i presents to its parent.
+//
+// CouplingLoadMode selects whether a wire's coupling capacitance is charged
+// only to the victim wire's own delay (kLocalOnly — matches Theorem 5's
+// resize rule exactly) or also propagates into upstream loads
+// (kPropagateUpstream — physical ground-cap approximation; compared in
+// bench_ablation). See DESIGN.md §5.
+#pragma once
+
+#include <vector>
+
+#include "layout/neighbors.hpp"
+#include "netlist/circuit.hpp"
+
+namespace lrsizer::timing {
+
+enum class CouplingLoadMode {
+  kLocalOnly,
+  kPropagateUpstream,
+};
+
+struct LoadAnalysis {
+  std::vector<double> cap_delay;
+  std::vector<double> cap_prime;
+  std::vector<double> load_in;
+
+  void resize(std::size_t n) {
+    cap_delay.assign(n, 0.0);
+    cap_prime.assign(n, 0.0);
+    load_in.assign(n, 0.0);
+  }
+};
+
+/// One reverse-topological sweep; O(|V| + |E| + |pairs|).
+void compute_loads(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
+                   const std::vector<double>& x, CouplingLoadMode mode,
+                   LoadAnalysis& out);
+
+}  // namespace lrsizer::timing

@@ -1,0 +1,90 @@
+#include "timing/paths.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/assert.hpp"
+
+namespace lrsizer::timing {
+
+namespace {
+
+struct Frontier {
+  double bound;       // delay so far + longest completion from tail
+  double delay_sofar; // Σ D over nodes so far (including tail)
+  bool completed;     // tail connects to the sink; bound == delay_sofar
+  std::vector<netlist::NodeId> nodes;
+};
+
+struct FrontierWorse {
+  bool operator()(const Frontier& a, const Frontier& b) const {
+    return a.bound < b.bound;  // max-heap on the bound
+  }
+};
+
+}  // namespace
+
+std::vector<TimedPath> top_k_paths(const netlist::Circuit& circuit,
+                                   const ArrivalAnalysis& arrivals, int k) {
+  LRSIZER_ASSERT(k >= 1);
+  using netlist::NodeId;
+  const NodeId sink = circuit.sink();
+  const auto n = static_cast<std::size_t>(circuit.num_nodes());
+  LRSIZER_ASSERT(arrivals.delay.size() == n);
+
+  // Longest completion from v to the sink, *excluding* v's own delay
+  // (computed over v's successors). Reverse-topological pass.
+  std::vector<double> completion(n, 0.0);
+  for (NodeId v = sink - 1; v >= 1; --v) {
+    double best = 0.0;
+    for (NodeId o : circuit.outputs(v)) {
+      if (o == sink) {
+        best = std::max(best, 0.0);
+      } else {
+        best = std::max(best,
+                        arrivals.delay[static_cast<std::size_t>(o)] +
+                            completion[static_cast<std::size_t>(o)]);
+      }
+    }
+    completion[static_cast<std::size_t>(v)] = best;
+  }
+
+  std::priority_queue<Frontier, std::vector<Frontier>, FrontierWorse> frontier;
+  for (NodeId d : circuit.outputs(circuit.source())) {
+    const auto i = static_cast<std::size_t>(d);
+    frontier.push(
+        Frontier{arrivals.delay[i] + completion[i], arrivals.delay[i], false, {d}});
+  }
+
+  // Completed paths are re-queued with their exact delay as the bound, so
+  // everything (partial and complete) pops in descending order of the best
+  // total delay it can still achieve — the first K completed pops are the
+  // K longest paths.
+  std::vector<TimedPath> result;
+  while (!frontier.empty() && static_cast<int>(result.size()) < k) {
+    Frontier top = frontier.top();
+    frontier.pop();
+    if (top.completed) {
+      result.push_back(TimedPath{std::move(top.nodes), top.delay_sofar});
+      continue;
+    }
+    const NodeId tail = top.nodes.back();
+    for (NodeId o : circuit.outputs(tail)) {
+      if (o == sink) {
+        frontier.push(Frontier{top.delay_sofar, top.delay_sofar, true, top.nodes});
+        continue;
+      }
+      Frontier next;
+      const auto i = static_cast<std::size_t>(o);
+      next.delay_sofar = top.delay_sofar + arrivals.delay[i];
+      next.bound = next.delay_sofar + completion[i];
+      next.completed = false;
+      next.nodes = top.nodes;
+      next.nodes.push_back(o);
+      frontier.push(std::move(next));
+    }
+  }
+  return result;
+}
+
+}  // namespace lrsizer::timing

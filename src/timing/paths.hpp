@@ -1,0 +1,33 @@
+// Top-K longest paths through the circuit DAG.
+//
+// Best-first search over partial paths with a perfect admissible heuristic:
+// a partial path ending at node v is ranked by
+//   (delay accumulated so far) + (longest completion from v to the sink),
+// where the completion bound comes from one reverse-topological pass. With
+// a perfect heuristic, paths pop off the frontier in exact descending
+// total-delay order, so the first K pops are the K longest paths —
+// O(K · depth · fanout · log frontier) without enumerating the whole
+// exponential path set.
+//
+// Used by the timing report and for verifying that the arrival-time
+// reformulation (problem PP) really covers the dominant paths.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "timing/arrival.hpp"
+
+namespace lrsizer::timing {
+
+struct TimedPath {
+  std::vector<netlist::NodeId> nodes;  ///< driver .. primary-output component
+  double delay_s = 0.0;                ///< Σ D_i over the nodes
+};
+
+/// The `k` longest source→sink paths (fewer if the circuit has fewer).
+/// `arrivals` must correspond to the current sizes.
+std::vector<TimedPath> top_k_paths(const netlist::Circuit& circuit,
+                                   const ArrivalAnalysis& arrivals, int k);
+
+}  // namespace lrsizer::timing

@@ -1,0 +1,56 @@
+#include "timing/slack.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace lrsizer::timing {
+
+void compute_slacks(const netlist::Circuit& circuit, const ArrivalAnalysis& arrivals,
+                    double delay_bound_s, SlackAnalysis& out) {
+  using netlist::NodeId;
+  const auto n = static_cast<std::size_t>(circuit.num_nodes());
+  LRSIZER_ASSERT(arrivals.arrival.size() == n);
+  LRSIZER_ASSERT(delay_bound_s > 0.0);
+
+  const double inf = std::numeric_limits<double>::infinity();
+  out.required.assign(n, inf);
+  out.slack.assign(n, inf);
+
+  const NodeId sink = circuit.sink();
+  out.required[static_cast<std::size_t>(sink)] = delay_bound_s;
+
+  // Reverse topological sweep: req_j = min over consumers i of
+  // (req_i - D_i); consumers include the sink (D = 0 there).
+  for (NodeId v = sink - 1; v >= 1; --v) {
+    const auto i = static_cast<std::size_t>(v);
+    double req = inf;
+    for (NodeId consumer : circuit.outputs(v)) {
+      const auto c = static_cast<std::size_t>(consumer);
+      const double d = consumer == sink ? 0.0 : arrivals.delay[c];
+      req = std::min(req, out.required[c] - d);
+    }
+    out.required[i] = req;
+    out.slack[i] = req - arrivals.arrival[i];
+  }
+
+  out.worst_slack = inf;
+  for (NodeId v = 1; v < sink; ++v) {
+    out.worst_slack = std::min(out.worst_slack, out.slack[static_cast<std::size_t>(v)]);
+  }
+}
+
+std::vector<netlist::NodeId> nodes_by_criticality(const netlist::Circuit& circuit,
+                                                  const SlackAnalysis& slacks) {
+  std::vector<netlist::NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(circuit.num_nodes()));
+  for (netlist::NodeId v = 1; v < circuit.sink(); ++v) nodes.push_back(v);
+  std::stable_sort(nodes.begin(), nodes.end(), [&](netlist::NodeId a, netlist::NodeId b) {
+    return slacks.slack[static_cast<std::size_t>(a)] <
+           slacks.slack[static_cast<std::size_t>(b)];
+  });
+  return nodes;
+}
+
+}  // namespace lrsizer::timing

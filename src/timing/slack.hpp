@@ -1,0 +1,33 @@
+// Required times and slacks: the backward counterpart of compute_arrivals.
+//
+//   req_i = min over consumers of (req_consumer − D_consumer); req at the
+//   sink inputs is the delay bound A0.
+//   slack_i = req_i − a_i.
+//
+// Negative slack marks nodes on paths violating the bound; zero slack (with
+// a tight bound) marks the critical path(s). Used by the timing report, the
+// TILOS baseline (which upsizes the most negative-slack path), and tests.
+#pragma once
+
+#include <vector>
+
+#include "netlist/circuit.hpp"
+#include "timing/arrival.hpp"
+
+namespace lrsizer::timing {
+
+struct SlackAnalysis {
+  std::vector<double> required;  ///< req_i per node
+  std::vector<double> slack;     ///< req_i − a_i per node
+  double worst_slack = 0.0;      ///< min over components
+};
+
+/// One reverse-topological sweep; O(|V| + |E|).
+void compute_slacks(const netlist::Circuit& circuit, const ArrivalAnalysis& arrivals,
+                    double delay_bound_s, SlackAnalysis& out);
+
+/// Nodes sorted by ascending slack (most critical first); ties by node id.
+std::vector<netlist::NodeId> nodes_by_criticality(const netlist::Circuit& circuit,
+                                                  const SlackAnalysis& slacks);
+
+}  // namespace lrsizer::timing

@@ -1,0 +1,30 @@
+#include "timing/upstream.hpp"
+
+#include "util/assert.hpp"
+
+namespace lrsizer::timing {
+
+void compute_weighted_upstream(const netlist::Circuit& circuit,
+                               const std::vector<double>& x,
+                               const std::vector<double>& mu,
+                               std::vector<double>& r_up) {
+  using netlist::NodeId;
+
+  const auto n = static_cast<std::size_t>(circuit.num_nodes());
+  LRSIZER_ASSERT(x.size() == n);
+  LRSIZER_ASSERT(mu.size() == n);
+  r_up.assign(n, 0.0);
+
+  for (NodeId v = 1; v < circuit.sink(); ++v) {
+    double acc = 0.0;
+    for (NodeId p : circuit.inputs(v)) {
+      if (p == circuit.source()) continue;  // drivers: nothing upstream
+      const auto pi = static_cast<std::size_t>(p);
+      acc += mu[pi] * circuit.resistance(p, x[pi]);
+      if (circuit.is_wire(p)) acc += r_up[pi];
+    }
+    r_up[static_cast<std::size_t>(v)] = acc;
+  }
+}
+
+}  // namespace lrsizer::timing

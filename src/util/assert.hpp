@@ -1,0 +1,34 @@
+// Checked assertions that stay on in release builds.
+//
+// The sizing engine is an optimization code: silent invariant violations turn
+// into subtly wrong multipliers and sizes rather than crashes, so we keep the
+// checks enabled in every build type. The cost is negligible next to the
+// O(|E|) passes the algorithms run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lrsizer::util {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "lrsizer assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace lrsizer::util
+
+// LRSIZER_ASSERT(cond) / LRSIZER_ASSERT_MSG(cond, "context"): abort with
+// location info when `cond` is false. Macro (not a function) so that the
+// failing expression text is captured.
+#define LRSIZER_ASSERT(cond)                                                \
+  do {                                                                      \
+    if (!(cond)) ::lrsizer::util::assert_fail(#cond, __FILE__, __LINE__, nullptr); \
+  } while (false)
+
+#define LRSIZER_ASSERT_MSG(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond)) ::lrsizer::util::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

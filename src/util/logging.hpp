@@ -1,0 +1,50 @@
+// Minimal leveled logger writing to stderr.
+//
+// The library itself logs sparingly (convergence traces at kDebug); benches
+// and examples raise the level for progress reporting. No global mutable
+// state other than the level, which is process-wide by design (it is a
+// diagnostic knob, not program data).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lrsizer::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kSilent = 4 };
+
+/// Process-wide minimum level that is actually emitted.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Emit one line at `level` (no newline needed in `message`).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream(LogLevel::kDebug); }
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() { return detail::LogStream(LogLevel::kError); }
+
+}  // namespace lrsizer::util

@@ -1,0 +1,32 @@
+#include "util/memtrack.hpp"
+
+namespace lrsizer::util {
+
+void MemoryTracker::add(const std::string& category, std::size_t bytes) {
+  for (auto& [name, sum] : categories_) {
+    if (name == category) {
+      sum += bytes;
+      return;
+    }
+  }
+  categories_.emplace_back(category, bytes);
+}
+
+std::size_t MemoryTracker::category_bytes(const std::string& category) const {
+  for (const auto& [name, sum] : categories_) {
+    if (name == category) return sum;
+  }
+  return 0;
+}
+
+std::size_t MemoryTracker::tracked_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, sum] : categories_) total += sum;
+  return total;
+}
+
+std::size_t MemoryTracker::total_bytes() const { return kBaseBytes + tracked_bytes(); }
+
+void MemoryTracker::clear() { categories_.clear(); }
+
+}  // namespace lrsizer::util

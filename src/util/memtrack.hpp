@@ -1,0 +1,53 @@
+// Structure-level memory accounting for the Table 1 "mem" column and
+// Figure 10(a).
+//
+// The paper reports the process footprint of a C program on a 1996 SPARC.
+// We reproduce the *shape* (base + linear-in-|V|+|E| growth) by summing the
+// actual byte footprint of every major data structure through an explicit
+// tracker object, plus a fixed base representing the process/runtime
+// overhead. Callers register named categories; `total_bytes()` is what the
+// benches report.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lrsizer::util {
+
+class MemoryTracker {
+ public:
+  /// Fixed overhead charged to every report; mirrors the ~0.9 MB base the
+  /// paper's Figure 10(a) shows at tiny circuit sizes.
+  static constexpr std::size_t kBaseBytes = 900 * 1024;
+
+  /// Add `bytes` under `category`, creating the category if needed.
+  void add(const std::string& category, std::size_t bytes);
+
+  /// Bytes accumulated for one category (0 if absent).
+  std::size_t category_bytes(const std::string& category) const;
+
+  /// Sum over categories plus the fixed base.
+  std::size_t total_bytes() const;
+
+  /// Sum over categories only (no base); useful for linearity fits.
+  std::size_t tracked_bytes() const;
+
+  const std::vector<std::pair<std::string, std::size_t>>& categories() const {
+    return categories_;
+  }
+
+  void clear();
+
+ private:
+  std::vector<std::pair<std::string, std::size_t>> categories_;
+};
+
+/// Byte footprint of a vector's heap allocation.
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+}  // namespace lrsizer::util

@@ -1,0 +1,83 @@
+// Deterministic random number generation.
+//
+// All stochastic pieces of the library (circuit generator, test patterns,
+// geometry assignment) take an explicit seed so every experiment is exactly
+// reproducible across runs and platforms. We use xoshiro256** seeded through
+// splitmix64 — fixed algorithms, unlike std::mt19937's distributions whose
+// results may vary across standard library implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace lrsizer::util {
+
+/// splitmix64: used to spread a user seed into xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna; public-domain reference algorithm.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) {
+    LRSIZER_ASSERT(lo <= hi);
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Uniform integer in [0, n). n must be positive.
+  std::uint64_t next_below(std::uint64_t n) {
+    LRSIZER_ASSERT(n > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t v = next_u64();
+    while (v >= limit) v = next_u64();
+    return v % n;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int uniform_int(int lo, int hi) {
+    LRSIZER_ASSERT(lo <= hi);
+    return lo + static_cast<int>(next_below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return next_double() < p; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace lrsizer::util

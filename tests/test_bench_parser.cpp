@@ -1,0 +1,128 @@
+// ISCAS85 .bench parser: happy path (c17), formats, and error reporting.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/logic_netlist.hpp"
+
+namespace {
+
+using namespace lrsizer;
+using netlist::LogicOp;
+
+TEST(BenchParser, ParsesC17) {
+  const auto n = netlist::parse_bench_string(netlist::kIscas85C17);
+  EXPECT_EQ(n.primary_inputs().size(), 5u);
+  EXPECT_EQ(n.primary_outputs().size(), 2u);
+  EXPECT_EQ(n.num_real_gates(), 6);
+  EXPECT_EQ(n.depth(), 3);  // c17's longest path is 3 NAND levels
+}
+
+TEST(BenchParser, C17GateTypesAreNand) {
+  const auto n = netlist::parse_bench_string(netlist::kIscas85C17);
+  int nands = 0;
+  for (const auto& g : n.gates()) {
+    if (g.op == LogicOp::kNand) ++nands;
+  }
+  EXPECT_EQ(nands, 6);
+}
+
+TEST(BenchParser, HandlesForwardReferences) {
+  // out is defined before its fanin.
+  const auto n = netlist::parse_bench_string(
+      "INPUT(a)\nOUTPUT(out)\nout = NOT(mid)\nmid = BUF(a)\n");
+  EXPECT_EQ(n.num_real_gates(), 2);
+  EXPECT_EQ(n.depth(), 2);
+}
+
+TEST(BenchParser, AllGateTypes) {
+  const auto n = netlist::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\n"
+      "OUTPUT(o1)\nOUTPUT(o2)\nOUTPUT(o3)\nOUTPUT(o4)\n"
+      "OUTPUT(o5)\nOUTPUT(o6)\nOUTPUT(o7)\nOUTPUT(o8)\n"
+      "o1 = AND(a, b)\no2 = NAND(a, b)\no3 = OR(a, b)\no4 = NOR(a, b)\n"
+      "o5 = XOR(a, b)\no6 = XNOR(a, b)\no7 = NOT(a)\no8 = BUFF(b)\n");
+  const LogicOp expected[] = {LogicOp::kAnd, LogicOp::kNand, LogicOp::kOr,
+                              LogicOp::kNor, LogicOp::kXor, LogicOp::kXnor,
+                              LogicOp::kNot, LogicOp::kBuf};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(n.gate(2 + i).op, expected[i]) << "gate " << i;
+  }
+}
+
+TEST(BenchParser, CommentsAndBlankLines) {
+  const auto n = netlist::parse_bench_string(
+      "# header comment\n\nINPUT(x)  # trailing comment\n\nOUTPUT(y)\n"
+      "y = NOT(x)\n");
+  EXPECT_EQ(n.num_real_gates(), 1);
+}
+
+TEST(BenchParser, CaseInsensitiveOps) {
+  const auto n = netlist::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = nand(a, b)\n");
+  EXPECT_EQ(n.gate(2).op, LogicOp::kNand);
+}
+
+TEST(BenchParser, SingleInputAndDegeneratesToBuf) {
+  const auto n =
+      netlist::parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a)\n");
+  EXPECT_EQ(n.gate(1).op, LogicOp::kBuf);
+}
+
+TEST(BenchParser, SingleInputNandDegeneratesToNot) {
+  const auto n =
+      netlist::parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = NAND(a)\n");
+  EXPECT_EQ(n.gate(1).op, LogicOp::kNot);
+}
+
+TEST(BenchParser, ErrorUnknownOp) {
+  EXPECT_THROW(
+      netlist::parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n"),
+      netlist::BenchParseError);
+}
+
+TEST(BenchParser, ErrorUndefinedSignal) {
+  try {
+    netlist::parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(ghost)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const netlist::BenchParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("ghost"), std::string::npos);
+  }
+}
+
+TEST(BenchParser, ErrorDoubleDefinition) {
+  EXPECT_THROW(netlist::parse_bench_string(
+                   "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"),
+               netlist::BenchParseError);
+}
+
+TEST(BenchParser, ErrorCombinationalCycle) {
+  EXPECT_THROW(netlist::parse_bench_string(
+                   "INPUT(a)\nOUTPUT(p)\np = NOT(q)\nq = NOT(p)\n"),
+               netlist::BenchParseError);
+}
+
+TEST(BenchParser, ErrorMalformedLine) {
+  EXPECT_THROW(netlist::parse_bench_string("INPUT(a)\nOUTPUT(y)\ny NOT(a)\n"),
+               netlist::BenchParseError);
+}
+
+TEST(BenchParser, ErrorNoInputs) {
+  EXPECT_THROW(netlist::parse_bench_string("OUTPUT(y)\ny = NOT(y)\n"),
+               netlist::BenchParseError);
+}
+
+TEST(BenchParser, ErrorOutputUndefined) {
+  EXPECT_THROW(netlist::parse_bench_string("INPUT(a)\nOUTPUT(nope)\n"),
+               netlist::BenchParseError);
+}
+
+TEST(BenchParser, ErrorReportsLineNumber) {
+  try {
+    netlist::parse_bench_string("INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const netlist::BenchParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,109 @@
+// Channel assignment: level bucketing, width caps, determinism.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "layout/channels.hpp"
+#include "netlist/elaborator.hpp"
+#include "netlist/generator.hpp"
+
+namespace {
+
+using namespace lrsizer;
+
+struct Fixture {
+  netlist::LogicNetlist logic;
+  netlist::ElabResult elab;
+
+  static Fixture make(std::int32_t gates = 150, std::int32_t wires = 320,
+                      std::uint64_t seed = 3) {
+    netlist::GeneratorSpec spec;
+    spec.num_gates = gates;
+    spec.num_wires = wires;
+    spec.num_inputs = 16;
+    spec.num_outputs = 10;
+    spec.depth = 10;
+    spec.seed = seed;
+    auto logic = netlist::generate_circuit(spec);
+    auto elab = netlist::elaborate(logic, netlist::TechParams{}, spec.elab);
+    return Fixture{std::move(logic), std::move(elab)};
+  }
+};
+
+TEST(Channels, EveryWireInExactlyOneChannelOrDropped) {
+  const auto f = Fixture::make();
+  const auto assignment =
+      layout::assign_channels(f.elab.circuit, f.elab.net_of_node, f.logic);
+  std::set<netlist::NodeId> seen;
+  for (const auto& ch : assignment.channels) {
+    for (netlist::NodeId w : ch) {
+      EXPECT_TRUE(f.elab.circuit.is_wire(w));
+      EXPECT_TRUE(seen.insert(w).second) << "wire in two channels";
+    }
+  }
+  // Single-track leftovers may be merged or dropped, but the vast majority
+  // of wires must be covered.
+  EXPECT_GT(static_cast<double>(seen.size()),
+            0.9 * static_cast<double>(f.elab.circuit.num_wires()));
+}
+
+TEST(Channels, RespectsWidthCap) {
+  const auto f = Fixture::make();
+  layout::ChannelOptions options;
+  options.max_channel_width = 8;
+  const auto assignment = layout::assign_channels(f.elab.circuit, f.elab.net_of_node,
+                                                  f.logic, options);
+  for (const auto& ch : assignment.channels) {
+    EXPECT_LE(ch.size(), 9u);  // cap + possibly one merged leftover
+    EXPECT_GE(ch.size(), 2u);  // no single-track channels
+  }
+}
+
+TEST(Channels, WiresInAChannelShareALevelBand) {
+  const auto f = Fixture::make();
+  const auto assignment =
+      layout::assign_channels(f.elab.circuit, f.elab.net_of_node, f.logic);
+  for (const auto& ch : assignment.channels) {
+    std::set<std::int32_t> levels;
+    for (netlist::NodeId w : ch) {
+      levels.insert(
+          f.logic.level(f.elab.net_of_node[static_cast<std::size_t>(w)]));
+    }
+    // A channel may absorb one merged leftover from the next level split,
+    // but it never spans more than two adjacent levels.
+    EXPECT_LE(levels.size(), 2u);
+  }
+}
+
+TEST(Channels, DeterministicForSeed) {
+  const auto f = Fixture::make();
+  layout::ChannelOptions options;
+  options.seed = 77;
+  const auto a = layout::assign_channels(f.elab.circuit, f.elab.net_of_node, f.logic,
+                                         options);
+  const auto b = layout::assign_channels(f.elab.circuit, f.elab.net_of_node, f.logic,
+                                         options);
+  ASSERT_EQ(a.channels.size(), b.channels.size());
+  for (std::size_t i = 0; i < a.channels.size(); ++i) {
+    EXPECT_EQ(a.channels[i], b.channels[i]);
+  }
+}
+
+TEST(Channels, SeedShufflesPlacement) {
+  const auto f = Fixture::make();
+  layout::ChannelOptions a_opt;
+  a_opt.seed = 1;
+  layout::ChannelOptions b_opt;
+  b_opt.seed = 2;
+  const auto a = layout::assign_channels(f.elab.circuit, f.elab.net_of_node, f.logic,
+                                         a_opt);
+  const auto b = layout::assign_channels(f.elab.circuit, f.elab.net_of_node, f.logic,
+                                         b_opt);
+  bool any_diff = a.channels.size() != b.channels.size();
+  for (std::size_t i = 0; !any_diff && i < a.channels.size(); ++i) {
+    any_diff = a.channels[i] != b.channels[i];
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace

@@ -1,0 +1,146 @@
+// Synthetic circuit generator: exact counts, structure, determinism.
+#include <gtest/gtest.h>
+
+#include "netlist/elaborator.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_profiles.hpp"
+
+namespace {
+
+using namespace lrsizer;
+
+TEST(Generator, ExactGateCount) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 100;
+  spec.num_wires = 210;
+  spec.num_inputs = 12;
+  spec.num_outputs = 10;
+  const auto n = netlist::generate_circuit(spec);
+  EXPECT_EQ(n.num_real_gates(), 100);
+  EXPECT_EQ(n.primary_inputs().size(), 12u);
+  EXPECT_EQ(n.primary_outputs().size(), 10u);
+}
+
+TEST(Generator, WireCountOracleHitsTarget) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 80;
+  spec.num_wires = 170;
+  spec.num_inputs = 10;
+  spec.num_outputs = 6;
+  const auto n = netlist::generate_circuit(spec);
+  EXPECT_EQ(netlist::count_wires(n, spec.elab), spec.num_wires);
+}
+
+TEST(Generator, WireTargetHoldsAcrossSeeds) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 250;
+  spec.num_wires = 520;
+  spec.num_inputs = 25;
+  spec.num_outputs = 18;
+  spec.depth = 18;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    spec.seed = seed;
+    const auto n = netlist::generate_circuit(spec);
+    EXPECT_EQ(netlist::count_wires(n, spec.elab), spec.num_wires) << "seed " << seed;
+  }
+}
+
+TEST(Generator, EveryNetUsed) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 150;
+  spec.num_wires = 320;
+  spec.num_inputs = 20;
+  spec.num_outputs = 8;
+  spec.seed = 99;
+  const auto n = netlist::generate_circuit(spec);
+  for (std::int32_t g = 0; g < n.num_gates_logic(); ++g) {
+    EXPECT_TRUE(n.fanout_count(g) > 0 || n.is_primary_output(g))
+        << "net " << g << " unused";
+  }
+}
+
+TEST(Generator, DepthIsClose) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 200;
+  spec.num_wires = 420;
+  spec.num_inputs = 16;
+  spec.num_outputs = 8;
+  spec.depth = 15;
+  const auto n = netlist::generate_circuit(spec);
+  // The spine guarantees >= depth before repair; splicing can only deepen.
+  EXPECT_GE(n.depth(), 15);
+  EXPECT_LE(n.depth(), 15 + 6);
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 60;
+  spec.num_wires = 130;
+  spec.seed = 1234;
+  const auto a = netlist::generate_circuit(spec);
+  const auto b = netlist::generate_circuit(spec);
+  ASSERT_EQ(a.num_gates_logic(), b.num_gates_logic());
+  for (std::int32_t g = 0; g < a.num_gates_logic(); ++g) {
+    EXPECT_EQ(a.gate(g).op, b.gate(g).op);
+    EXPECT_EQ(a.gate(g).fanin, b.gate(g).fanin);
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 60;
+  spec.num_wires = 130;
+  spec.seed = 1;
+  const auto a = netlist::generate_circuit(spec);
+  spec.seed = 2;
+  const auto b = netlist::generate_circuit(spec);
+  bool any_diff = false;
+  for (std::int32_t g = 0; g < a.num_gates_logic() && !any_diff; ++g) {
+    any_diff = a.gate(g).op != b.gate(g).op || a.gate(g).fanin != b.gate(g).fanin;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, LowFaninBudgetMakesInverterHeavyCircuit) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 100;
+  // budget = 130 -> ~70 single-input gates, ~30 two-input (the usage and
+  // wire-count repairs may shift a few pins around).
+  spec.num_wires = 130 + 8;
+  spec.num_outputs = 8;
+  const auto n = netlist::generate_circuit(spec);
+  int single = 0;
+  for (const auto& g : n.gates()) {
+    if (g.op != netlist::LogicOp::kInput && g.fanin.size() == 1) ++single;
+  }
+  EXPECT_GE(single, 55);
+  EXPECT_LE(single, 80);
+  EXPECT_EQ(netlist::count_wires(n, spec.elab), spec.num_wires);
+}
+
+TEST(Generator, ProfilesProduceExactPaperCounts) {
+  // The two smallest paper circuits (full sweep lives in the benches).
+  for (const char* name : {"c432", "c880"}) {
+    const auto& profile = netlist::iscas85_profile(name);
+    const auto spec = netlist::spec_for_profile(name, 5);
+    const auto logic = netlist::generate_circuit(spec);
+    EXPECT_EQ(logic.num_real_gates(), profile.num_gates);
+    const auto wires = netlist::count_wires(logic, netlist::ElabOptions{});
+    EXPECT_EQ(wires, profile.num_wires) << name;
+  }
+}
+
+TEST(IscasProfiles, AllTenPresentWithPaperRows) {
+  const auto& profiles = netlist::iscas85_profiles();
+  ASSERT_EQ(profiles.size(), 10u);
+  for (const auto& p : profiles) {
+    EXPECT_GT(p.num_gates, 0);
+    EXPECT_GT(p.num_wires, p.num_gates);  // paper: ~2 wires per gate
+    EXPECT_GT(p.paper.noise_init_pf, p.paper.noise_fin_pf);
+    EXPECT_GT(p.paper.area_init_um2, p.paper.area_fin_um2);
+  }
+  EXPECT_EQ(netlist::iscas85_profile("c7552").num_gates, 3512);
+  EXPECT_EQ(netlist::iscas85_profile("c7552").num_wires, 6144);
+}
+
+}  // namespace

@@ -1,0 +1,186 @@
+// OGWS: convergence, feasibility, optimality vs brute force, weak duality.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ogws.hpp"
+#include "core/problem.hpp"
+#include "test_helpers.hpp"
+#include "timing/metrics.hpp"
+
+namespace {
+
+using namespace lrsizer;
+using lrsizer::test_support::ChainCircuit;
+using lrsizer::test_support::Fig1Circuit;
+
+constexpr auto kMode = timing::CouplingLoadMode::kLocalOnly;
+
+struct Problem {
+  netlist::Circuit circuit;
+  layout::CouplingSet coupling;
+  core::Bounds bounds;
+};
+
+Problem chain_problem(const core::BoundFactors& factors) {
+  auto c = ChainCircuit::make();
+  c.circuit.set_uniform_size(1.0);
+  auto coupling = test_support::no_coupling(c.circuit);
+  const auto bounds =
+      core::derive_bounds(c.circuit, coupling, c.circuit.sizes(), kMode, factors);
+  return Problem{std::move(c.circuit), std::move(coupling), bounds};
+}
+
+Problem fig1_problem(const core::BoundFactors& factors) {
+  auto f = Fig1Circuit::make();
+  f.circuit.set_uniform_size(1.0);
+  auto coupling = f.make_coupling();
+  const auto bounds =
+      core::derive_bounds(f.circuit, coupling, f.circuit.sizes(), kMode, factors);
+  return Problem{std::move(f.circuit), std::move(coupling), bounds};
+}
+
+TEST(Ogws, ConvergesOnFig1) {
+  auto p = fig1_problem(core::BoundFactors{});
+  const auto result = core::run_ogws(p.circuit, p.coupling, p.bounds);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.max_violation, 0.011);
+  EXPECT_LE(result.rel_gap, 0.011);
+}
+
+TEST(Ogws, SolutionIsFeasible) {
+  auto p = fig1_problem(core::BoundFactors{});
+  const auto result = core::run_ogws(p.circuit, p.coupling, p.bounds);
+  const auto m = timing::compute_metrics(p.circuit, p.coupling, result.sizes, kMode);
+  EXPECT_LE(m.delay_s, p.bounds.delay_s * 1.02);
+  EXPECT_LE(m.cap_f, p.bounds.cap_f * 1.02);
+  EXPECT_LE(m.noise_f, p.bounds.noise_f * 1.02);
+}
+
+TEST(Ogws, SizesWithinBox) {
+  auto p = fig1_problem(core::BoundFactors{});
+  const auto result = core::run_ogws(p.circuit, p.coupling, p.bounds);
+  for (netlist::NodeId v = p.circuit.first_component(); v < p.circuit.end_component();
+       ++v) {
+    EXPECT_GE(result.sizes[static_cast<std::size_t>(v)],
+              p.circuit.lower_bound(v) - 1e-12);
+    EXPECT_LE(result.sizes[static_cast<std::size_t>(v)],
+              p.circuit.upper_bound(v) + 1e-12);
+  }
+}
+
+TEST(Ogws, MatchesBruteForceOnChain) {
+  // 3 sized components: exhaustive grid search is the ground truth.
+  core::BoundFactors factors;
+  factors.delay = 0.9;
+  factors.power = 0.5;
+  factors.noise = 0.5;  // noise trivially satisfied (no coupling pairs)
+  auto p = chain_problem(factors);
+
+  // Log-spaced grid over [0.1, 10].
+  const int steps = 24;
+  std::vector<double> grid(steps);
+  for (int k = 0; k < steps; ++k) {
+    grid[static_cast<std::size_t>(k)] =
+        0.1 * std::pow(100.0, static_cast<double>(k) / (steps - 1));
+  }
+  auto x = p.circuit.sizes();
+  double best_area = 1e300;
+  const netlist::NodeId c0 = p.circuit.first_component();
+  for (double a : grid) {
+    for (double b : grid) {
+      for (double c : grid) {
+        x[static_cast<std::size_t>(c0)] = a;
+        x[static_cast<std::size_t>(c0 + 1)] = b;
+        x[static_cast<std::size_t>(c0 + 2)] = c;
+        const auto m = timing::compute_metrics(p.circuit, p.coupling, x, kMode);
+        if (m.delay_s <= p.bounds.delay_s && m.cap_f <= p.bounds.cap_f) {
+          best_area = std::min(best_area, m.area_um2);
+        }
+      }
+    }
+  }
+  ASSERT_LT(best_area, 1e299) << "grid found no feasible point";
+
+  core::OgwsOptions options;
+  options.max_iterations = 600;
+  const auto result = core::run_ogws(p.circuit, p.coupling, p.bounds, options);
+  const auto m = timing::compute_metrics(p.circuit, p.coupling, result.sizes, kMode);
+  EXPECT_LE(m.delay_s, p.bounds.delay_s * 1.02);
+  // Within 10% of the exhaustive optimum (grid resolution + 1% tolerance).
+  EXPECT_LE(m.area_um2, best_area * 1.10);
+  // Weak duality: the dual value never exceeds a feasible primal area.
+  EXPECT_LE(result.dual, best_area * 1.02);
+}
+
+TEST(Ogws, NoiseConstraintIsActiveAtTenPercent) {
+  // The Table 1 shape: with X0 = 0.1 × init, the noise bound binds and the
+  // final noise sits at the bound.
+  auto p = fig1_problem(core::BoundFactors{});
+  const auto result = core::run_ogws(p.circuit, p.coupling, p.bounds);
+  const auto m = timing::compute_metrics(p.circuit, p.coupling, result.sizes, kMode);
+  EXPECT_LE(m.noise_f, p.bounds.noise_f * 1.02);
+  EXPECT_GE(m.noise_f, p.bounds.noise_f * 0.5);  // not far below: bound binds
+}
+
+TEST(Ogws, LooserNoiseBoundNeverIncreasesArea) {
+  core::BoundFactors tight;
+  tight.noise = 0.10;
+  core::BoundFactors loose;
+  loose.noise = 0.80;
+  auto pt = fig1_problem(tight);
+  auto pl = fig1_problem(loose);
+  const auto rt = core::run_ogws(pt.circuit, pt.coupling, pt.bounds);
+  const auto rl = core::run_ogws(pl.circuit, pl.coupling, pl.bounds);
+  const auto mt = timing::compute_metrics(pt.circuit, pt.coupling, rt.sizes, kMode);
+  const auto ml = timing::compute_metrics(pl.circuit, pl.coupling, rl.sizes, kMode);
+  EXPECT_LE(ml.area_um2, mt.area_um2 * 1.05);
+}
+
+TEST(Ogws, TighterDelayBoundCostsArea) {
+  core::BoundFactors relaxed;
+  relaxed.delay = 1.3;
+  core::BoundFactors tight;
+  tight.delay = 0.8;
+  auto pr = fig1_problem(relaxed);
+  auto pt = fig1_problem(tight);
+  const auto rr = core::run_ogws(pr.circuit, pr.coupling, pr.bounds);
+  const auto rt = core::run_ogws(pt.circuit, pt.coupling, pt.bounds);
+  const auto mr = timing::compute_metrics(pr.circuit, pr.coupling, rr.sizes, kMode);
+  const auto mt = timing::compute_metrics(pt.circuit, pt.coupling, rt.sizes, kMode);
+  EXPECT_GE(mt.area_um2, mr.area_um2 * 0.999);
+}
+
+TEST(Ogws, DeterministicAcrossRuns) {
+  auto p = fig1_problem(core::BoundFactors{});
+  const auto a = core::run_ogws(p.circuit, p.coupling, p.bounds);
+  const auto b = core::run_ogws(p.circuit, p.coupling, p.bounds);
+  ASSERT_EQ(a.sizes.size(), b.sizes.size());
+  for (std::size_t i = 0; i < a.sizes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sizes[i], b.sizes[i]);
+  }
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(Ogws, HistoryRecordsEveryIteration) {
+  auto p = fig1_problem(core::BoundFactors{});
+  core::OgwsOptions options;
+  options.record_history = true;
+  const auto result = core::run_ogws(p.circuit, p.coupling, p.bounds, options);
+  ASSERT_EQ(result.history.size(), static_cast<std::size_t>(result.iterations));
+  for (std::size_t k = 0; k < result.history.size(); ++k) {
+    EXPECT_EQ(result.history[k].k, static_cast<int>(k) + 1);
+    EXPECT_GT(result.history[k].area, 0.0);
+    EXPECT_GE(result.history[k].seconds, 0.0);
+  }
+  EXPECT_GT(result.workspace_bytes, 0u);
+}
+
+TEST(Ogws, DualNeverExceedsFinalAreaMuch) {
+  // Weak duality at the returned iterate (gap tolerance applies).
+  auto p = fig1_problem(core::BoundFactors{});
+  const auto result = core::run_ogws(p.circuit, p.coupling, p.bounds);
+  EXPECT_LE(result.dual, result.area * 1.02);
+}
+
+}  // namespace

@@ -1,0 +1,149 @@
+// OGWS variants: the literal additive subgradient rule, coupling-load
+// modes, differentiated gates, and a bound-factor sweep against exhaustive
+// grid search on the chain circuit.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/flow.hpp"
+#include "core/ogws.hpp"
+#include "core/problem.hpp"
+#include "netlist/generator.hpp"
+#include "test_helpers.hpp"
+#include "timing/metrics.hpp"
+
+namespace {
+
+using namespace lrsizer;
+using lrsizer::test_support::ChainCircuit;
+using lrsizer::test_support::Fig1Circuit;
+
+constexpr auto kMode = timing::CouplingLoadMode::kLocalOnly;
+
+TEST(OgwsVariants, AdditiveSubgradientReachesFeasibility) {
+  auto f = Fig1Circuit::make();
+  f.circuit.set_uniform_size(1.0);
+  const auto coupling = f.make_coupling();
+  const auto bounds = core::derive_bounds(f.circuit, coupling, f.circuit.sizes(),
+                                          kMode, core::BoundFactors{});
+  core::OgwsOptions options;
+  options.step_rule = core::StepRule::kSubgradient;
+  options.step0 = 0.25;
+  options.max_iterations = 400;
+  const auto result = core::run_ogws(f.circuit, coupling, bounds, options);
+  EXPECT_LE(result.max_violation, 0.02);
+  const auto m = timing::compute_metrics(f.circuit, coupling, result.sizes, kMode);
+  EXPECT_LE(m.noise_f, bounds.noise_f * 1.02);
+}
+
+TEST(OgwsVariants, BothRulesAgreeOnTheOptimum) {
+  auto f = Fig1Circuit::make();
+  f.circuit.set_uniform_size(1.0);
+  const auto coupling = f.make_coupling();
+  const auto bounds = core::derive_bounds(f.circuit, coupling, f.circuit.sizes(),
+                                          kMode, core::BoundFactors{});
+  core::OgwsOptions mult;
+  core::OgwsOptions sub;
+  sub.step_rule = core::StepRule::kSubgradient;
+  sub.step0 = 0.25;
+  sub.max_iterations = 500;
+  const auto a = core::run_ogws(f.circuit, coupling, bounds, mult);
+  const auto b = core::run_ogws(f.circuit, coupling, bounds, sub);
+  const auto ma = timing::compute_metrics(f.circuit, coupling, a.sizes, kMode);
+  const auto mb = timing::compute_metrics(f.circuit, coupling, b.sizes, kMode);
+  // The convex problem has one optimum; both searches must land within the
+  // combined tolerance of it.
+  EXPECT_NEAR(ma.area_um2, mb.area_um2, 0.06 * ma.area_um2);
+}
+
+TEST(OgwsVariants, PropagateUpstreamModeConvergesAndIsFeasible) {
+  auto f = Fig1Circuit::make();
+  f.circuit.set_uniform_size(1.0);
+  const auto coupling = f.make_coupling();
+  core::BoundFactors factors;
+  factors.delay = 1.1;  // the heavier load model needs a little slack
+  core::OgwsOptions options;
+  options.lrs.mode = timing::CouplingLoadMode::kPropagateUpstream;
+  const auto bounds = core::derive_bounds(f.circuit, coupling, f.circuit.sizes(),
+                                          options.lrs.mode, factors);
+  const auto result = core::run_ogws(f.circuit, coupling, bounds, options);
+  EXPECT_LE(result.max_violation, 0.02);
+  const auto m = timing::compute_metrics(f.circuit, coupling, result.sizes,
+                                         options.lrs.mode);
+  EXPECT_LE(m.delay_s, bounds.delay_s * 1.02);
+}
+
+TEST(OgwsVariants, FlowWithDifferentiatedGates) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 100;
+  spec.num_wires = 220;
+  spec.num_inputs = 12;
+  spec.num_outputs = 8;
+  spec.seed = 15;
+  const auto logic = netlist::generate_circuit(spec);
+  core::FlowOptions options;
+  options.elab.differentiate_gate_types = true;
+  const auto flow = core::run_two_stage_flow(logic, options);
+  EXPECT_LE(flow.ogws.max_violation, 0.03);
+  EXPECT_LT(flow.final_metrics.area_um2, flow.init_metrics.area_um2);
+  // Differentiated gates are heavier on average than the uniform model.
+  core::FlowOptions uniform = options;
+  uniform.elab.differentiate_gate_types = false;
+  const auto base = core::run_two_stage_flow(logic, uniform);
+  EXPECT_GT(flow.init_metrics.area_um2, base.init_metrics.area_um2);
+}
+
+// Bound-factor sweep vs exhaustive grid search on the 3-component chain.
+class ChainBruteForce : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChainBruteForce, OgwsWithinTenPercentOfGridOptimum) {
+  const double delay_factor = GetParam();
+  auto c = ChainCircuit::make();
+  c.circuit.set_uniform_size(1.0);
+  const auto coupling = test_support::no_coupling(c.circuit);
+  core::BoundFactors factors;
+  factors.delay = delay_factor;
+  factors.power = 0.6;
+  const auto bounds =
+      core::derive_bounds(c.circuit, coupling, c.circuit.sizes(), kMode, factors);
+
+  const int steps = 20;
+  std::vector<double> grid(steps);
+  for (int k = 0; k < steps; ++k) {
+    grid[static_cast<std::size_t>(k)] =
+        0.1 * std::pow(100.0, static_cast<double>(k) / (steps - 1));
+  }
+  auto x = c.circuit.sizes();
+  const netlist::NodeId c0 = c.circuit.first_component();
+  double best = 1e300;
+  for (double a : grid) {
+    for (double b : grid) {
+      for (double d : grid) {
+        x[static_cast<std::size_t>(c0)] = a;
+        x[static_cast<std::size_t>(c0 + 1)] = b;
+        x[static_cast<std::size_t>(c0 + 2)] = d;
+        const auto m = timing::compute_metrics(c.circuit, coupling, x, kMode);
+        if (m.delay_s <= bounds.delay_s && m.cap_f <= bounds.cap_f) {
+          best = std::min(best, m.area_um2);
+        }
+      }
+    }
+  }
+  ASSERT_LT(best, 1e299);
+
+  core::OgwsOptions options;
+  options.max_iterations = 600;
+  const auto result = core::run_ogws(c.circuit, coupling, bounds, options);
+  const auto m = timing::compute_metrics(c.circuit, coupling, result.sizes, kMode);
+  EXPECT_LE(m.delay_s, bounds.delay_s * 1.02);
+  EXPECT_LE(m.area_um2, best * 1.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(DelayFactors, ChainBruteForce,
+                         ::testing::Values(0.85, 0.95, 1.05, 1.2),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "f" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+}  // namespace

@@ -1,0 +1,143 @@
+// WOSS (paper Figure 7) vs the exhaustive optimum and random baselines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "layout/ordering.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lrsizer;
+
+layout::DenseWeights random_weights(std::int32_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> w(static_cast<std::size_t>(n) * static_cast<std::size_t>(n), 0.0);
+  for (std::int32_t a = 0; a < n; ++a) {
+    for (std::int32_t b = a + 1; b < n; ++b) {
+      const double v = rng.uniform(0.0, 2.0);  // Miller-weight range
+      w[static_cast<std::size_t>(a * n + b)] = v;
+      w[static_cast<std::size_t>(b * n + a)] = v;
+    }
+  }
+  return layout::DenseWeights(n, std::move(w));
+}
+
+TEST(Ordering, CostOfKnownSequence) {
+  // 3 wires: w(0,1)=1, w(0,2)=5, w(1,2)=2.
+  layout::DenseWeights w(3, {0, 1, 5, 1, 0, 2, 5, 2, 0});
+  EXPECT_DOUBLE_EQ(layout::ordering_cost(w, {0, 1, 2}), 3.0);
+  EXPECT_DOUBLE_EQ(layout::ordering_cost(w, {1, 0, 2}), 6.0);
+  EXPECT_DOUBLE_EQ(layout::ordering_cost(w, {0, 2, 1}), 7.0);
+}
+
+TEST(Ordering, WossIsAPermutation) {
+  const auto w = random_weights(12, 5);
+  const auto order = layout::woss_ordering(w);
+  ASSERT_EQ(order.size(), 12u);
+  std::vector<bool> seen(12, false);
+  for (std::int32_t v : order) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 12);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(Ordering, WossStartsWithGlobalMinimumEdge) {
+  // Figure 7, step A1: the chain is seeded with the min-weight edge.
+  layout::DenseWeights w(4, {0, 9, 9, 9,
+                             9, 0, 1, 9,
+                             9, 1, 0, 9,
+                             9, 9, 9, 0});
+  const auto order = layout::woss_ordering(w);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+}
+
+TEST(Ordering, WossFindsObviousChain) {
+  // Weights encode a path 0-1-2-3 with cheap links, everything else dear.
+  layout::DenseWeights w(4, {0.0, 0.1, 5.0, 5.0,
+                             0.1, 0.0, 0.2, 5.0,
+                             5.0, 0.2, 0.0, 0.3,
+                             5.0, 5.0, 0.3, 0.0});
+  const auto order = layout::woss_ordering(w);
+  EXPECT_NEAR(layout::ordering_cost(w, order), 0.6, 1e-12);
+}
+
+TEST(Ordering, BruteForceIsOptimalOnSmallInstances) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const auto w = random_weights(7, seed);
+    const auto best = layout::optimal_ordering_bruteforce(w);
+    const double best_cost = layout::ordering_cost(w, best);
+    // No random ordering may beat it.
+    for (std::uint64_t s2 = 0; s2 < 50; ++s2) {
+      const auto rnd = layout::random_ordering(7, s2);
+      EXPECT_GE(layout::ordering_cost(w, rnd), best_cost - 1e-12);
+    }
+  }
+}
+
+TEST(Ordering, WossNeverWorseThanOptimalAndOftenClose) {
+  double woss_total = 0.0;
+  double opt_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto w = random_weights(9, seed);
+    const double woss_cost = layout::ordering_cost(w, layout::woss_ordering(w));
+    const double opt_cost =
+        layout::ordering_cost(w, layout::optimal_ordering_bruteforce(w));
+    EXPECT_GE(woss_cost, opt_cost - 1e-12);  // optimum is a lower bound
+    woss_total += woss_cost;
+    opt_total += opt_cost;
+  }
+  // The greedy heuristic should be within 2x of optimal on these sizes.
+  EXPECT_LT(woss_total, 2.0 * opt_total);
+}
+
+TEST(Ordering, WossBeatsRandomOnAverage) {
+  double woss_total = 0.0;
+  double random_total = 0.0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto w = random_weights(16, seed);
+    woss_total += layout::ordering_cost(w, layout::woss_ordering(w));
+    random_total += layout::ordering_cost(w, layout::random_ordering(16, seed + 100));
+  }
+  EXPECT_LT(woss_total, random_total);
+}
+
+TEST(Ordering, EdgeCases) {
+  const auto w0 = layout::DenseWeights(0, {});
+  EXPECT_TRUE(layout::woss_ordering(w0).empty());
+  const auto w1 = layout::DenseWeights(1, {0.0});
+  EXPECT_EQ(layout::woss_ordering(w1), (std::vector<std::int32_t>{0}));
+  EXPECT_EQ(layout::optimal_ordering_bruteforce(w1), (std::vector<std::int32_t>{0}));
+  const auto w2 = layout::DenseWeights(2, {0.0, 1.0, 1.0, 0.0});
+  EXPECT_EQ(layout::woss_ordering(w2).size(), 2u);
+}
+
+TEST(Ordering, RandomOrderingIsSeededPermutation) {
+  const auto a = layout::random_ordering(20, 9);
+  const auto b = layout::random_ordering(20, 9);
+  const auto c = layout::random_ordering(20, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  std::vector<bool> seen(20, false);
+  for (std::int32_t v : a) seen[static_cast<std::size_t>(v)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Ordering, HeldKarpMatchesExhaustiveOnTiny) {
+  // Cross-check the DP against explicit enumeration for n = 5.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const auto w = random_weights(5, seed);
+    const auto dp = layout::optimal_ordering_bruteforce(w);
+    std::vector<std::int32_t> perm = {0, 1, 2, 3, 4};
+    double best = 1e99;
+    do {
+      best = std::min(best, layout::ordering_cost(w, perm));
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(layout::ordering_cost(w, dp), best, 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+// OGWS reporting helpers: CSV history export and the summary line.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "test_helpers.hpp"
+
+namespace {
+
+using namespace lrsizer;
+using lrsizer::test_support::Fig1Circuit;
+
+core::OgwsResult run_fig1() {
+  auto f = Fig1Circuit::make();
+  f.circuit.set_uniform_size(1.0);
+  const auto coupling = f.make_coupling();
+  const auto bounds =
+      core::derive_bounds(f.circuit, coupling, f.circuit.sizes(),
+                          timing::CouplingLoadMode::kLocalOnly, core::BoundFactors{});
+  return core::run_ogws(f.circuit, coupling, bounds);
+}
+
+TEST(Report, CsvHasHeaderAndOneRowPerIteration) {
+  const auto result = run_fig1();
+  std::ostringstream os;
+  core::write_history_csv(result, os);
+  const std::string csv = os.str();
+  std::size_t lines = 0;
+  for (char c : csv) lines += (c == '\n') ? 1 : 0;
+  EXPECT_EQ(lines, result.history.size() + 1);
+  EXPECT_EQ(csv.rfind("k,area_um2,", 0), 0u);
+  EXPECT_NE(csv.find("\n1,"), std::string::npos);  // first iteration row
+}
+
+TEST(Report, CsvIsNumericallyParseable) {
+  const auto result = run_fig1();
+  std::ostringstream os;
+  core::write_history_csv(result, os);
+  std::istringstream in(os.str());
+  std::string line;
+  std::getline(in, line);  // header
+  std::getline(in, line);  // first row
+  double area = 0.0;
+  int k = 0;
+  ASSERT_EQ(std::sscanf(line.c_str(), "%d,%lf", &k, &area), 2);
+  EXPECT_EQ(k, 1);
+  EXPECT_NEAR(area, result.history.front().area, 1e-3 * area);
+}
+
+TEST(Report, SummaryMentionsConvergenceAndArea) {
+  const auto result = run_fig1();
+  const std::string s = core::summarize(result);
+  EXPECT_NE(s.find(result.converged ? "converged" : "stopped"), std::string::npos);
+  EXPECT_NE(s.find("area"), std::string::npos);
+  EXPECT_NE(s.find("iterations"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,137 @@
+// Failure injection and randomized stress: wrong inputs must die loudly
+// (the checked-assert contract), and the full flow must uphold its
+// invariants under arbitrary option combinations.
+#include <gtest/gtest.h>
+
+#include "core/flow.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_profiles.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+#include "test_helpers.hpp"
+#include "timing/loads.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lrsizer;
+using lrsizer::test_support::ChainCircuit;
+
+// ---- failure injection ------------------------------------------------------
+
+TEST(FailureDeath, SimulatorRejectsWrongVectorWidth) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  EXPECT_DEATH(sim::simulate(logic, {{1, 0, 1}}), "vector width");
+}
+
+TEST(FailureDeath, SimulatorRejectsGateDelayBeyondPeriod) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  sim::SimOptions options;
+  options.vector_period = 4;
+  options.gate_delay = 8;
+  EXPECT_DEATH(sim::simulate(logic, {{1, 0, 1, 0, 1}}, options), "gate_delay");
+}
+
+TEST(FailureDeath, LoadsRejectWrongSizeVector) {
+  auto c = ChainCircuit::make();
+  const auto coupling = test_support::no_coupling(c.circuit);
+  std::vector<double> wrong(3, 1.0);  // must be num_nodes() long
+  timing::LoadAnalysis loads;
+  EXPECT_DEATH(timing::compute_loads(c.circuit, coupling, wrong,
+                                     timing::CouplingLoadMode::kLocalOnly, loads),
+               "x.size");
+}
+
+TEST(FailureDeath, WireNeedsPositiveLength) {
+  netlist::CircuitBuilder b;
+  EXPECT_DEATH(b.add_wire(0.0), "length");
+  EXPECT_DEATH(b.add_wire(-3.0), "length");
+}
+
+TEST(FailureDeath, GeneratorRejectsImpossibleWireBudget) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 10;
+  spec.num_wires = 5;  // fewer wires than gates+outputs can use
+  EXPECT_DEATH(netlist::generate_circuit(spec), "num_wires");
+}
+
+TEST(FailureDeath, GeneratorRejectsOverfullWireBudget) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 10;
+  spec.num_wires = 500;  // beyond the fanin cap of 5 per gate
+  EXPECT_DEATH(netlist::generate_circuit(spec), "num_wires");
+}
+
+TEST(FailureDeath, UnknownProfileName) {
+  EXPECT_DEATH(netlist::iscas85_profile("c9999"), "unknown");
+}
+
+// ---- randomized option stress -----------------------------------------------
+
+struct StressCase {
+  std::uint64_t seed;
+};
+
+class FlowStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowStress, InvariantsHoldUnderRandomOptions) {
+  util::Rng rng(GetParam());
+
+  netlist::GeneratorSpec spec;
+  spec.num_gates = rng.uniform_int(40, 160);
+  spec.num_inputs = rng.uniform_int(6, 24);
+  spec.num_outputs = rng.uniform_int(4, 12);
+  spec.depth = rng.uniform_int(5, 18);
+  spec.num_wires =
+      rng.uniform_int(spec.num_gates + spec.num_outputs + 8, 4 * spec.num_gates);
+  spec.seed = rng.next_u64();
+
+  core::FlowOptions options;
+  options.elab = spec.elab;
+  options.elab.max_star_fanout = rng.uniform_int(3, 10);
+  options.elab.segments_per_wire = 1;
+  options.elab.differentiate_gate_types = rng.bernoulli(0.5);
+  spec.elab = options.elab;  // keep the generator's oracle consistent
+  options.num_vectors = rng.uniform_int(8, 40);
+  options.pattern_seed = rng.next_u64();
+  options.channels.max_channel_width = rng.uniform_int(6, 40);
+  options.neighbors.fold_miller = rng.bernoulli(0.7);
+  options.use_woss = rng.bernoulli(0.8);
+  options.bound_factors.delay = rng.uniform(1.0, 1.4);
+  options.bound_factors.power = rng.uniform(0.14, 0.5);
+  options.bound_factors.noise = rng.uniform(0.12, 0.6);
+  if (rng.bernoulli(0.3)) {
+    options.bound_factors.per_net_noise = rng.uniform(0.2, 0.8);
+  }
+  options.ogws.lrs.mode = rng.bernoulli(0.25)
+                              ? timing::CouplingLoadMode::kPropagateUpstream
+                              : timing::CouplingLoadMode::kLocalOnly;
+  options.ogws.lrs.warm_start = rng.bernoulli(0.3);
+
+  const auto logic = netlist::generate_circuit(spec);
+  const auto flow = core::run_two_stage_flow(logic, options);
+
+  // Structural invariants.
+  EXPECT_EQ(flow.circuit.num_gates(), spec.num_gates);
+  EXPECT_EQ(flow.circuit.num_wires(), spec.num_wires);
+  flow.circuit.validate();
+
+  // Solution invariants: box bounds always; feasibility within a generous
+  // tolerance (a few configurations are legitimately tight).
+  for (netlist::NodeId v = flow.circuit.first_component();
+       v < flow.circuit.end_component(); ++v) {
+    EXPECT_GE(flow.circuit.size(v), flow.circuit.lower_bound(v) - 1e-12);
+    EXPECT_LE(flow.circuit.size(v), flow.circuit.upper_bound(v) + 1e-12);
+  }
+  EXPECT_LE(flow.ogws.max_violation, 0.10);
+  EXPECT_LE(flow.final_metrics.area_um2, flow.init_metrics.area_um2 * 1.001);
+  EXPECT_LE(flow.ordering_cost_woss, flow.ordering_cost_initial + 1e-12);
+  EXPECT_GT(flow.memory_bytes, util::MemoryTracker::kBaseBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowStress,
+                         ::testing::Values(101, 102, 103, 104, 105, 106, 107, 108,
+                                           109, 110));
+
+}  // namespace

@@ -1,0 +1,78 @@
+// SimilarityMatrix and Miller weights over simulated netlists.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "sim/patterns.hpp"
+#include "sim/similarity.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace lrsizer;
+
+TEST(SimilarityMatrix, DiagonalIsOne) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  const auto result = sim::simulate(logic, sim::random_vectors(5, 16, 1));
+  const sim::SimilarityMatrix m(result, {0, 1, 2, 3});
+  for (std::int32_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(m.at(i, i), 1.0);
+}
+
+TEST(SimilarityMatrix, SymmetricAndBounded) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  const auto result = sim::simulate(logic, sim::random_vectors(5, 32, 2));
+  std::vector<std::int32_t> nets;
+  for (std::int32_t g = 0; g < logic.num_gates_logic(); ++g) nets.push_back(g);
+  const sim::SimilarityMatrix m(result, nets);
+  for (std::int32_t a = 0; a < m.size(); ++a) {
+    for (std::int32_t b = 0; b < m.size(); ++b) {
+      EXPECT_DOUBLE_EQ(m.at(a, b), m.at(b, a));
+      EXPECT_GE(m.at(a, b), -1.0);
+      EXPECT_LE(m.at(a, b), 1.0);
+    }
+  }
+}
+
+TEST(SimilarityMatrix, MillerWeightComplementsSimilarity) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  const auto result = sim::simulate(logic, sim::random_vectors(5, 16, 3));
+  const sim::SimilarityMatrix m(result, {0, 1, 2});
+  for (std::int32_t a = 0; a < 3; ++a) {
+    for (std::int32_t b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(m.miller_weight(a, b), 1.0 - m.at(a, b));
+      EXPECT_GE(m.miller_weight(a, b), 0.0);
+      EXPECT_LE(m.miller_weight(a, b), 2.0);
+    }
+  }
+}
+
+TEST(SimilarityMatrix, BufferTracksItsInput) {
+  // A buffered net and its source switch near-identically (one gate delay
+  // apart), so their similarity must be high; an inverted copy must be low.
+  const auto logic = netlist::parse_bench_string(
+      "INPUT(a)\nOUTPUT(p)\nOUTPUT(q)\np = BUF(a)\nq = NOT(a)\n");
+  sim::SimOptions options;
+  options.vector_period = 64;
+  options.gate_delay = 1;
+  const auto result =
+      sim::simulate(logic, sim::random_vectors(1, 64, 7), options);
+  const sim::SimilarityMatrix m(result, {0, 1, 2});  // a, p, q
+  EXPECT_GT(m.at(0, 1), 0.9);    // buffer ≈ source
+  EXPECT_LT(m.at(0, 2), -0.9);   // inverter ≈ anti-source
+  EXPECT_LT(m.at(1, 2), -0.9);
+}
+
+TEST(SimilarityMatrix, WaveformConstructorMatchesSimResultPath) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  const auto result = sim::simulate(logic, sim::random_vectors(5, 16, 4));
+  const sim::SimilarityMatrix from_result(result, {1, 3, 5});
+  const std::vector<sim::Waveform> waves = {result.waveforms[1], result.waveforms[3],
+                                            result.waveforms[5]};
+  const sim::SimilarityMatrix from_waves(waves, result.horizon);
+  for (std::int32_t a = 0; a < 3; ++a) {
+    for (std::int32_t b = 0; b < 3; ++b) {
+      EXPECT_DOUBLE_EQ(from_result.at(a, b), from_waves.at(a, b));
+    }
+  }
+}
+
+}  // namespace

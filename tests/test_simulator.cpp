@@ -1,0 +1,154 @@
+// Event-driven logic simulator: truth tables, propagation, glitching.
+#include <gtest/gtest.h>
+
+#include "netlist/bench_parser.hpp"
+#include "netlist/logic_netlist.hpp"
+#include "sim/patterns.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace lrsizer;
+using netlist::LogicOp;
+
+TEST(LogicOps, TruthTables) {
+  using netlist::eval_logic_op;
+  EXPECT_EQ(eval_logic_op(LogicOp::kAnd, {1, 1}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kAnd, {1, 0}), 0);
+  EXPECT_EQ(eval_logic_op(LogicOp::kNand, {1, 1}), 0);
+  EXPECT_EQ(eval_logic_op(LogicOp::kNand, {0, 1}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kOr, {0, 0}), 0);
+  EXPECT_EQ(eval_logic_op(LogicOp::kOr, {0, 1}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kNor, {0, 0}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kXor, {1, 0}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kXor, {1, 1}), 0);
+  EXPECT_EQ(eval_logic_op(LogicOp::kXnor, {1, 1}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kNot, {1}), 0);
+  EXPECT_EQ(eval_logic_op(LogicOp::kBuf, {1}), 1);
+  // Multi-input forms.
+  EXPECT_EQ(eval_logic_op(LogicOp::kAnd, {1, 1, 1}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kAnd, {1, 1, 0}), 0);
+  EXPECT_EQ(eval_logic_op(LogicOp::kXor, {1, 1, 1}), 1);
+  EXPECT_EQ(eval_logic_op(LogicOp::kNor, {0, 0, 0, 0}), 1);
+}
+
+TEST(Simulator, SettlesInitialVector) {
+  const auto logic = netlist::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n");
+  const auto result = sim::simulate(logic, {{1, 1}});
+  // y = NAND(1,1) = 0 from the start, no transitions.
+  EXPECT_EQ(result.waveforms[2].initial_value(), 0);
+  EXPECT_TRUE(result.waveforms[2].toggles().empty());
+}
+
+TEST(Simulator, PropagatesInputChangeWithGateDelay) {
+  const auto logic = netlist::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n");
+  sim::SimOptions options;
+  options.vector_period = 10;
+  options.gate_delay = 3;
+  const auto result = sim::simulate(logic, {{0}, {1}}, options);
+  // a: 0 -> 1 at t=10; y: 1 -> 0 at t=13.
+  ASSERT_EQ(result.waveforms[0].toggles().size(), 1u);
+  EXPECT_EQ(result.waveforms[0].toggles()[0], 10);
+  ASSERT_EQ(result.waveforms[1].toggles().size(), 1u);
+  EXPECT_EQ(result.waveforms[1].toggles()[0], 13);
+  EXPECT_EQ(result.waveforms[1].initial_value(), 1);
+}
+
+TEST(Simulator, ChainAccumulatesDelay) {
+  const auto logic = netlist::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nm1 = NOT(a)\nm2 = NOT(m1)\ny = NOT(m2)\n");
+  sim::SimOptions options;
+  options.vector_period = 32;
+  options.gate_delay = 2;
+  const auto result = sim::simulate(logic, {{0}, {1}}, options);
+  // y toggles 3 gate delays after the input edge at t=32.
+  ASSERT_EQ(result.waveforms[3].toggles().size(), 1u);
+  EXPECT_EQ(result.waveforms[3].toggles()[0], 32 + 3 * 2);
+}
+
+TEST(Simulator, NoChangeNoEvent) {
+  const auto logic = netlist::parse_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = OR(a, b)\n");
+  // b flips but a=1 keeps y=1 throughout.
+  const auto result = sim::simulate(logic, {{1, 0}, {1, 1}, {1, 0}});
+  EXPECT_TRUE(result.waveforms[2].toggles().empty());
+}
+
+TEST(Simulator, ReconvergentGlitch) {
+  // y = AND(a, NOT(a)): statically 0, but a rising edge on `a` creates a
+  // transient 1-glitch of one gate delay (transport delay model).
+  const auto logic = netlist::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nn = NOT(a)\ny = AND(a, n)\n");
+  sim::SimOptions options;
+  options.vector_period = 20;
+  options.gate_delay = 2;
+  const auto result = sim::simulate(logic, {{0}, {1}}, options);
+  const auto& y = result.waveforms[2];
+  // Glitch: up at 22 (AND sees a=1, n still 1), down at 24 (n falls at 22).
+  ASSERT_EQ(y.toggles().size(), 2u);
+  EXPECT_EQ(y.toggles()[0], 22);
+  EXPECT_EQ(y.toggles()[1], 24);
+}
+
+TEST(Simulator, HorizonCoversAllVectors) {
+  const auto logic = netlist::parse_bench_string(
+      "INPUT(a)\nOUTPUT(y)\ny = BUF(a)\n");
+  sim::SimOptions options;
+  options.vector_period = 16;
+  const auto result = sim::simulate(logic, {{0}, {1}, {0}, {1}}, options);
+  EXPECT_EQ(result.horizon, 4 * 16);
+}
+
+TEST(Simulator, C17RandomVectorsProduceActivity) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  const auto vectors = sim::random_vectors(5, 32, 11);
+  const auto result = sim::simulate(logic, vectors);
+  std::int64_t total_toggles = 0;
+  for (const auto& w : result.waveforms) {
+    total_toggles += static_cast<std::int64_t>(w.toggles().size());
+  }
+  EXPECT_GT(total_toggles, 50);  // plenty of switching over 32 vectors
+  EXPECT_GT(result.total_events, total_toggles);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  const auto logic = netlist::parse_bench_string(netlist::kIscas85C17);
+  const auto vectors = sim::random_vectors(5, 16, 3);
+  const auto a = sim::simulate(logic, vectors);
+  const auto b = sim::simulate(logic, vectors);
+  for (std::size_t i = 0; i < a.waveforms.size(); ++i) {
+    EXPECT_EQ(a.waveforms[i].toggles(), b.waveforms[i].toggles());
+  }
+}
+
+TEST(Patterns, RandomVectorsShapeAndDeterminism) {
+  const auto a = sim::random_vectors(8, 20, 5);
+  const auto b = sim::random_vectors(8, 20, 5);
+  ASSERT_EQ(a.size(), 20u);
+  ASSERT_EQ(a[0].size(), 8u);
+  EXPECT_EQ(a, b);
+  int ones = 0;
+  for (const auto& row : a) {
+    for (int bit : row) {
+      EXPECT_TRUE(bit == 0 || bit == 1);
+      ones += bit;
+    }
+  }
+  EXPECT_GT(ones, 40);   // roughly half of 160
+  EXPECT_LT(ones, 120);
+}
+
+TEST(Patterns, BiasedVectorsToggleRarely) {
+  const auto rows = sim::biased_vectors(4, 100, 0.05, 17);
+  int toggles = 0;
+  for (std::size_t k = 1; k < rows.size(); ++k) {
+    for (std::size_t i = 0; i < rows[k].size(); ++i) {
+      toggles += rows[k][i] != rows[k - 1][i] ? 1 : 0;
+    }
+  }
+  EXPECT_LT(toggles, 60);  // 400 opportunities at 5%
+}
+
+}  // namespace

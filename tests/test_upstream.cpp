@@ -1,0 +1,120 @@
+// Weighted upstream resistance: stage-locality and the μ weighting.
+#include <gtest/gtest.h>
+
+#include "test_helpers.hpp"
+#include "timing/upstream.hpp"
+
+namespace {
+
+using namespace lrsizer;
+using lrsizer::test_support::ChainCircuit;
+using lrsizer::test_support::Fig1Circuit;
+
+TEST(Upstream, ChainHandComputed) {
+  const netlist::TechParams tech;
+  auto c = ChainCircuit::make(tech);
+  c.circuit.set_uniform_size(1.0);
+  std::vector<double> mu(static_cast<std::size_t>(c.circuit.num_nodes()), 0.0);
+  mu[static_cast<std::size_t>(c.driver)] = 2.0;
+  mu[static_cast<std::size_t>(c.wire_in)] = 3.0;
+  mu[static_cast<std::size_t>(c.gate)] = 5.0;
+  mu[static_cast<std::size_t>(c.wire_out)] = 7.0;
+
+  std::vector<double> r_up;
+  timing::compute_weighted_upstream(c.circuit, c.circuit.sizes(), mu, r_up);
+
+  // Driver has nothing upstream.
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(c.driver)], 0.0);
+  // w1: upstream = driver.
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(c.wire_in)], 2.0 * tech.driver_res);
+  // gate: upstream = w1 chain + driver.
+  const double r_w1 = tech.wire_res_per_um * 200.0;  // x = 1
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(c.gate)],
+                   3.0 * r_w1 + 2.0 * tech.driver_res);
+  // w2: the gate isolates its stage — only the gate's resistance counts.
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(c.wire_out)],
+                   5.0 * tech.gate_unit_res);
+}
+
+TEST(Upstream, StageLocalityExcludesEverythingBeyondDrivingGate) {
+  const netlist::TechParams tech;
+  auto c = ChainCircuit::make(tech);
+  c.circuit.set_uniform_size(1.0);
+  // Enormous μ on the driver must not leak into w2's upstream.
+  std::vector<double> mu(static_cast<std::size_t>(c.circuit.num_nodes()), 1.0);
+  mu[static_cast<std::size_t>(c.driver)] = 1e9;
+  std::vector<double> r_up;
+  timing::compute_weighted_upstream(c.circuit, c.circuit.sizes(), mu, r_up);
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(c.wire_out)], tech.gate_unit_res);
+}
+
+TEST(Upstream, ScalesWithComponentSizes) {
+  auto c = ChainCircuit::make();
+  c.circuit.set_uniform_size(1.0);
+  std::vector<double> mu(static_cast<std::size_t>(c.circuit.num_nodes()), 1.0);
+  std::vector<double> r1;
+  timing::compute_weighted_upstream(c.circuit, c.circuit.sizes(), mu, r1);
+
+  c.circuit.set_uniform_size(2.0);
+  std::vector<double> r2;
+  timing::compute_weighted_upstream(c.circuit, c.circuit.sizes(), mu, r2);
+
+  // Doubling sizes halves the sized resistances; driver resistance fixed.
+  const auto i_g = static_cast<std::size_t>(c.gate);
+  const netlist::TechParams tech;
+  const double r_w1 = tech.wire_res_per_um * 200.0;
+  EXPECT_DOUBLE_EQ(r1[i_g], r_w1 + tech.driver_res);
+  EXPECT_DOUBLE_EQ(r2[i_g], r_w1 / 2.0 + tech.driver_res);
+}
+
+TEST(Upstream, MultiFaninGateSumsAllStages) {
+  const netlist::TechParams tech;
+  auto f = Fig1Circuit::make(tech);
+  f.circuit.set_uniform_size(1.0);
+  std::vector<double> mu(static_cast<std::size_t>(f.circuit.num_nodes()), 1.0);
+  std::vector<double> r_up;
+  timing::compute_weighted_upstream(f.circuit, f.circuit.sizes(), mu, r_up);
+
+  // gate A has fanins w1 (300 µm, driver d1) and w2 (250 µm, driver d2):
+  // R = (r_w1 + R_D1) + (r_w2 + R_D2).
+  const double expected = (tech.wire_res_per_um * 300.0 + tech.driver_res) +
+                          (tech.wire_res_per_um * 250.0 + tech.driver_res);
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(f.gates[0])], expected);
+}
+
+TEST(Upstream, WireAfterWireChains) {
+  // d -> wa -> wb -> g: wb's upstream includes wa and the driver.
+  const netlist::TechParams tech;
+  netlist::CircuitBuilder b(tech);
+  const auto d = b.add_driver();
+  const auto wa = b.add_wire(100.0);
+  const auto wb = b.add_wire(150.0);
+  const auto g = b.add_gate();
+  const auto wo = b.add_wire(100.0);
+  b.connect(d, wa);
+  b.connect(wa, wb);
+  b.connect(wb, g);
+  b.connect(g, wo);
+  b.mark_primary_output(wo);
+  auto circuit = b.finalize();
+  circuit.set_uniform_size(1.0);
+
+  std::vector<double> mu(static_cast<std::size_t>(circuit.num_nodes()), 1.0);
+  std::vector<double> r_up;
+  timing::compute_weighted_upstream(circuit, circuit.sizes(), mu, r_up);
+  const double expected = tech.driver_res + tech.wire_res_per_um * 100.0;
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(b.node_of(wb))], expected);
+  EXPECT_DOUBLE_EQ(r_up[static_cast<std::size_t>(b.node_of(g))],
+                   expected + tech.wire_res_per_um * 150.0);
+}
+
+TEST(Upstream, ZeroMuZeroesTheWeights) {
+  auto c = ChainCircuit::make();
+  c.circuit.set_uniform_size(1.0);
+  std::vector<double> mu(static_cast<std::size_t>(c.circuit.num_nodes()), 0.0);
+  std::vector<double> r_up;
+  timing::compute_weighted_upstream(c.circuit, c.circuit.sizes(), mu, r_up);
+  for (double r : r_up) EXPECT_DOUBLE_EQ(r, 0.0);
+}
+
+}  // namespace

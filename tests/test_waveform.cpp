@@ -1,0 +1,114 @@
+// Waveforms and the exact similarity integral (paper §3.2).
+#include <gtest/gtest.h>
+
+#include "sim/waveform.hpp"
+
+namespace {
+
+using lrsizer::sim::SimTime;
+using lrsizer::sim::Waveform;
+
+Waveform square(int initial, SimTime first, SimTime period, SimTime horizon) {
+  Waveform w(initial);
+  for (SimTime t = first; t < horizon; t += period) w.add_toggle(t);
+  return w;
+}
+
+TEST(Waveform, ValueAtFollowsToggles) {
+  Waveform w(0);
+  w.add_toggle(10);
+  w.add_toggle(20);
+  EXPECT_EQ(w.value_at(0), 0);
+  EXPECT_EQ(w.value_at(9), 0);
+  EXPECT_EQ(w.value_at(10), 1);  // toggle takes effect at its own time
+  EXPECT_EQ(w.value_at(15), 1);
+  EXPECT_EQ(w.value_at(20), 0);
+  EXPECT_EQ(w.value_at(1000), 0);
+}
+
+TEST(Waveform, DoubleToggleAtSameInstantCancels) {
+  Waveform w(1);
+  w.add_toggle(5);
+  w.add_toggle(5);  // zero-width glitch
+  EXPECT_TRUE(w.toggles().empty());
+  EXPECT_EQ(w.value_at(5), 1);
+}
+
+TEST(Waveform, TransitionCountRespectsHorizon) {
+  Waveform w(0);
+  w.add_toggle(10);
+  w.add_toggle(20);
+  w.add_toggle(30);
+  EXPECT_EQ(w.transition_count(25), 2);
+  EXPECT_EQ(w.transition_count(30), 2);  // horizon is exclusive
+  EXPECT_EQ(w.transition_count(31), 3);
+}
+
+TEST(Similarity, IdenticalWaveformsGiveOne) {
+  const Waveform w = square(0, 10, 20, 100);
+  EXPECT_DOUBLE_EQ(Waveform::similarity(w, w, 100), 1.0);
+}
+
+TEST(Similarity, ComplementaryWaveformsGiveMinusOne) {
+  const Waveform a = square(0, 10, 20, 100);
+  const Waveform b = square(1, 10, 20, 100);
+  EXPECT_DOUBLE_EQ(Waveform::similarity(a, b, 100), -1.0);
+}
+
+TEST(Similarity, ConstantVsSquareGivesZero) {
+  // A 50%-duty square against a constant: equal and opposite halves.
+  const Waveform a = square(0, 10, 10, 100);  // toggles every 10 from t=10
+  const Waveform constant(1);
+  EXPECT_NEAR(Waveform::similarity(a, constant, 100), 0.0, 1e-12);
+}
+
+TEST(Similarity, QuarterShiftedSquares) {
+  // Period 40, shifted by 10 (a quarter period): overlap 3/4 - 1/4 = 1/2...
+  // computed exactly: agreement 20 of every 40 ticks -> similarity 0.
+  const Waveform a = square(1, 20, 20, 200);
+  const Waveform b = square(1, 10, 20, 200);
+  EXPECT_NEAR(Waveform::similarity(a, b, 200), 0.0, 1e-12);
+}
+
+TEST(Similarity, SmallLagGivesHighSimilarity) {
+  // b lags a by 2 ticks out of a 50-tick half period.
+  const Waveform a = square(1, 50, 50, 1000);
+  const Waveform b = square(1, 52, 50, 1000);
+  const double s = Waveform::similarity(a, b, 1000);
+  EXPECT_GT(s, 0.9);
+  EXPECT_LT(s, 1.0);
+}
+
+TEST(Similarity, SymmetricInArguments) {
+  const Waveform a = square(0, 7, 13, 400);
+  const Waveform b = square(1, 5, 29, 400);
+  EXPECT_DOUBLE_EQ(Waveform::similarity(a, b, 400),
+                   Waveform::similarity(b, a, 400));
+}
+
+TEST(Similarity, BoundedByOne) {
+  const Waveform a = square(0, 3, 7, 500);
+  const Waveform b = square(1, 11, 17, 500);
+  const double s = Waveform::similarity(a, b, 500);
+  EXPECT_GE(s, -1.0);
+  EXPECT_LE(s, 1.0);
+}
+
+TEST(Similarity, HandLabeledExample) {
+  // a: 1 on [0,30), 0 on [30,100). b: 1 on [0,60), 0 on [60,100).
+  // agree on [0,30) ∪ [60,100) = 70, disagree on [30,60) = 30 -> 0.4.
+  Waveform a(1);
+  a.add_toggle(30);
+  Waveform b(1);
+  b.add_toggle(60);
+  EXPECT_DOUBLE_EQ(Waveform::similarity(a, b, 100), 0.4);
+}
+
+TEST(Similarity, TogglesBeyondHorizonIgnored) {
+  Waveform a(1);
+  a.add_toggle(150);  // after horizon
+  const Waveform constant(1);
+  EXPECT_DOUBLE_EQ(Waveform::similarity(a, constant, 100), 1.0);
+}
+
+}  // namespace
