@@ -1,4 +1,4 @@
-// Ablation bench (experiment A1 in DESIGN.md): the design choices the
+// Ablation bench (docs/ARCHITECTURE.md §Benches): the design choices the
 // paper makes, each toggled on a fixed mid-size circuit (the c432 profile):
 //
 //   1. noise constraint on vs off (off = reference [3], delay-only LR)

@@ -11,7 +11,7 @@
 namespace lrsizer::bench {
 
 /// Default options used by every paper-reproduction bench (documented in
-/// EXPERIMENTS.md): unit-size start, A0 = D_init, P0 = 0.15·cap_init,
+/// docs/ARCHITECTURE.md §Benches): unit-size start, A0 = D_init, P0 = 0.15·cap_init,
 /// X0 = 0.10·noise_init.
 inline core::FlowOptions paper_flow_options() {
   core::FlowOptions options;

@@ -2,7 +2,7 @@
 // ten ISCAS85-profile circuits, plus iterations, runtime, and memory, with
 // the paper's published row printed underneath each measured row.
 //
-// Expected shape (see EXPERIMENTS.md): noise lands on the 10% bound
+// Expected shape (see docs/ARCHITECTURE.md §Benches): noise lands on the 10% bound
 // (≈90% improvement), area and power drop by roughly an order of
 // magnitude, delay stays within a few percent of its bound.
 #include <cstdio>

@@ -6,7 +6,7 @@
 // optimality condition. Algorithm OGWS's step A5 projects onto it after
 // each subgradient update.
 //
-// Projection choice (DESIGN.md §5): exact Euclidean projection onto the KCL
+// Projection choice (docs/ARCHITECTURE.md, decision D2): exact Euclidean projection onto the KCL
 // polytope is a QP, so — like practical LR sizers — we restore conservation
 // with one *reverse-topological proportional rescaling* pass: processing
 // nodes from the sink side, each node's in-edge multipliers are rescaled to

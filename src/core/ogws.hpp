@@ -5,7 +5,7 @@
 //   A1. initialize multipliers (λ flow-conserving, β = γ = 0)
 //   A2. μ_i = Σ_{j∈input(i)} λ_ji
 //   A3. run LRS; compute arrival times a
-//   A4. subgradient step with ρ_k = step0/k (ρ_k → 0, Σ ρ_k = ∞):
+//   A4. subgradient step with ρ_k = step0/√k (ρ_k → 0, Σ ρ_k = ∞):
 //         λ_jm += ρ_k (a_j − A0)                    [sink edges]
 //         λ_ji += ρ_k (a_j + D_i − a_i)             [component edges]
 //         λ_0i += ρ_k (D_i − a_i)                   [driver edges]
@@ -15,7 +15,7 @@
 //   A7. stop when the duality gap Σ α_i x_i − L(x) is within the error
 //       bound and the iterate is feasible within tolerance
 //
-// Normalization (DESIGN.md §5): the raw subgradients mix seconds, farads
+// Normalization (docs/ARCHITECTURE.md, decision D3): the raw subgradients mix seconds, farads
 // and µm²; each update is scaled by (A_ref / bound) / bound where A_ref is
 // the area at the initial sizes, making all multiplier magnitudes
 // commensurate with the objective. This is a pure reparametrization of the

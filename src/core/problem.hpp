@@ -5,7 +5,7 @@
 // active noise bound at 10% of the initial noise (Fin/Init ≈ 0.1 on nearly
 // every circuit) and a delay bound near the initial delay. We derive bounds
 // from the metrics of the initial (unit-size) circuit via BoundFactors; see
-// EXPERIMENTS.md.
+// docs/ARCHITECTURE.md §Benches.
 #pragma once
 
 #include "layout/neighbors.hpp"

@@ -9,7 +9,7 @@
 // posynomial property is preserved; disabled, the pure Eq. 3 capacitances
 // are used (the paper's stage-2 text).
 //
-// Definition note (DESIGN.md §5): I(i) = { j ∈ N(i) : j > i }, so the noise
+// Definition note (docs/ARCHITECTURE.md, decision D1): I(i) = { j ∈ N(i) : j > i }, so the noise
 // double sum Σ_{i∈W} Σ_{j∈I(i)} counts every adjacent pair exactly once.
 #pragma once
 

@@ -32,7 +32,7 @@ enum class NodeKind : std::uint8_t {
 /// The paper's gate r̂ is garbled in every available scan ("1 0 ... m" —
 /// 10 Ω·µm, 1.0 kΩ·µm and 10 kΩ·µm are all consistent readings); we use
 /// 1 kΩ·µm, the value that lands the Table 1 delay column in the paper's
-/// range (see DESIGN.md §6 and EXPERIMENTS.md). Wire length, fringing and
+/// range (see docs/ARCHITECTURE.md, substitution S1). Wire length, fringing and
 /// area weights are likewise calibrated to the paper's Init magnitudes.
 struct TechParams {
   double gate_unit_res = 1e3;         ///< gate r̂ [Ω·size]: r = r̂ / x

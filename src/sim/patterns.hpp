@@ -1,6 +1,6 @@
 // Test pattern generation. The paper takes patterns "from the logic
-// simulation stage"; we generate seeded pseudo-random vectors (see DESIGN.md
-// §6 substitutions).
+// simulation stage"; we generate seeded pseudo-random vectors (see
+// docs/ARCHITECTURE.md, substitution S2).
 #pragma once
 
 #include <cstdint>

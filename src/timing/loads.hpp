@@ -16,7 +16,7 @@
 // only to the victim wire's own delay (kLocalOnly — matches Theorem 5's
 // resize rule exactly) or also propagates into upstream loads
 // (kPropagateUpstream — physical ground-cap approximation; compared in
-// bench_ablation). See DESIGN.md §5.
+// bench_ablation). See docs/ARCHITECTURE.md, decision D4.
 #pragma once
 
 #include <vector>

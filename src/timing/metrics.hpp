@@ -1,4 +1,8 @@
-// The four Table 1 quantities: area, power, noise, critical-path delay.
+// The four Table 1 quantities: area, power (as total capacitance), coupling
+// noise, and critical-path delay, all evaluated at a given size vector x.
+// compute_metrics is the single evaluation point every stage shares: bounds
+// derivation scales its output, OGWS checks feasibility against it, and the
+// benches print it before/after sizing.
 #pragma once
 
 #include <vector>

@@ -1,4 +1,7 @@
 // Wall-clock timer used for the Table 1 "time" column and Figure 10(b).
+// A steady_clock stopwatch started at construction; seconds() reads the
+// elapsed time without stopping it, reset() restarts it. Header-only so the
+// benches can time inner loops without call overhead.
 #pragma once
 
 #include <chrono>

@@ -145,7 +145,8 @@ TEST(Stats, NoisyFitHasLowerR2) {
 TEST(Timer, MeasuresElapsedTimeMonotonically) {
   util::WallTimer t;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += static_cast<double>(i);
+  // `sink += ...` on a volatile operand is deprecated in C++20.
+  for (int i = 0; i < 100000; ++i) sink = sink + static_cast<double>(i);
   const double first = t.seconds();
   const double second = t.seconds();
   EXPECT_GE(first, 0.0);
