@@ -1,12 +1,15 @@
-// Shared helpers for the bench harnesses: profile-driven flow runs and
-// percentage formatting.
+// Shared helpers for the bench harnesses: profile-driven flow runs (single
+// and batched through the parallel runtime) and percentage formatting.
 #pragma once
 
+#include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "core/flow.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/iscas_profiles.hpp"
+#include "runtime/batch.hpp"
 
 namespace lrsizer::bench {
 
@@ -34,6 +37,25 @@ inline core::FlowResult run_profile(const std::string& name, std::uint64_t seed 
 
 inline double improvement_pct(double init, double fin) {
   return init > 0.0 ? 100.0 * (init - fin) / init : 0.0;
+}
+
+/// One batch job per Table-1 profile (paper options, seed 1), in the
+/// profiles' table order — the batch result's jobs are parallel to
+/// iscas85_profiles().
+inline std::vector<runtime::BatchJob> paper_profile_jobs(
+    const core::FlowOptions& options = paper_flow_options()) {
+  std::vector<runtime::BatchJob> jobs;
+  for (const auto& profile : netlist::iscas85_profiles()) {
+    jobs.push_back(runtime::make_profile_job(profile.name, 1, options));
+  }
+  return jobs;
+}
+
+/// Worker count for the benches: the LRSIZER_JOBS environment variable when
+/// set, otherwise 0 (hardware concurrency).
+inline int bench_jobs() {
+  if (const char* env = std::getenv("LRSIZER_JOBS")) return std::atoi(env);
+  return 0;
 }
 
 }  // namespace lrsizer::bench

@@ -2,6 +2,12 @@
 // ten ISCAS85-profile circuits, plus iterations, runtime, and memory, with
 // the paper's published row printed underneath each measured row.
 //
+// The ten flows run concurrently through the batch runtime (runtime/batch);
+// every per-circuit *result* (metrics, iterations, memory) is bit-identical
+// to a sequential run. The time(s) column is each job's wall time inside
+// its worker, so with more than one worker it includes contention from the
+// sibling jobs — set LRSIZER_JOBS=1 for uncontended per-circuit timings.
+//
 // Expected shape (see docs/ARCHITECTURE.md §Benches): noise lands on the 10% bound
 // (≈90% improvement), area and power drop by roughly an order of
 // magnitude, delay stays within a few percent of its bound.
@@ -10,7 +16,6 @@
 
 #include "bench_common.hpp"
 #include "util/table.hpp"
-#include "util/timer.hpp"
 
 int main() {
   using namespace lrsizer;
@@ -20,6 +25,11 @@ int main() {
       "Table 1 — simultaneous noise/delay/power/area optimization (OGWS)\n"
       "bounds: A0 = 1.00 x init delay, P0 = 0.15 x init power, X0 = 0.10 x init "
       "noise\nrows: measured (this machine) / paper (SUN UltraSPARC-I, 1999)\n\n");
+
+  runtime::BatchOptions batch_options;
+  batch_options.jobs = bench::bench_jobs();
+  const runtime::BatchResult batch =
+      runtime::run_batch(bench::paper_profile_jobs(), batch_options);
 
   util::TextTable table({"Ckt", "row", "#G", "#W", "Noise I(pF)", "Noise F(pF)",
                          "Delay I(ps)", "Delay F(ps)", "Pow I(mW)", "Pow F(mW)",
@@ -31,13 +41,17 @@ int main() {
   double impr_area = 0.0;
   int rows = 0;
 
-  for (const auto& profile : netlist::iscas85_profiles()) {
-    util::WallTimer timer;
-    const auto flow = bench::run_profile(profile.name);
-    const double seconds = timer.seconds();
-
-    const auto& init = flow.init_metrics;
-    const auto& fin = flow.final_metrics;
+  const auto& profiles = netlist::iscas85_profiles();
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const auto& profile = profiles[i];
+    const auto& job = batch.jobs[i];
+    if (!job.ok) {
+      std::fprintf(stderr, "%s FAILED: %s\n", profile.name.c_str(),
+                   job.error.c_str());
+      continue;
+    }
+    const auto& init = job.summary.init_metrics;
+    const auto& fin = job.summary.final_metrics;
     table.add_row({profile.name, "meas", util::TextTable::integer(profile.num_gates),
                    util::TextTable::integer(profile.num_wires),
                    util::TextTable::num(init.noise_f * 1e12, 2),
@@ -48,10 +62,10 @@ int main() {
                    util::TextTable::num(fin.power_w * 1e3, 1),
                    util::TextTable::num(init.area_um2, 0),
                    util::TextTable::num(fin.area_um2, 0),
-                   util::TextTable::integer(flow.ogws.iterations),
-                   util::TextTable::num(seconds, 1),
+                   util::TextTable::integer(job.summary.iterations),
+                   util::TextTable::num(job.seconds, 1),
                    util::TextTable::integer(
-                       static_cast<long long>(flow.memory_bytes / 1024))});
+                       static_cast<long long>(job.summary.memory_bytes / 1024))});
     const auto& p = profile.paper;
     table.add_row({profile.name, "paper", "", "",
                    util::TextTable::num(p.noise_init_pf, 2),
@@ -81,5 +95,13 @@ int main() {
               impr_area / rows);
   std::printf("average improvement (paper):    noise 89.67%%  delay 5.3%%  "
               "power 86.82%%  area 87.90%%\n");
-  return 0;
+  std::printf("\nbatch: %d worker(s), wall %.2f s, Σ job %.2f s, speedup %.2fx "
+              "(LRSIZER_JOBS overrides the worker count)\n",
+              batch.num_workers, batch.wall_seconds, batch.total_job_seconds,
+              batch.speedup());
+  if (batch.num_workers > 1) {
+    std::printf("note: per-circuit time(s) measured under concurrent execution; "
+                "set LRSIZER_JOBS=1 for uncontended timings\n");
+  }
+  return batch.num_failed() == 0 ? 0 : 1;
 }

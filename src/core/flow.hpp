@@ -54,7 +54,37 @@ struct FlowResult {
   double stage2_seconds = 0.0;
   /// Structure bytes + fixed base (Table 1 "mem", Figure 10a).
   std::size_t memory_bytes = 0;
+  /// Logic-netlist gate index driving each circuit node (elaborator's
+  /// net_of_node); lets serializers name sized components after their nets.
+  std::vector<std::int32_t> net_of_node;
 };
+
+/// Flat, numbers-only snapshot of a FlowResult — the serialization hook the
+/// runtime layer (runtime/json) and CLI reports consume. Deliberately free
+/// of heavyweight members (circuit, coupling, history) so it can be copied
+/// and aggregated per batch job.
+struct FlowSummary {
+  std::int32_t num_gates = 0;
+  std::int32_t num_wires = 0;
+  timing::Metrics init_metrics;
+  timing::Metrics final_metrics;
+  double bound_delay_s = 0.0;
+  double bound_cap_f = 0.0;
+  double bound_noise_f = 0.0;
+  bool converged = false;
+  int iterations = 0;
+  double area_um2 = 0.0;
+  double dual = 0.0;
+  double rel_gap = 0.0;
+  double max_violation = 0.0;
+  double ordering_cost_initial = 0.0;
+  double ordering_cost_woss = 0.0;
+  double stage1_seconds = 0.0;
+  double stage2_seconds = 0.0;
+  std::size_t memory_bytes = 0;
+};
+
+FlowSummary summarize_flow(const FlowResult& result);
 
 FlowResult run_two_stage_flow(const netlist::LogicNetlist& netlist,
                               const FlowOptions& options = FlowOptions{});

@@ -1,0 +1,242 @@
+#include "runtime/batch.hpp"
+
+#include <exception>
+#include <future>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "netlist/generator.hpp"
+#include "util/logging.hpp"
+#include "util/timer.hpp"
+
+namespace lrsizer::runtime {
+
+BatchJob make_profile_job(const std::string& profile, std::uint64_t seed,
+                          const core::FlowOptions& options) {
+  BatchJob job;
+  job.name = profile;
+  job.seed = seed;
+  job.netlist = netlist::generate_circuit(netlist::spec_for_profile(profile, seed));
+  job.options = options;
+  return job;
+}
+
+std::size_t BatchResult::num_failed() const {
+  std::size_t failed = 0;
+  for (const auto& job : jobs) {
+    if (!job.ok) ++failed;
+  }
+  return failed;
+}
+
+namespace {
+
+JobOutcome run_one(BatchJob&& job, bool keep_flow) {
+  JobOutcome outcome;
+  outcome.name = job.name;
+  outcome.seed = job.seed;
+  util::WallTimer timer;
+  try {
+    // The flow's own invariant checks abort; validate the one precondition a
+    // caller can realistically get wrong so a bad job fails, not the batch.
+    if (!job.netlist.finalized()) {
+      throw std::invalid_argument("batch job '" + job.name +
+                                  "': netlist not finalized");
+    }
+    outcome.flow = core::run_two_stage_flow(job.netlist, job.options);
+    outcome.summary = core::summarize_flow(*outcome.flow);
+    outcome.ok = true;
+    if (!keep_flow) outcome.flow.reset();
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+  } catch (...) {
+    outcome.error = "unknown exception";
+  }
+  outcome.netlist = std::move(job.netlist);
+  outcome.seconds = timer.seconds();
+  util::log_debug() << "batch job '" << outcome.name << "' "
+                    << (outcome.ok ? "ok" : "FAILED") << " in " << outcome.seconds
+                    << " s";
+  return outcome;
+}
+
+}  // namespace
+
+BatchResult run_batch(std::vector<BatchJob> jobs, ThreadPool& pool,
+                      const BatchOptions& options) {
+  BatchResult result;
+  result.num_workers = pool.num_workers();
+  const std::int64_t steals_before = pool.steal_count();
+
+  util::WallTimer wall;
+  std::vector<std::future<JobOutcome>> futures;
+  futures.reserve(jobs.size());
+  for (auto& job : jobs) {
+    futures.push_back(pool.submit(
+        [job = std::move(job), keep = options.keep_flow_results]() mutable {
+          return run_one(std::move(job), keep);
+        }));
+  }
+
+  result.jobs.reserve(futures.size());
+  for (auto& future : futures) result.jobs.push_back(future.get());
+  result.wall_seconds = wall.seconds();
+  result.steals = pool.steal_count() - steals_before;
+
+  for (const auto& outcome : result.jobs) {
+    result.total_job_seconds += outcome.seconds;
+    if (outcome.ok) {
+      result.total_memory_bytes += outcome.summary.memory_bytes;
+      if (outcome.summary.memory_bytes > result.peak_memory_bytes) {
+        result.peak_memory_bytes = outcome.summary.memory_bytes;
+      }
+    }
+  }
+  return result;
+}
+
+BatchResult run_batch(std::vector<BatchJob> jobs, const BatchOptions& options) {
+  ThreadPool pool(options.jobs);
+  return run_batch(std::move(jobs), pool, options);
+}
+
+// ---- report serialization ---------------------------------------------------
+
+namespace {
+
+Json metrics_json(const timing::Metrics& m) {
+  Json j = Json::object();
+  j.set("area_um2", m.area_um2);
+  j.set("power_w", m.power_w);
+  j.set("cap_f", m.cap_f);
+  j.set("noise_f", m.noise_f);
+  j.set("noise_exact_f", m.noise_exact_f);
+  j.set("delay_s", m.delay_s);
+  return j;
+}
+
+/// Non-finite values serialize as null; restore them as +inf (every nullable
+/// field in this schema — rel_gap, dual, violations — is a "no finite value
+/// yet" marker, never negative).
+double number_or_inf(const Json& j) {
+  return j.is_null() ? std::numeric_limits<double>::infinity() : j.as_number();
+}
+
+timing::Metrics metrics_from_json(const Json& j) {
+  timing::Metrics m;
+  m.area_um2 = j.at("area_um2").as_number();
+  m.power_w = j.at("power_w").as_number();
+  m.cap_f = j.at("cap_f").as_number();
+  m.noise_f = j.at("noise_f").as_number();
+  m.noise_exact_f = j.at("noise_exact_f").as_number();
+  m.delay_s = j.at("delay_s").as_number();
+  return m;
+}
+
+}  // namespace
+
+Json job_json(const JobOutcome& outcome) {
+  Json j = Json::object();
+  j.set("name", outcome.name);
+  j.set("seed", outcome.seed);
+  j.set("ok", outcome.ok);
+  if (!outcome.ok) {
+    j.set("error", outcome.error);
+    j.set("seconds", outcome.seconds);
+    return j;
+  }
+  const core::FlowSummary& s = outcome.summary;
+  j.set("num_gates", static_cast<std::int64_t>(s.num_gates));
+  j.set("num_wires", static_cast<std::int64_t>(s.num_wires));
+  j.set("init", metrics_json(s.init_metrics));
+  j.set("final", metrics_json(s.final_metrics));
+  Json bounds = Json::object();
+  bounds.set("delay_s", s.bound_delay_s);
+  bounds.set("cap_f", s.bound_cap_f);
+  bounds.set("noise_f", s.bound_noise_f);
+  j.set("bounds", bounds);
+  j.set("converged", s.converged);
+  j.set("iterations", static_cast<std::int64_t>(s.iterations));
+  j.set("area_um2", s.area_um2);
+  j.set("dual", s.dual);
+  j.set("rel_gap", s.rel_gap);
+  j.set("max_violation", s.max_violation);
+  j.set("ordering_cost_initial", s.ordering_cost_initial);
+  j.set("ordering_cost_woss", s.ordering_cost_woss);
+  j.set("stage1_seconds", s.stage1_seconds);
+  j.set("stage2_seconds", s.stage2_seconds);
+  j.set("memory_bytes", s.memory_bytes);
+  j.set("seconds", outcome.seconds);
+  return j;
+}
+
+core::FlowSummary summary_from_json(const Json& j) {
+  core::FlowSummary s;
+  s.num_gates = static_cast<std::int32_t>(j.at("num_gates").as_number());
+  s.num_wires = static_cast<std::int32_t>(j.at("num_wires").as_number());
+  s.init_metrics = metrics_from_json(j.at("init"));
+  s.final_metrics = metrics_from_json(j.at("final"));
+  const Json& bounds = j.at("bounds");
+  s.bound_delay_s = bounds.at("delay_s").as_number();
+  s.bound_cap_f = bounds.at("cap_f").as_number();
+  s.bound_noise_f = bounds.at("noise_f").as_number();
+  s.converged = j.at("converged").as_bool();
+  s.iterations = static_cast<int>(j.at("iterations").as_number());
+  s.area_um2 = j.at("area_um2").as_number();
+  s.dual = number_or_inf(j.at("dual"));
+  s.rel_gap = number_or_inf(j.at("rel_gap"));
+  s.max_violation = number_or_inf(j.at("max_violation"));
+  s.ordering_cost_initial = j.at("ordering_cost_initial").as_number();
+  s.ordering_cost_woss = j.at("ordering_cost_woss").as_number();
+  s.stage1_seconds = j.at("stage1_seconds").as_number();
+  s.stage2_seconds = j.at("stage2_seconds").as_number();
+  s.memory_bytes = static_cast<std::size_t>(j.at("memory_bytes").as_number());
+  return s;
+}
+
+Json batch_json(const BatchResult& result) {
+  Json j = Json::object();
+  j.set("schema", "lrsizer-batch-v1");
+  j.set("workers", static_cast<std::int64_t>(result.num_workers));
+  j.set("wall_seconds", result.wall_seconds);
+  j.set("total_job_seconds", result.total_job_seconds);
+  j.set("speedup", result.speedup());
+  j.set("total_memory_bytes", result.total_memory_bytes);
+  j.set("peak_memory_bytes", result.peak_memory_bytes);
+  j.set("steals", result.steals);
+  j.set("failed", result.num_failed());
+  Json jobs = Json::array();
+  for (const auto& outcome : result.jobs) jobs.push_back(job_json(outcome));
+  j.set("jobs", jobs);
+  return j;
+}
+
+std::string batch_csv(const BatchResult& result) {
+  std::ostringstream out;
+  out << "name,seed,ok,num_gates,num_wires,iterations,converged,"
+         "noise_init_f,noise_final_f,delay_init_s,delay_final_s,"
+         "power_init_w,power_final_w,area_init_um2,area_final_um2,"
+         "rel_gap,max_violation,seconds,memory_bytes\n";
+  for (const auto& job : result.jobs) {
+    out << job.name << ',' << job.seed << ',' << (job.ok ? 1 : 0) << ',';
+    if (!job.ok) {
+      out << ",,,,,,,,,,,,,," << job.seconds << ",\n";
+      continue;
+    }
+    const core::FlowSummary& s = job.summary;
+    out.precision(17);
+    out << s.num_gates << ',' << s.num_wires << ',' << s.iterations << ','
+        << (s.converged ? 1 : 0) << ',' << s.init_metrics.noise_f << ','
+        << s.final_metrics.noise_f << ',' << s.init_metrics.delay_s << ','
+        << s.final_metrics.delay_s << ',' << s.init_metrics.power_w << ','
+        << s.final_metrics.power_w << ',' << s.init_metrics.area_um2 << ','
+        << s.final_metrics.area_um2 << ',' << s.rel_gap << ','
+        << s.max_violation << ',' << job.seconds << ',' << s.memory_bytes
+        << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace lrsizer::runtime

@@ -1,0 +1,100 @@
+// Batch-flow layer: run many independent two-stage sizing flows (one per
+// BatchJob) concurrently on a ThreadPool and aggregate the results.
+//
+// Each job is fully deterministic given its netlist and options — jobs share
+// no mutable state, so a batch produces bit-identical per-job results
+// whether it runs on 1 worker or 8 (test_runtime asserts this). The rollup
+// records both the batch wall clock and the summed per-job seconds; their
+// ratio is the observed parallel speedup the benches report.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/logic_netlist.hpp"
+#include "runtime/json.hpp"
+#include "runtime/pool.hpp"
+
+namespace lrsizer::runtime {
+
+struct BatchJob {
+  std::string name;                ///< report label (profile or file stem)
+  netlist::LogicNetlist netlist;   ///< finalized input circuit
+  core::FlowOptions options;
+  std::uint64_t seed = 1;          ///< generator seed (0 for parsed inputs)
+};
+
+/// Build a job from one of the paper's Table-1 profiles (synthesizes the
+/// netlist with `spec_for_profile(profile, seed)`).
+BatchJob make_profile_job(const std::string& profile, std::uint64_t seed = 1,
+                          const core::FlowOptions& options = core::FlowOptions{});
+
+struct JobOutcome {
+  std::string name;
+  std::uint64_t seed = 1;
+  bool ok = false;
+  std::string error;              ///< exception text when !ok
+  netlist::LogicNetlist netlist;  ///< the job's input, handed back
+  /// Full flow result; engaged when ok unless the batch ran with
+  /// keep_flow_results = false.
+  std::optional<core::FlowResult> flow;
+  core::FlowSummary summary;
+  double seconds = 0.0;           ///< this job's wall time inside its worker
+};
+
+struct BatchOptions {
+  /// Worker threads; 0 means hardware concurrency.
+  int jobs = 0;
+  /// Drop each job's full FlowResult (circuit/coupling/history) after
+  /// summarizing, keeping only JobOutcome::summary. Saves memory on large
+  /// sweeps where only the report matters.
+  bool keep_flow_results = true;
+};
+
+struct BatchResult {
+  std::vector<JobOutcome> jobs;        ///< submit order, not completion order
+  int num_workers = 0;
+  double wall_seconds = 0.0;           ///< whole-batch wall clock
+  double total_job_seconds = 0.0;      ///< Σ per-job seconds
+  std::size_t total_memory_bytes = 0;  ///< Σ per-job memory_bytes
+  std::size_t peak_memory_bytes = 0;   ///< max per-job memory_bytes
+  std::int64_t steals = 0;             ///< pool work-steal count
+
+  std::size_t num_failed() const;
+  /// Σ job seconds / wall seconds — the observed parallel speedup.
+  double speedup() const {
+    return wall_seconds > 0.0 ? total_job_seconds / wall_seconds : 0.0;
+  }
+};
+
+/// Run every job on a fresh pool of `options.jobs` workers.
+BatchResult run_batch(std::vector<BatchJob> jobs,
+                      const BatchOptions& options = BatchOptions{});
+
+/// Run every job on an existing pool (the pool may be shared with other
+/// work; the rollup still only counts this batch's jobs).
+BatchResult run_batch(std::vector<BatchJob> jobs, ThreadPool& pool,
+                      const BatchOptions& options = BatchOptions{});
+
+// ---- report serialization ---------------------------------------------------
+
+/// One job as a JSON object (name, seed, ok/error, and the FlowSummary
+/// fields; metrics nested under "init"/"final").
+Json job_json(const JobOutcome& outcome);
+
+/// Inverse of job_json's summary part — the schema round-trip used by tests
+/// and downstream report consumers. Throws std::out_of_range on missing keys.
+core::FlowSummary summary_from_json(const Json& j);
+
+/// Whole batch: {"schema": "lrsizer-batch-v1", "workers": N, rollups,
+/// "jobs": [...]}.
+Json batch_json(const BatchResult& result);
+
+/// CSV with one row per job (header included), matching job_json's scalars.
+std::string batch_csv(const BatchResult& result);
+
+}  // namespace lrsizer::runtime

@@ -1,11 +1,21 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace lrsizer::util {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Single mutex-guarded sink: concurrent batch jobs log whole lines without
+// interleaving. The level check stays outside the lock so disabled levels
+// cost one relaxed atomic load.
+std::mutex& sink_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
 
 const char* level_tag(LogLevel level) {
   switch (level) {
@@ -19,12 +29,18 @@ const char* level_tag(LogLevel level) {
 }
 }  // namespace
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 void log_line(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) <
+      static_cast<int>(g_level.load(std::memory_order_relaxed))) {
+    return;
+  }
+  std::lock_guard<std::mutex> lock(sink_mutex());
   std::fprintf(stderr, "[lrsizer %s] %s\n", level_tag(level), message.c_str());
 }
 

@@ -4,6 +4,11 @@
 // and examples raise the level for progress reporting. No global mutable
 // state other than the level, which is process-wide by design (it is a
 // diagnostic knob, not program data).
+//
+// Thread safety: the level is atomic and the sink is a single mutex-guarded
+// fprintf, so concurrent batch jobs (runtime/batch) emit whole lines without
+// interleaving. The level check happens before the lock is taken, so
+// filtered-out messages never contend.
 #pragma once
 
 #include <sstream>

@@ -2,7 +2,7 @@
 
 namespace lrsizer::util {
 
-void MemoryTracker::add(const std::string& category, std::size_t bytes) {
+void MemoryTracker::add_locked(const std::string& category, std::size_t bytes) {
   for (auto& [name, sum] : categories_) {
     if (name == category) {
       sum += bytes;
@@ -12,7 +12,21 @@ void MemoryTracker::add(const std::string& category, std::size_t bytes) {
   categories_.emplace_back(category, bytes);
 }
 
+void MemoryTracker::add(const std::string& category, std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  add_locked(category, bytes);
+}
+
+void MemoryTracker::merge(const MemoryTracker& other) {
+  // Snapshot first so the two locks are never held together (no lock-order
+  // cycle if two trackers merge into each other concurrently).
+  const auto snapshot = other.categories();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, sum] : snapshot) add_locked(name, sum);
+}
+
 std::size_t MemoryTracker::category_bytes(const std::string& category) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, sum] : categories_) {
     if (name == category) return sum;
   }
@@ -20,6 +34,7 @@ std::size_t MemoryTracker::category_bytes(const std::string& category) const {
 }
 
 std::size_t MemoryTracker::tracked_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
   for (const auto& [name, sum] : categories_) total += sum;
   return total;
@@ -27,6 +42,14 @@ std::size_t MemoryTracker::tracked_bytes() const {
 
 std::size_t MemoryTracker::total_bytes() const { return kBaseBytes + tracked_bytes(); }
 
-void MemoryTracker::clear() { categories_.clear(); }
+std::vector<std::pair<std::string, std::size_t>> MemoryTracker::categories() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return categories_;
+}
+
+void MemoryTracker::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  categories_.clear();
+}
 
 }  // namespace lrsizer::util

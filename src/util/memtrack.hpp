@@ -7,9 +7,15 @@
 // tracker object, plus a fixed base representing the process/runtime
 // overhead. Callers register named categories; `total_bytes()` is what the
 // benches report.
+//
+// Thread safety: every accessor is guarded by an internal mutex, so one
+// tracker can be shared across concurrent batch jobs (runtime/batch). The
+// cheaper pattern — one tracker per job, merged into a rollup afterwards
+// via merge() — is what the batch runtime itself uses; both are correct.
 #pragma once
 
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,8 +28,17 @@ class MemoryTracker {
   /// paper's Figure 10(a) shows at tiny circuit sizes.
   static constexpr std::size_t kBaseBytes = 900 * 1024;
 
+  MemoryTracker() = default;
+  // The mutex makes the tracker non-copyable; per-job trackers are cheap to
+  // create and merge instead.
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
   /// Add `bytes` under `category`, creating the category if needed.
   void add(const std::string& category, std::size_t bytes);
+
+  /// Fold every category of `other` into this tracker (batch rollups).
+  void merge(const MemoryTracker& other);
 
   /// Bytes accumulated for one category (0 if absent).
   std::size_t category_bytes(const std::string& category) const;
@@ -34,13 +49,15 @@ class MemoryTracker {
   /// Sum over categories only (no base); useful for linearity fits.
   std::size_t tracked_bytes() const;
 
-  const std::vector<std::pair<std::string, std::size_t>>& categories() const {
-    return categories_;
-  }
+  /// Snapshot of the (category, bytes) pairs in insertion order.
+  std::vector<std::pair<std::string, std::size_t>> categories() const;
 
   void clear();
 
  private:
+  void add_locked(const std::string& category, std::size_t bytes);
+
+  mutable std::mutex mutex_;
   std::vector<std::pair<std::string, std::size_t>> categories_;
 };
 

@@ -1,0 +1,351 @@
+// Tests for the parallel batch-flow runtime: thread-pool scheduling,
+// batch determinism across worker counts, and JSON schema round-trips.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/generator.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/json.hpp"
+#include "runtime/pool.hpp"
+#include "util/memtrack.hpp"
+
+namespace lrsizer {
+namespace {
+
+// ---- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, ReturnsResultsThroughFutures) {
+  runtime::ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  int sum = 0;
+  for (auto& f : futures) sum += f.get();
+  int expected = 0;
+  for (int i = 0; i < 64; ++i) expected += i * i;
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(ThreadPool, DefaultsToAtLeastOneWorker) {
+  runtime::ThreadPool pool(0);
+  EXPECT_GE(pool.num_workers(), 1);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, PropagatesExceptionsThroughFutures) {
+  runtime::ThreadPool pool(2);
+  auto future = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The worker that ran the throwing task must still be alive.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPool, WaitIdleDrainsAllSubmittedWork) {
+  runtime::ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, SubmitFromInsideATaskCompletes) {
+  runtime::ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &done] {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPool, UnevenTasksAllComplete) {
+  // A few slow tasks next to many fast ones: with per-worker FIFO deques the
+  // fast tasks land behind slow ones and only stealing lets siblings drain
+  // them; everything must still complete promptly.
+  runtime::ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([&done, i] {
+      if (i % 8 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      done.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 32);
+  EXPECT_GE(pool.steal_count(), 0);
+}
+
+TEST(ThreadPool, DestructorWaitsForQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    runtime::ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+  }
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPool, SharedMemoryTrackerStaysConsistent) {
+  // The memtrack satellite: concurrent adds to one tracker must not lose
+  // updates or corrupt the category list.
+  util::MemoryTracker tracker;
+  runtime::ThreadPool pool(4);
+  for (int i = 0; i < 200; ++i) {
+    pool.submit([&tracker] {
+      tracker.add("shared", 10);
+      tracker.add("other", 1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(tracker.category_bytes("shared"), 2000u);
+  EXPECT_EQ(tracker.category_bytes("other"), 200u);
+  EXPECT_EQ(tracker.tracked_bytes(), 2200u);
+  EXPECT_EQ(tracker.categories().size(), 2u);
+
+  util::MemoryTracker rollup;
+  rollup.add("other", 5);
+  rollup.merge(tracker);
+  EXPECT_EQ(rollup.category_bytes("other"), 205u);
+  EXPECT_EQ(rollup.tracked_bytes(), 2205u);
+}
+
+// ---- batch flow -------------------------------------------------------------
+
+netlist::GeneratorSpec small_spec(std::uint64_t seed) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 40;
+  spec.num_wires = 80;
+  spec.num_inputs = 8;
+  spec.num_outputs = 4;
+  spec.depth = 6;
+  spec.seed = seed;
+  return spec;
+}
+
+std::vector<runtime::BatchJob> small_jobs(int count) {
+  std::vector<runtime::BatchJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    runtime::BatchJob job;
+    job.name = "job" + std::to_string(i);
+    job.seed = static_cast<std::uint64_t>(i + 1);
+    job.netlist = netlist::generate_circuit(small_spec(job.seed));
+    job.options.num_vectors = 8;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(Batch, ResultsStayInSubmitOrder) {
+  auto batch = runtime::run_batch(small_jobs(4), runtime::BatchOptions{2, true});
+  ASSERT_EQ(batch.jobs.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch.jobs[static_cast<std::size_t>(i)].name,
+              "job" + std::to_string(i));
+    EXPECT_TRUE(batch.jobs[static_cast<std::size_t>(i)].ok);
+  }
+  EXPECT_EQ(batch.num_failed(), 0u);
+  EXPECT_EQ(batch.num_workers, 2);
+}
+
+TEST(Batch, DeterministicAcrossWorkerCounts) {
+  // The headline contract: per-job results are bit-identical whether the
+  // batch runs sequentially or on 8 oversubscribed workers.
+  auto sequential = runtime::run_batch(small_jobs(6), runtime::BatchOptions{1, true});
+  auto parallel = runtime::run_batch(small_jobs(6), runtime::BatchOptions{8, true});
+  ASSERT_EQ(sequential.jobs.size(), parallel.jobs.size());
+  for (std::size_t i = 0; i < sequential.jobs.size(); ++i) {
+    const auto& a = sequential.jobs[i];
+    const auto& b = parallel.jobs[i];
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    ASSERT_TRUE(a.flow.has_value());
+    ASSERT_TRUE(b.flow.has_value());
+    // Bit-exact size vectors (no tolerance).
+    EXPECT_EQ(a.flow->circuit.sizes(), b.flow->circuit.sizes());
+    EXPECT_EQ(a.summary.iterations, b.summary.iterations);
+    EXPECT_EQ(a.summary.final_metrics.delay_s, b.summary.final_metrics.delay_s);
+    EXPECT_EQ(a.summary.final_metrics.noise_f, b.summary.final_metrics.noise_f);
+    EXPECT_EQ(a.summary.final_metrics.area_um2, b.summary.final_metrics.area_um2);
+    // The serialized report (timings excluded) must also match byte for byte.
+    auto strip_timing = [](runtime::Json j) {
+      j.set("seconds", 0);
+      j.set("stage1_seconds", 0);
+      j.set("stage2_seconds", 0);
+      return j.dump();
+    };
+    EXPECT_EQ(strip_timing(runtime::job_json(a)), strip_timing(runtime::job_json(b)));
+  }
+}
+
+TEST(Batch, RollupsAggregatePerJobNumbers) {
+  auto batch = runtime::run_batch(small_jobs(3), runtime::BatchOptions{2, true});
+  EXPECT_GT(batch.wall_seconds, 0.0);
+  EXPECT_GT(batch.total_job_seconds, 0.0);
+  EXPECT_GT(batch.speedup(), 0.0);
+  std::size_t total = 0;
+  std::size_t peak = 0;
+  for (const auto& job : batch.jobs) {
+    total += job.summary.memory_bytes;
+    peak = std::max(peak, job.summary.memory_bytes);
+  }
+  EXPECT_EQ(batch.total_memory_bytes, total);
+  EXPECT_EQ(batch.peak_memory_bytes, peak);
+}
+
+TEST(Batch, FailedJobIsReportedNotFatal) {
+  auto jobs = small_jobs(2);
+  runtime::BatchJob bad;
+  bad.name = "bad";
+  // Netlist never finalized: the job must fail with an error message while
+  // the rest of the batch completes.
+  jobs.push_back(std::move(bad));
+  auto batch = runtime::run_batch(std::move(jobs), runtime::BatchOptions{2, true});
+  EXPECT_EQ(batch.num_failed(), 1u);
+  EXPECT_TRUE(batch.jobs[0].ok);
+  EXPECT_TRUE(batch.jobs[1].ok);
+  EXPECT_FALSE(batch.jobs[2].ok);
+  EXPECT_NE(batch.jobs[2].error.find("not finalized"), std::string::npos);
+  const runtime::Json report = runtime::batch_json(batch);
+  EXPECT_EQ(report.at("failed").as_number(), 1.0);
+}
+
+TEST(Batch, KeepFlowResultsFalseDropsHeavyState) {
+  auto batch = runtime::run_batch(small_jobs(1), runtime::BatchOptions{1, false});
+  ASSERT_TRUE(batch.jobs[0].ok);
+  EXPECT_FALSE(batch.jobs[0].flow.has_value());
+  // The summary survives.
+  EXPECT_GT(batch.jobs[0].summary.iterations, 0);
+}
+
+TEST(Batch, ProfileJobMatchesDirectFlowRun) {
+  // make_profile_job + run_batch must reproduce a direct library call.
+  core::FlowOptions options;
+  options.num_vectors = 8;
+  const auto logic =
+      netlist::generate_circuit(netlist::spec_for_profile("c432", 1));
+  const auto direct = core::run_two_stage_flow(logic, options);
+
+  std::vector<runtime::BatchJob> jobs;
+  jobs.push_back(runtime::make_profile_job("c432", 1, options));
+  auto batch = runtime::run_batch(std::move(jobs), runtime::BatchOptions{1, true});
+  ASSERT_TRUE(batch.jobs[0].ok);
+  EXPECT_EQ(batch.jobs[0].flow->circuit.sizes(), direct.circuit.sizes());
+  EXPECT_EQ(batch.jobs[0].summary.iterations, direct.ogws.iterations);
+}
+
+// ---- JSON -------------------------------------------------------------------
+
+TEST(Json, DumpAndParseRoundTrip) {
+  runtime::Json doc = runtime::Json::object();
+  doc.set("string", "hello \"world\"\n");
+  doc.set("int", 42);
+  doc.set("negative", -17.25);
+  doc.set("tiny", 1.9835457330398077e-12);
+  doc.set("bool", true);
+  doc.set("null", nullptr);
+  runtime::Json arr = runtime::Json::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  arr.push_back(runtime::Json::object());
+  doc.set("arr", arr);
+
+  for (int indent : {0, 2}) {
+    const runtime::Json parsed = runtime::Json::parse(doc.dump(indent));
+    EXPECT_EQ(parsed, doc) << "indent=" << indent;
+  }
+}
+
+TEST(Json, NumbersRoundTripBitExact) {
+  for (double value : {0.1, 1.0 / 3.0, 1.9835457330398077e-12, -6.02e23,
+                       1747.003523931482, 0.0}) {
+    const runtime::Json parsed = runtime::Json::parse(runtime::Json(value).dump());
+    EXPECT_EQ(parsed.as_number(), value);
+  }
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  runtime::Json doc = runtime::Json::object();
+  doc.set("z", 1);
+  doc.set("a", 2);
+  doc.set("m", 3);
+  EXPECT_EQ(doc.dump(), "{\"z\":1,\"a\":2,\"m\":3}");
+  doc.set("a", 9);  // overwrite keeps the slot
+  EXPECT_EQ(doc.dump(), "{\"z\":1,\"a\":9,\"m\":3}");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(runtime::Json::parse("{"), runtime::JsonParseError);
+  EXPECT_THROW(runtime::Json::parse("[1,]2"), runtime::JsonParseError);
+  EXPECT_THROW(runtime::Json::parse("\"unterminated"), runtime::JsonParseError);
+  EXPECT_THROW(runtime::Json::parse("{\"a\" 1}"), runtime::JsonParseError);
+  EXPECT_THROW(runtime::Json::parse("tru"), runtime::JsonParseError);
+  EXPECT_THROW(runtime::Json::parse("1 2"), runtime::JsonParseError);
+  EXPECT_THROW(runtime::Json::parse(""), runtime::JsonParseError);
+}
+
+TEST(Json, ParseHandlesEscapesAndWhitespace) {
+  const runtime::Json doc =
+      runtime::Json::parse(" { \"a\\tb\" : [ true , null , \"\\u0041\" ] } ");
+  const auto& arr = doc.at("a\tb").as_array();
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr[0].as_bool());
+  EXPECT_TRUE(arr[1].is_null());
+  EXPECT_EQ(arr[2].as_string(), "A");
+}
+
+TEST(Json, BatchReportSchemaRoundTrips) {
+  auto batch = runtime::run_batch(small_jobs(2), runtime::BatchOptions{2, true});
+  const runtime::Json report = runtime::batch_json(batch);
+  EXPECT_EQ(report.at("schema").as_string(), "lrsizer-batch-v1");
+  EXPECT_EQ(report.at("workers").as_number(), 2.0);
+  EXPECT_EQ(report.at("jobs").size(), 2u);
+
+  // Serialize -> parse -> re-serialize is a fixed point.
+  const std::string text = report.dump(2);
+  const runtime::Json parsed = runtime::Json::parse(text);
+  EXPECT_EQ(parsed, report);
+  EXPECT_EQ(parsed.dump(2), text);
+
+  // And the per-job summary survives the round-trip field for field.
+  const runtime::Json& job0 = parsed.at("jobs").as_array()[0];
+  const core::FlowSummary restored = runtime::summary_from_json(job0);
+  const core::FlowSummary& original = batch.jobs[0].summary;
+  EXPECT_EQ(restored.num_gates, original.num_gates);
+  EXPECT_EQ(restored.num_wires, original.num_wires);
+  EXPECT_EQ(restored.iterations, original.iterations);
+  EXPECT_EQ(restored.converged, original.converged);
+  EXPECT_EQ(restored.final_metrics.delay_s, original.final_metrics.delay_s);
+  EXPECT_EQ(restored.final_metrics.noise_f, original.final_metrics.noise_f);
+  EXPECT_EQ(restored.final_metrics.area_um2, original.final_metrics.area_um2);
+  EXPECT_EQ(restored.memory_bytes, original.memory_bytes);
+}
+
+TEST(Batch, CsvHasOneRowPerJobPlusHeader) {
+  auto batch = runtime::run_batch(small_jobs(3), runtime::BatchOptions{1, true});
+  const std::string csv = runtime::batch_csv(batch);
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, 4u);  // header + 3 jobs
+  EXPECT_EQ(csv.find("name,seed,ok"), 0u);
+  EXPECT_NE(csv.find("job0,1,1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lrsizer

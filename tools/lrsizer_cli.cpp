@@ -1,0 +1,429 @@
+// lrsizer — command-line driver for the two-stage sizing flow.
+//
+//   lrsizer run <input>                  size one circuit
+//   lrsizer batch --profiles all --jobs 8    size many circuits in parallel
+//   lrsizer sweep --noise 0.05:0.25:0.05     noise-bound sweep
+//   lrsizer profiles                     list the built-in Table-1 profiles
+//
+// <input> is a `.bench` file path or a built-in profile name ("c17",
+// "c432" ... "c7552"; profile inputs are synthesized with the Table-1
+// generator). Reports go to stdout plus optional --json / --csv files;
+// sized netlists are emitted as `.bench` with `# size` annotation comments
+// (still parseable by any .bench reader, including `lrsizer run` itself).
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "core/report.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/bench_writer.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_profiles.hpp"
+#include "runtime/batch.hpp"
+#include "util/logging.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lrsizer;
+
+constexpr const char* kVersion = "lrsizer 0.2.0";
+
+constexpr const char* kUsage = R"(usage:
+  lrsizer run <input> [options]               size one circuit
+  lrsizer batch [inputs...] [options]         size many circuits in parallel
+  lrsizer sweep --noise LO:HI:STEP [options]  sweep the noise-bound factor
+  lrsizer profiles                            list built-in Table-1 profiles
+  lrsizer --help | --version
+
+inputs:
+  a `.bench` file path, or a built-in profile name (c17, c432 ... c7552);
+  profile inputs are synthesized to the paper's Table-1 #G/#W.
+
+options:
+  --profiles LIST   (batch) comma-separated profile names, or "all"
+  --profile NAME    (sweep) circuit to sweep (default c432)
+  --noise LO:HI:STEP (sweep) inclusive range of noise-bound factors
+  --jobs N          worker threads (default: hardware concurrency)
+  --seed N          generator/elaboration seed (default 1)
+  --vectors N       stage-1 simulation vectors (default 32)
+  --no-woss         keep the initial track order (skip stage-1 WOSS)
+  --delay-bound F   A0 = F x initial delay  (default 1.00)
+  --power-bound F   P0 = F x initial power  (default 0.15)
+  --noise-bound F   X0 = F x initial noise  (default 0.10)
+  --out FILE        (run) write the sized .bench here
+  --out-dir DIR     (batch/sweep) write one sized .bench per job into DIR
+  --json FILE       write the JSON report ("-" for stdout)
+  --csv FILE        write the CSV report ("-" for stdout)
+  --quiet           errors only
+  --verbose         per-job progress on stderr
+)";
+
+struct CliOptions {
+  std::string command;
+  std::vector<std::string> inputs;
+  std::string profiles;
+  std::string sweep_profile = "c432";
+  std::string sweep_range;
+  std::uint64_t seed = 1;
+  std::int32_t vectors = 32;
+  bool use_woss = true;
+  double delay_bound = 1.0;
+  double power_bound = 0.15;
+  double noise_bound = 0.10;
+  int jobs = 0;
+  std::string out_path;
+  std::string out_dir;
+  std::string json_path;
+  std::string csv_path;
+};
+
+[[noreturn]] void fail(const std::string& message) {
+  std::cerr << "lrsizer: " << message << "\n\n" << kUsage;
+  std::exit(1);
+}
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t end = 0;
+    const double d = std::stod(value, &end);
+    if (end != value.size()) throw std::invalid_argument(value);
+    return d;
+  } catch (const std::exception&) {
+    fail("expected a number after " + flag + ", got '" + value + "'");
+  }
+}
+
+long parse_long(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t end = 0;
+    const long v = std::stol(value, &end);
+    if (end != value.size()) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    fail("expected an integer after " + flag + ", got '" + value + "'");
+  }
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions cli;
+  if (argc < 2) fail("missing command");
+  const std::string first = argv[1];
+  if (first == "--help" || first == "-h") {
+    std::cout << kUsage;
+    std::exit(0);
+  }
+  if (first == "--version") {
+    std::cout << kVersion << "\n";
+    std::exit(0);
+  }
+  cli.command = first;
+
+  auto next_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) fail(std::string("missing value after ") + argv[i]);
+    return argv[++i];
+  };
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--profiles") cli.profiles = next_value(i);
+    else if (arg == "--profile") cli.sweep_profile = next_value(i);
+    else if (arg == "--noise") cli.sweep_range = next_value(i);
+    else if (arg == "--jobs") cli.jobs = static_cast<int>(parse_long(arg, next_value(i)));
+    else if (arg == "--seed") cli.seed = static_cast<std::uint64_t>(parse_long(arg, next_value(i)));
+    else if (arg == "--vectors") cli.vectors = static_cast<std::int32_t>(parse_long(arg, next_value(i)));
+    else if (arg == "--no-woss") cli.use_woss = false;
+    else if (arg == "--delay-bound") cli.delay_bound = parse_double(arg, next_value(i));
+    else if (arg == "--power-bound") cli.power_bound = parse_double(arg, next_value(i));
+    else if (arg == "--noise-bound") cli.noise_bound = parse_double(arg, next_value(i));
+    else if (arg == "--out") cli.out_path = next_value(i);
+    else if (arg == "--out-dir") cli.out_dir = next_value(i);
+    else if (arg == "--json") cli.json_path = next_value(i);
+    else if (arg == "--csv") cli.csv_path = next_value(i);
+    else if (arg == "--quiet") util::set_log_level(util::LogLevel::kError);
+    else if (arg == "--verbose" || arg == "-v") util::set_log_level(util::LogLevel::kDebug);
+    else if (!arg.empty() && arg[0] == '-') fail("unknown option '" + arg + "'");
+    else cli.inputs.push_back(arg);
+  }
+  return cli;
+}
+
+core::FlowOptions flow_options(const CliOptions& cli) {
+  core::FlowOptions options;
+  options.elab.seed = cli.seed;  // wire lengths/driver strengths for .bench inputs
+  options.num_vectors = cli.vectors;
+  options.use_woss = cli.use_woss;
+  options.bound_factors.delay = cli.delay_bound;
+  options.bound_factors.power = cli.power_bound;
+  options.bound_factors.noise = cli.noise_bound;
+  return options;
+}
+
+bool is_known_profile(const std::string& name) {
+  if (name == "c17") return true;
+  for (const auto& profile : netlist::iscas85_profiles()) {
+    if (profile.name == name) return true;
+  }
+  return false;
+}
+
+/// File stem without directory or extension ("path/c432.bench" -> "c432").
+std::string input_stem(const std::string& input) {
+  return std::filesystem::path(input).stem().string();
+}
+
+runtime::BatchJob load_job(const std::string& input, const CliOptions& cli) {
+  runtime::BatchJob job;
+  job.options = flow_options(cli);
+  job.seed = cli.seed;
+  const bool looks_like_file =
+      input.find('/') != std::string::npos || input.find(".bench") != std::string::npos;
+  if (looks_like_file || std::filesystem::exists(input)) {
+    std::ifstream in(input);
+    if (!in) fail("cannot open '" + input + "'");
+    try {
+      job.netlist = netlist::parse_bench(in);
+    } catch (const netlist::BenchParseError& e) {
+      std::cerr << "lrsizer: " << input << ": " << e.what() << "\n";
+      std::exit(1);
+    }
+    job.name = input_stem(input);
+    return job;
+  }
+  if (input == "c17") {
+    job.netlist = netlist::parse_bench_string(netlist::kIscas85C17);
+    job.name = "c17";
+    return job;
+  }
+  if (!is_known_profile(input)) {
+    fail("'" + input + "' is neither a readable .bench file nor a known profile");
+  }
+  return runtime::make_profile_job(input, cli.seed, job.options);
+}
+
+/// Sized netlist as .bench text: the round-trippable netlist followed by
+/// `# size <node> <kind> <net> <value>` comment lines (ignored by parsers).
+std::string sized_bench_text(const runtime::JobOutcome& outcome) {
+  std::ostringstream header;
+  const core::FlowSummary& s = outcome.summary;
+  header << "sized by " << kVersion << ": " << outcome.name << " seed "
+         << outcome.seed << "; " << s.iterations << " iterations, final delay "
+         << s.final_metrics.delay_s * 1e12 << " ps, noise "
+         << s.final_metrics.noise_f * 1e12 << " pF, area "
+         << s.final_metrics.area_um2 << " um2";
+  std::string text = netlist::to_bench_string(outcome.netlist, header.str());
+
+  std::ostringstream sizes;
+  sizes << "#\n# component sizes: node kind net size\n";
+  const netlist::Circuit& circuit = outcome.flow->circuit;
+  sizes.precision(17);
+  for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+       ++v) {
+    const std::int32_t net = outcome.flow->net_of_node[static_cast<std::size_t>(v)];
+    const std::string& net_name =
+        net >= 0 ? outcome.netlist.gate(net).name : std::string("?");
+    sizes << "# size " << v << ' ' << (circuit.is_gate(v) ? "gate" : "wire") << ' '
+          << net_name << ' ' << circuit.size(v) << '\n';
+  }
+  return text + sizes.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  if (path == "-") {
+    std::cout << content;
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) fail("cannot write '" + path + "'");
+  out << content;
+}
+
+void write_reports(const runtime::BatchResult& batch, const CliOptions& cli) {
+  if (!cli.json_path.empty()) {
+    write_file(cli.json_path, runtime::batch_json(batch).dump(2) + "\n");
+  }
+  if (!cli.csv_path.empty()) write_file(cli.csv_path, runtime::batch_csv(batch));
+  if (!cli.out_dir.empty()) {
+    std::filesystem::create_directories(cli.out_dir);
+    for (const auto& outcome : batch.jobs) {
+      if (!outcome.ok) continue;
+      const auto path =
+          std::filesystem::path(cli.out_dir) / (outcome.name + ".bench");
+      write_file(path.string(), sized_bench_text(outcome));
+    }
+  }
+}
+
+void print_batch_table(const runtime::BatchResult& batch) {
+  util::TextTable table({"job", "#G", "#W", "ite", "noise F(pF)", "delay F(ps)",
+                         "pow F(mW)", "area F(um2)", "gap%", "time(s)", "mem(KB)"});
+  for (const auto& job : batch.jobs) {
+    if (!job.ok) {
+      table.add_row({job.name, "-", "-", "-", "FAILED: " + job.error, "", "", "",
+                     "", util::TextTable::num(job.seconds, 2), ""});
+      continue;
+    }
+    const core::FlowSummary& s = job.summary;
+    table.add_row(
+        {job.name, util::TextTable::integer(s.num_gates),
+         util::TextTable::integer(s.num_wires),
+         util::TextTable::integer(s.iterations),
+         util::TextTable::num(s.final_metrics.noise_f * 1e12, 2),
+         util::TextTable::num(s.final_metrics.delay_s * 1e12, 1),
+         util::TextTable::num(s.final_metrics.power_w * 1e3, 2),
+         util::TextTable::num(s.final_metrics.area_um2, 0),
+         util::TextTable::num(100.0 * s.rel_gap, 2),
+         util::TextTable::num(job.seconds, 2),
+         util::TextTable::integer(static_cast<long long>(s.memory_bytes / 1024))});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\n%zu job(s), %d worker(s): wall %.2f s, cpu %.2f s, speedup %.2fx, "
+      "steals %lld, peak mem %zu KB\n",
+      batch.jobs.size(), batch.num_workers, batch.wall_seconds,
+      batch.total_job_seconds, batch.speedup(),
+      static_cast<long long>(batch.steals), batch.peak_memory_bytes / 1024);
+}
+
+int finish(const runtime::BatchResult& batch, const CliOptions& cli) {
+  write_reports(batch, cli);
+  return batch.num_failed() == 0 ? 0 : 2;
+}
+
+// ---- commands ---------------------------------------------------------------
+
+int cmd_run(const CliOptions& cli) {
+  if (cli.inputs.size() != 1) fail("run expects exactly one input");
+  std::vector<runtime::BatchJob> jobs;
+  jobs.push_back(load_job(cli.inputs[0], cli));
+  runtime::BatchOptions batch_options;
+  batch_options.jobs = 1;
+  const auto batch = runtime::run_batch(std::move(jobs), batch_options);
+  const auto& outcome = batch.jobs[0];
+  if (!outcome.ok) {
+    std::cerr << "lrsizer: job failed: " << outcome.error << "\n";
+    return 2;
+  }
+
+  const core::FlowSummary& s = outcome.summary;
+  util::TextTable table({"metric", "bound", "init", "final"});
+  table.add_row({"noise (pF)", util::TextTable::num(s.bound_noise_f * 1e12, 3),
+                 util::TextTable::num(s.init_metrics.noise_f * 1e12, 3),
+                 util::TextTable::num(s.final_metrics.noise_f * 1e12, 3)});
+  table.add_row({"delay (ps)", util::TextTable::num(s.bound_delay_s * 1e12, 1),
+                 util::TextTable::num(s.init_metrics.delay_s * 1e12, 1),
+                 util::TextTable::num(s.final_metrics.delay_s * 1e12, 1)});
+  table.add_row({"cap (pF)", util::TextTable::num(s.bound_cap_f * 1e12, 3),
+                 util::TextTable::num(s.init_metrics.cap_f * 1e12, 3),
+                 util::TextTable::num(s.final_metrics.cap_f * 1e12, 3)});
+  table.add_row({"area (um2)", "-", util::TextTable::num(s.init_metrics.area_um2, 0),
+                 util::TextTable::num(s.final_metrics.area_um2, 0)});
+  std::printf("%s: #G=%d #W=%d, %s after %d iterations (gap %.2f%%)\n",
+              outcome.name.c_str(), s.num_gates, s.num_wires,
+              s.converged ? "converged" : "stopped", s.iterations,
+              100.0 * s.rel_gap);
+  table.print(std::cout);
+  std::printf("stage1 %.3f s, stage2 %.3f s, mem %zu KB\n", s.stage1_seconds,
+              s.stage2_seconds, s.memory_bytes / 1024);
+
+  if (!cli.out_path.empty()) write_file(cli.out_path, sized_bench_text(outcome));
+  return finish(batch, cli);
+}
+
+int cmd_batch(const CliOptions& cli) {
+  std::vector<runtime::BatchJob> jobs;
+  if (!cli.profiles.empty()) {
+    std::vector<std::string> names;
+    if (cli.profiles == "all") {
+      for (const auto& profile : netlist::iscas85_profiles()) {
+        names.push_back(profile.name);
+      }
+    } else {
+      std::stringstream ss(cli.profiles);
+      std::string name;
+      while (std::getline(ss, name, ',')) {
+        if (!name.empty()) names.push_back(name);
+      }
+    }
+    for (const auto& name : names) jobs.push_back(load_job(name, cli));
+  }
+  for (const auto& input : cli.inputs) jobs.push_back(load_job(input, cli));
+  if (jobs.empty()) fail("batch needs --profiles and/or input files");
+
+  runtime::BatchOptions batch_options;
+  batch_options.jobs = cli.jobs;
+  const auto batch = runtime::run_batch(std::move(jobs), batch_options);
+  print_batch_table(batch);
+  return finish(batch, cli);
+}
+
+int cmd_sweep(const CliOptions& cli) {
+  if (cli.sweep_range.empty()) fail("sweep needs --noise LO:HI:STEP");
+  double lo = 0.0, hi = 0.0, step = 0.0;
+  {
+    std::stringstream ss(cli.sweep_range);
+    std::string part;
+    std::vector<std::string> parts;
+    while (std::getline(ss, part, ':')) parts.push_back(part);
+    if (parts.size() != 3) fail("--noise expects LO:HI:STEP");
+    lo = parse_double("--noise", parts[0]);
+    hi = parse_double("--noise", parts[1]);
+    step = parse_double("--noise", parts[2]);
+    if (step <= 0.0 || hi < lo) fail("--noise range must have step > 0 and HI >= LO");
+  }
+  const std::string base =
+      cli.inputs.empty() ? cli.sweep_profile : cli.inputs[0];
+  // Load/synthesize the input once; every sweep point copies it and varies
+  // only the noise-bound factor.
+  const runtime::BatchJob base_job = load_job(base, cli);
+
+  std::vector<runtime::BatchJob> jobs;
+  // Half a step of slack so floating-point accumulation still includes HI.
+  for (double factor = lo; factor <= hi + step / 2; factor += step) {
+    runtime::BatchJob job = base_job;
+    job.options.bound_factors.noise = factor;
+    char suffix[32];
+    std::snprintf(suffix, sizeof(suffix), "@noise%.4g", factor);
+    job.name += suffix;
+    jobs.push_back(std::move(job));
+  }
+
+  runtime::BatchOptions batch_options;
+  batch_options.jobs = cli.jobs;
+  const auto batch = runtime::run_batch(std::move(jobs), batch_options);
+  print_batch_table(batch);
+  return finish(batch, cli);
+}
+
+int cmd_profiles() {
+  util::TextTable table({"name", "#G", "#W", "PI", "PO", "depth"});
+  for (const auto& profile : netlist::iscas85_profiles()) {
+    table.add_row({profile.name, util::TextTable::integer(profile.num_gates),
+                   util::TextTable::integer(profile.num_wires),
+                   util::TextTable::integer(profile.num_inputs),
+                   util::TextTable::integer(profile.num_outputs),
+                   util::TextTable::integer(profile.depth)});
+  }
+  table.print(std::cout);
+  std::printf("(plus \"c17\": the real ISCAS85 c17 netlist, parsed not generated)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::set_log_level(util::LogLevel::kWarn);
+  const CliOptions cli = parse_args(argc, argv);
+  if (cli.command == "run") return cmd_run(cli);
+  if (cli.command == "batch") return cmd_batch(cli);
+  if (cli.command == "sweep") return cmd_sweep(cli);
+  if (cli.command == "profiles") return cmd_profiles();
+  fail("unknown command '" + cli.command + "'");
+}
