@@ -6,10 +6,12 @@
 #include <string>
 #include <vector>
 
+#include "api/session.hpp"
 #include "core/flow.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/iscas_profiles.hpp"
 #include "runtime/batch.hpp"
+#include "util/assert.hpp"
 
 namespace lrsizer::bench {
 
@@ -26,13 +28,19 @@ inline core::FlowOptions paper_flow_options() {
   return options;
 }
 
-/// Run the full two-stage flow for one paper profile.
+/// Run the full two-stage flow for one paper profile through the staged
+/// session API (the same pipeline run_two_stage_flow shims over).
 inline core::FlowResult run_profile(const std::string& name, std::uint64_t seed = 1,
                                     const core::FlowOptions& options =
                                         paper_flow_options()) {
   const auto spec = netlist::spec_for_profile(name, seed);
-  const auto logic = netlist::generate_circuit(spec);
-  return core::run_two_stage_flow(logic, options);
+  api::SizingSession session(netlist::generate_circuit(spec), options);
+  // Paper-reproduction measurements are fire-and-forget: skip the restart
+  // snapshot so the timed loop matches the paper's per-iteration work.
+  session.set_capture_warm_start(false);
+  const api::Status status = session.run_all();
+  LRSIZER_ASSERT_MSG(status.ok(), status.to_string().c_str());
+  return session.take_result();
 }
 
 inline double improvement_pct(double init, double fin) {

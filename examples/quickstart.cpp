@@ -1,13 +1,19 @@
-// Quickstart: size the paper's Figure 1 circuit.
+// Quickstart: size the paper's Figure 1 circuit, then drive the staged
+// session API.
 //
-// Three input drivers, three gates, seven wires and one output load. We
-// build the circuit graph by hand with CircuitBuilder, declare two routing
-// channels so the wires have coupling neighbors, derive bounds from the
-// unit-size metrics and run OGWS. Output: a before/after metric table plus
-// the per-component sizes.
+// Act 1 — three input drivers, three gates, seven wires and one output
+// load. We build the circuit graph by hand with CircuitBuilder, declare two
+// routing channels so the wires have coupling neighbors, derive bounds from
+// the unit-size metrics and run OGWS. Output: a before/after metric table
+// plus the per-component sizes.
+//
+// Act 2 — api::SizingSession on ISCAS85 c17: validated options through
+// FlowOptionsBuilder, the four pipeline stages run individually, a
+// per-iteration progress observer, and a warm-started re-size that skips
+// the converged work.
 //
 // Run: build/examples/quickstart [--jobs N]
-// With --jobs, a second act sizes two Table-1 circuits concurrently through
+// With --jobs, a third act sizes two Table-1 circuits concurrently through
 // the batch runtime (runtime/batch) — the same path `lrsizer batch` drives.
 #include <cstdio>
 #include <cstdlib>
@@ -15,9 +21,12 @@
 #include <iostream>
 #include <vector>
 
+#include "api/options.hpp"
+#include "api/session.hpp"
 #include "core/ogws.hpp"
 #include "core/problem.hpp"
 #include "layout/neighbors.hpp"
+#include "netlist/bench_parser.hpp"
 #include "netlist/builder.hpp"
 #include "runtime/batch.hpp"
 #include "timing/metrics.hpp"
@@ -131,7 +140,51 @@ int main(int argc, char** argv) {
     std::printf("  %-6s %.3f\n", names[i], circuit.size(builder.node_of(handles[i])));
   }
 
-  // ---- optional second act: batch two circuits in parallel ------------------
+  // ---- act 2: the staged session API on ISCAS85 c17 -------------------------
+  {
+    std::printf("\nsession demo: staged sizing of ISCAS85 c17\n");
+
+    // Options through the validating builder (c17 is so shallow that the
+    // Table-1 factors are infeasible; these are the feasible ones).
+    core::FlowOptions options;
+    const api::Status built = api::FlowOptionsBuilder()
+                                  .vectors(16)
+                                  .delay_bound(1.15)
+                                  .noise_bound(0.12)
+                                  .build(options);
+    std::printf("  options: %s\n", built.to_string().c_str());
+
+    api::SizingSession session(netlist::parse_bench_string(netlist::kIscas85C17),
+                               options);
+    int iterations_seen = 0;
+    session.set_observer([&](const core::OgwsIterate&) { ++iterations_seen; });
+
+    // The same pipeline run_two_stage_flow() chains, one stage at a time —
+    // a server or notebook can checkpoint, report or abort between stages.
+    std::printf("  elaborate:          %s\n", session.elaborate().to_string().c_str());
+    std::printf("  simulate_and_order: %s\n",
+                session.simulate_and_order().to_string().c_str());
+    std::printf("  derive_bounds:      %s\n",
+                session.derive_bounds().to_string().c_str());
+    std::printf("  size:               %s\n", session.size().to_string().c_str());
+
+    const core::FlowSummary s = session.summary();
+    std::printf("  %s after %d iterations (observer saw %d), area %.1f um2\n",
+                s.converged ? "converged" : "stopped", s.iterations,
+                iterations_seen, s.final_metrics.area_um2);
+
+    // Warm start: a new session seeded with this result re-converges almost
+    // immediately under identical options.
+    api::SizingSession rerun(netlist::parse_bench_string(netlist::kIscas85C17),
+                             options);
+    (void)rerun.warm_start_from(session.result());
+    if (rerun.run_all().ok()) {
+      std::printf("  warm-started re-size: %d iteration(s) to re-converge\n",
+                  rerun.summary().iterations);
+    }
+  }
+
+  // ---- optional third act: batch two circuits in parallel -------------------
   if (batch_jobs > 0) {
     std::printf("\nbatch demo (--jobs %d): sizing c432 and c499 concurrently\n",
                 batch_jobs);

@@ -1,0 +1,347 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "api/options.hpp"
+#include "layout/ordering.hpp"
+#include "sim/patterns.hpp"
+#include "sim/similarity.hpp"
+#include "util/assert.hpp"
+#include "util/memtrack.hpp"
+#include "util/timer.hpp"
+
+namespace lrsizer::api {
+
+SizingSession::SizingSession(netlist::LogicNetlist netlist, core::FlowOptions options)
+    : netlist_(std::move(netlist)), options_(std::move(options)) {}
+
+const char* SizingSession::stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kElaborate: return "elaborate";
+    case Stage::kSimulateAndOrder: return "simulate_and_order";
+    case Stage::kDeriveBounds: return "derive_bounds";
+    case Stage::kSize: return "size";
+    case Stage::kDone: return "done";
+  }
+  return "?";
+}
+
+Status SizingSession::begin_stage(Stage expected, const char* name) {
+  if (next_ == Stage::kDone) {
+    return Status::FailedPrecondition(
+        std::string(name) +
+        "() called on a finished session; SizingSession is one-shot — build a "
+        "new session (optionally warm_start_from() this result) to re-size");
+  }
+  if (next_ != expected) {
+    return Status::FailedPrecondition(std::string(name) +
+                                      "() called out of order: the next stage is " +
+                                      stage_name(next_) + "()");
+  }
+  if (Status st = validate_options(options_); !st.ok()) return st;
+  if (stop_.stop_requested()) {
+    cancelled_ = true;
+    return Status::Cancelled(std::string("cancelled before ") + name + "()");
+  }
+  return Status::Ok();
+}
+
+Status SizingSession::warm_start_from(const core::FlowResult& prior) {
+  if (next_ == Stage::kDone) {
+    return Status::FailedPrecondition("warm_start_from() after size() has no effect");
+  }
+  if (warm_.has_value() || !warm_entries_.empty()) {
+    return Status::FailedPrecondition("a warm start is already configured");
+  }
+  core::OgwsWarmStart warm = prior.ogws.warm;
+  if (warm.sizes.empty()) warm.sizes = prior.ogws.sizes;
+  if (warm.sizes.empty()) {
+    return Status::InvalidArgument(
+        "prior FlowResult carries no sizes to warm-start from");
+  }
+  warm_ = std::move(warm);
+  return Status::Ok();
+}
+
+Status SizingSession::warm_start_sizes(
+    std::vector<std::pair<std::int32_t, double>> entries) {
+  if (next_ == Stage::kDone) {
+    return Status::FailedPrecondition("warm_start_sizes() after size() has no effect");
+  }
+  if (warm_.has_value() || !warm_entries_.empty()) {
+    return Status::FailedPrecondition("a warm start is already configured");
+  }
+  if (entries.empty()) {
+    return Status::InvalidArgument("warm_start_sizes() got an empty entry list");
+  }
+  warm_entries_ = std::move(entries);
+  return Status::Ok();
+}
+
+Status SizingSession::elaborate() {
+  if (Status st = begin_stage(Stage::kElaborate, "elaborate"); !st.ok()) return st;
+  if (!netlist_.finalized()) {
+    return Status::InvalidArgument(
+        "netlist is not finalized — call LogicNetlist::finalize() (or parse a "
+        "complete .bench) before sizing");
+  }
+  elab_ = netlist::elaborate(netlist_, options_.tech, options_.elab);
+  next_ = Stage::kSimulateAndOrder;
+  return Status::Ok();
+}
+
+Status SizingSession::simulate_and_order() {
+  if (Status st = begin_stage(Stage::kSimulateAndOrder, "simulate_and_order");
+      !st.ok()) {
+    return st;
+  }
+  const netlist::Circuit& circuit = elab_->circuit;
+  util::WallTimer stage1_timer;
+
+  const auto vectors = sim::random_vectors(
+      static_cast<std::int32_t>(netlist_.primary_inputs().size()),
+      options_.num_vectors, options_.pattern_seed);
+  const sim::SimResult simulated = sim::simulate(netlist_, vectors, options_.sim);
+
+  layout::ChannelAssignment channels = layout::assign_channels(
+      circuit, elab_->net_of_node, netlist_, options_.channels);
+
+  double cost_initial = 0.0;
+  double cost_final = 0.0;
+  std::vector<std::vector<netlist::NodeId>> orders;
+  orders.reserve(channels.channels.size());
+  for (const auto& tracks : channels.channels) {
+    // Per-channel similarity matrix over the wires' nets.
+    std::vector<std::int32_t> nets;
+    nets.reserve(tracks.size());
+    for (netlist::NodeId w : tracks) {
+      nets.push_back(elab_->net_of_node[static_cast<std::size_t>(w)]);
+    }
+    const sim::SimilarityMatrix sim_matrix(simulated, nets);
+
+    const auto n = static_cast<std::int32_t>(tracks.size());
+    std::vector<double> weights(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
+    for (std::int32_t a = 0; a < n; ++a) {
+      for (std::int32_t b = 0; b < n; ++b) {
+        weights[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
+                static_cast<std::size_t>(b)] = sim_matrix.miller_weight(a, b);
+      }
+    }
+    const layout::DenseWeights view(n, std::move(weights));
+
+    std::vector<std::int32_t> identity(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
+    cost_initial += layout::ordering_cost(view, identity);
+
+    std::vector<std::int32_t> order =
+        options_.use_woss ? layout::woss_ordering(view) : identity;
+    cost_final += layout::ordering_cost(view, order);
+
+    std::vector<netlist::NodeId> track_order(static_cast<std::size_t>(n));
+    for (std::int32_t i = 0; i < n; ++i) {
+      track_order[static_cast<std::size_t>(i)] =
+          tracks[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
+    }
+    orders.push_back(std::move(track_order));
+  }
+
+  // Miller weights for the final adjacency (constants folded into ĉ_ij).
+  layout::MillerFn miller;
+  if (options_.neighbors.fold_miller) {
+    miller = [&](netlist::NodeId a, netlist::NodeId b) {
+      const std::vector<std::int32_t> nets = {
+          elab_->net_of_node[static_cast<std::size_t>(a)],
+          elab_->net_of_node[static_cast<std::size_t>(b)]};
+      const sim::SimilarityMatrix m(simulated, nets);
+      return m.miller_weight(0, 1);
+    };
+  }
+  coupling_ = layout::build_coupling_set(circuit, orders, options_.neighbors, miller);
+
+  ordering_cost_initial_ = cost_initial;
+  ordering_cost_woss_ = cost_final;
+  stage1_seconds_ = stage1_timer.seconds();
+  next_ = Stage::kDeriveBounds;
+  return Status::Ok();
+}
+
+Status SizingSession::derive_bounds() {
+  if (Status st = begin_stage(Stage::kDeriveBounds, "derive_bounds"); !st.ok()) {
+    return st;
+  }
+  netlist::Circuit& circuit = elab_->circuit;
+  util::WallTimer timer;
+  circuit.set_uniform_size(options_.initial_size);
+  init_metrics_ = timing::compute_metrics(circuit, *coupling_, circuit.sizes(),
+                                          options_.ogws.lrs.mode);
+  bounds_ = core::derive_bounds(circuit, *coupling_, circuit.sizes(),
+                                options_.ogws.lrs.mode, options_.bound_factors);
+  stage2_seconds_ = timer.seconds();
+  if (bounds_.delay_s <= 0.0 || bounds_.cap_f <= 0.0 || bounds_.noise_f <= 0.0) {
+    std::ostringstream out;
+    out << "derived bounds are degenerate (A0 = " << bounds_.delay_s
+        << " s, P0 = " << bounds_.cap_f << " F, X0 = " << bounds_.noise_f
+        << " F) — the initial circuit has a zero metric; check the channel/"
+           "coupling options and bound factors";
+    return Status::InvalidArgument(out.str());
+  }
+  next_ = Stage::kSize;
+  return Status::Ok();
+}
+
+Status SizingSession::size() {
+  if (Status st = begin_stage(Stage::kSize, "size"); !st.ok()) return st;
+  netlist::Circuit& circuit = elab_->circuit;
+
+  // Materialize a sparse warm start against the now-known circuit.
+  if (!warm_entries_.empty()) {
+    core::OgwsWarmStart warm;
+    warm.sizes = circuit.sizes();
+    for (const auto& [node, size] : warm_entries_) {
+      if (node < circuit.first_component() || node >= circuit.end_component()) {
+        std::ostringstream out;
+        out << "warm-start size entry names node " << node
+            << ", outside the elaborated circuit's component range ["
+            << circuit.first_component() << ", " << circuit.end_component() << ")";
+        return Status::InvalidArgument(out.str());
+      }
+      if (!(size > 0.0)) {
+        std::ostringstream out;
+        out << "warm-start size for node " << node << " must be > 0 (got " << size
+            << ")";
+        return Status::InvalidArgument(out.str());
+      }
+      warm.sizes[static_cast<std::size_t>(node)] =
+          std::clamp(size, circuit.lower_bound(node), circuit.upper_bound(node));
+    }
+    warm_ = std::move(warm);
+    warm_entries_.clear();
+  }
+  if (warm_.has_value()) {
+    if (warm_->sizes.size() != static_cast<std::size_t>(circuit.num_nodes())) {
+      std::ostringstream out;
+      out << "warm-start sizes carry " << warm_->sizes.size()
+          << " entries but the elaborated circuit has " << circuit.num_nodes()
+          << " nodes — was the prior result produced from the same netlist and "
+             "elaboration options?";
+      return Status::InvalidArgument(out.str());
+    }
+    if (!warm_->lambda.empty() &&
+        warm_->lambda.size() != static_cast<std::size_t>(circuit.num_edges())) {
+      std::ostringstream out;
+      out << "warm-start multipliers carry " << warm_->lambda.size()
+          << " entries but the elaborated circuit has " << circuit.num_edges()
+          << " edges — was the prior result produced from the same netlist and "
+             "elaboration options?";
+      return Status::InvalidArgument(out.str());
+    }
+  }
+
+  core::OgwsControl control;
+  control.observer = observer_;
+  control.stop = stop_;
+  control.capture_warm_start = capture_warm_start_;
+  if (warm_.has_value()) control.warm_start = &*warm_;
+
+  util::WallTimer stage2_timer;
+  core::OgwsResult ogws =
+      core::run_ogws(circuit, *coupling_, bounds_, options_.ogws, control);
+  circuit.mutable_sizes() = ogws.sizes;
+  const timing::Metrics final_metrics = timing::compute_metrics(
+      circuit, *coupling_, circuit.sizes(), options_.ogws.lrs.mode);
+  stage2_seconds_ += stage2_timer.seconds();
+
+  core::FlowResult result{std::move(elab_->circuit),
+                          std::move(*coupling_),
+                          bounds_,
+                          init_metrics_,
+                          final_metrics,
+                          std::move(ogws),
+                          ordering_cost_initial_,
+                          ordering_cost_woss_,
+                          stage1_seconds_,
+                          stage2_seconds_,
+                          0,
+                          {}};
+  result.net_of_node = std::move(elab_->net_of_node);
+
+  util::MemoryTracker tracker;
+  result.circuit.account_memory(tracker);
+  result.coupling.account_memory(tracker);
+  tracker.add("ogws/workspace", result.ogws.workspace_bytes);
+  result.memory_bytes = tracker.total_bytes();
+
+  result_ = std::move(result);
+  elab_.reset();
+  coupling_.reset();
+  next_ = Stage::kDone;
+  if (result_->ogws.cancelled) {
+    cancelled_ = true;
+    return Status::Cancelled("sizing cancelled after " +
+                             std::to_string(result_->ogws.iterations) +
+                             " iteration(s); partial result available");
+  }
+  return Status::Ok();
+}
+
+Status SizingSession::run_all() {
+  while (next_ != Stage::kDone) {
+    Status status;
+    switch (next_) {
+      case Stage::kElaborate: status = elaborate(); break;
+      case Stage::kSimulateAndOrder: status = simulate_and_order(); break;
+      case Stage::kDeriveBounds: status = derive_bounds(); break;
+      case Stage::kSize: status = size(); break;
+      case Stage::kDone: break;
+    }
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
+}
+
+const core::FlowResult& SizingSession::result() const {
+  LRSIZER_ASSERT_MSG(result_.has_value(),
+                     "SizingSession::result() before size() produced one");
+  return *result_;
+}
+
+core::FlowResult SizingSession::take_result() {
+  LRSIZER_ASSERT_MSG(result_.has_value(),
+                     "SizingSession::take_result() before size() produced one");
+  core::FlowResult out = std::move(*result_);
+  result_.reset();
+  return out;
+}
+
+core::FlowSummary SizingSession::summary() const {
+  return core::summarize_flow(result());
+}
+
+netlist::LogicNetlist SizingSession::release_netlist() {
+  return std::move(netlist_);
+}
+
+}  // namespace lrsizer::api
+
+namespace lrsizer::core {
+
+FlowResult run_two_stage_flow(const netlist::LogicNetlist& logic,
+                              const FlowOptions& options) {
+  // Compatibility shim over the staged session (declared in core/flow.hpp,
+  // defined here so core/ never includes upward into the api layer). It
+  // preserves the historical contract — bad input dies loudly, see
+  // util/assert.hpp — by promoting any stage Status to a checked-assert
+  // failure. The session owns its inputs, so this copies the netlist once:
+  // one O(V+E) copy against the hundreds of O(V+E) optimizer passes a run
+  // performs, kept in preference to a lifetime-sensitive borrowing
+  // constructor.
+  api::SizingSession session(logic, options);
+  const api::Status status = session.run_all();
+  LRSIZER_ASSERT_MSG(status.ok(), status.to_string().c_str());
+  return session.take_result();
+}
+
+}  // namespace lrsizer::core

@@ -1,0 +1,73 @@
+// Status — the error-reporting currency of the session API (api/session.hpp).
+//
+// The core modules keep their checked-assert contract (wrong inputs die
+// loudly; see util/assert.hpp): they are called with invariants the library
+// itself established. The session API sits at the boundary where *user*
+// input arrives — unvalidated options, netlists of unknown provenance,
+// stages invoked out of order — so its entry points return a Status with a
+// readable message instead of aborting.
+#pragma once
+
+#include <string>
+#include <utility>
+
+namespace lrsizer::api {
+
+enum class StatusCode {
+  kOk = 0,
+  /// The caller passed a value that can never be valid (bad option, size
+  /// mismatch, unfinalized netlist).
+  kInvalidArgument,
+  /// The call itself is fine but not *now* (stage invoked out of order,
+  /// result requested before size() ran).
+  kFailedPrecondition,
+  /// Cooperative cancellation via the session's stop token. A cancelled
+  /// size() may still carry a usable partial result — see SizingSession.
+  kCancelled,
+};
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok", or "<code>: <message>" — what CLIs print.
+  std::string to_string() const {
+    if (ok()) return "ok";
+    return std::string(code_name(code_)) + ": " + message_;
+  }
+
+  static const char* code_name(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "ok";
+      case StatusCode::kInvalidArgument: return "invalid argument";
+      case StatusCode::kFailedPrecondition: return "failed precondition";
+      case StatusCode::kCancelled: return "cancelled";
+    }
+    return "unknown";
+  }
+
+ private:
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+}  // namespace lrsizer::api

@@ -1,14 +1,10 @@
 #include "core/flow.hpp"
 
-#include <algorithm>
-
-#include "layout/ordering.hpp"
-#include "sim/patterns.hpp"
-#include "sim/similarity.hpp"
-#include "util/assert.hpp"
-#include "util/timer.hpp"
-
 namespace lrsizer::core {
+
+// run_two_stage_flow() is declared here but defined in api/session.cpp: it
+// is a shim over api::SizingSession, and defining it up there keeps core/
+// free of upward includes into the api layer.
 
 FlowSummary summarize_flow(const FlowResult& result) {
   FlowSummary s;
@@ -20,6 +16,7 @@ FlowSummary summarize_flow(const FlowResult& result) {
   s.bound_cap_f = result.bounds.cap_f;
   s.bound_noise_f = result.bounds.noise_f;
   s.converged = result.ogws.converged;
+  s.cancelled = result.ogws.cancelled;
   s.iterations = result.ogws.iterations;
   s.area_um2 = result.ogws.area;
   s.dual = result.ogws.dual;
@@ -31,110 +28,6 @@ FlowSummary summarize_flow(const FlowResult& result) {
   s.stage2_seconds = result.stage2_seconds;
   s.memory_bytes = result.memory_bytes;
   return s;
-}
-
-FlowResult run_two_stage_flow(const netlist::LogicNetlist& logic,
-                              const FlowOptions& options) {
-  LRSIZER_ASSERT(logic.finalized());
-
-  // ---- stage 0: physical elaboration --------------------------------------
-  netlist::ElabResult elab = netlist::elaborate(logic, options.tech, options.elab);
-  netlist::Circuit& circuit = elab.circuit;
-
-  // ---- stage 1: similarity-driven wire ordering ---------------------------
-  util::WallTimer stage1_timer;
-
-  const auto vectors = sim::random_vectors(
-      static_cast<std::int32_t>(logic.primary_inputs().size()), options.num_vectors,
-      options.pattern_seed);
-  const sim::SimResult simulated = sim::simulate(logic, vectors, options.sim);
-
-  layout::ChannelAssignment channels =
-      layout::assign_channels(circuit, elab.net_of_node, logic, options.channels);
-
-  double cost_initial = 0.0;
-  double cost_final = 0.0;
-  std::vector<std::vector<netlist::NodeId>> orders;
-  orders.reserve(channels.channels.size());
-  for (const auto& tracks : channels.channels) {
-    // Per-channel similarity matrix over the wires' nets.
-    std::vector<std::int32_t> nets;
-    nets.reserve(tracks.size());
-    for (netlist::NodeId w : tracks) {
-      nets.push_back(elab.net_of_node[static_cast<std::size_t>(w)]);
-    }
-    const sim::SimilarityMatrix sim_matrix(simulated, nets);
-
-    const auto n = static_cast<std::int32_t>(tracks.size());
-    std::vector<double> weights(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
-    for (std::int32_t a = 0; a < n; ++a) {
-      for (std::int32_t b = 0; b < n; ++b) {
-        weights[static_cast<std::size_t>(a) * static_cast<std::size_t>(n) +
-                static_cast<std::size_t>(b)] = sim_matrix.miller_weight(a, b);
-      }
-    }
-    const layout::DenseWeights view(n, std::move(weights));
-
-    std::vector<std::int32_t> identity(static_cast<std::size_t>(n));
-    for (std::int32_t i = 0; i < n; ++i) identity[static_cast<std::size_t>(i)] = i;
-    cost_initial += layout::ordering_cost(view, identity);
-
-    std::vector<std::int32_t> order =
-        options.use_woss ? layout::woss_ordering(view) : identity;
-    cost_final += layout::ordering_cost(view, order);
-
-    std::vector<netlist::NodeId> track_order(static_cast<std::size_t>(n));
-    for (std::int32_t i = 0; i < n; ++i) {
-      track_order[static_cast<std::size_t>(i)] =
-          tracks[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])];
-    }
-    orders.push_back(std::move(track_order));
-  }
-
-  // Miller weights for the final adjacency (constants folded into ĉ_ij).
-  layout::MillerFn miller;
-  if (options.neighbors.fold_miller) {
-    miller = [&](netlist::NodeId a, netlist::NodeId b) {
-      const std::vector<std::int32_t> nets = {
-          elab.net_of_node[static_cast<std::size_t>(a)],
-          elab.net_of_node[static_cast<std::size_t>(b)]};
-      const sim::SimilarityMatrix m(simulated, nets);
-      return m.miller_weight(0, 1);
-    };
-  }
-  layout::CouplingSet coupling =
-      layout::build_coupling_set(circuit, orders, options.neighbors, miller);
-
-  FlowResult result{std::move(elab.circuit), std::move(coupling), Bounds{},
-                    timing::Metrics{}, timing::Metrics{}, OgwsResult{},
-                    cost_initial, cost_final, 0.0, 0.0, 0, {}};
-  result.net_of_node = std::move(elab.net_of_node);
-  result.stage1_seconds = stage1_timer.seconds();
-
-  // ---- stage 2: LR sizing ---------------------------------------------------
-  util::WallTimer stage2_timer;
-  result.circuit.set_uniform_size(options.initial_size);
-  result.init_metrics = timing::compute_metrics(result.circuit, result.coupling,
-                                                result.circuit.sizes(),
-                                                options.ogws.lrs.mode);
-  result.bounds = derive_bounds(result.circuit, result.coupling,
-                                result.circuit.sizes(), options.ogws.lrs.mode,
-                                options.bound_factors);
-  result.ogws = run_ogws(result.circuit, result.coupling, result.bounds, options.ogws);
-  result.circuit.mutable_sizes() = result.ogws.sizes;
-  result.final_metrics = timing::compute_metrics(result.circuit, result.coupling,
-                                                 result.circuit.sizes(),
-                                                 options.ogws.lrs.mode);
-  result.stage2_seconds = stage2_timer.seconds();
-
-  // ---- memory accounting ------------------------------------------------------
-  util::MemoryTracker tracker;
-  result.circuit.account_memory(tracker);
-  result.coupling.account_memory(tracker);
-  tracker.add("ogws/workspace", result.ogws.workspace_bytes);
-  result.memory_bytes = tracker.total_bytes();
-
-  return result;
 }
 
 }  // namespace lrsizer::core

@@ -5,8 +5,11 @@
 //            ordering per channel -> coupling pairs N(i)/I(i)
 //   stage 2  bounds derivation -> OGWS (LR sizing)
 //
-// This is the one-call API the examples and benches use; every stage is
-// also available individually through the module headers.
+// The staged implementation lives in api::SizingSession (api/session.hpp),
+// which adds progress observation, cooperative cancellation and
+// warm-starting. run_two_stage_flow() below is a thin compatibility shim
+// over a session; new code that needs more than fire-and-forget should use
+// the session directly.
 #pragma once
 
 #include <cstdint>
@@ -72,6 +75,9 @@ struct FlowSummary {
   double bound_cap_f = 0.0;
   double bound_noise_f = 0.0;
   bool converged = false;
+  /// The sizing stage was interrupted by cooperative cancellation; the
+  /// final metrics describe the best (partial) iterate found before that.
+  bool cancelled = false;
   int iterations = 0;
   double area_um2 = 0.0;
   double dual = 0.0;
@@ -86,6 +92,10 @@ struct FlowSummary {
 
 FlowSummary summarize_flow(const FlowResult& result);
 
+/// Compatibility shim: runs every stage of an api::SizingSession in order
+/// and returns its result. Identical output to the staged API; invalid
+/// inputs abort via the checked-assert contract (the session returns a
+/// readable Status instead — prefer it at trust boundaries).
 FlowResult run_two_stage_flow(const netlist::LogicNetlist& netlist,
                               const FlowOptions& options = FlowOptions{});
 

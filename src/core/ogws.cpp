@@ -24,8 +24,10 @@ double relative_violation(double value, double bound) {
 
 OgwsResult run_ogws(const netlist::Circuit& circuit,
                     const layout::CouplingSet& coupling, const Bounds& bounds,
-                    const OgwsOptions& options) {
+                    const OgwsOptions& options, const OgwsControl& control) {
   LRSIZER_ASSERT(bounds.delay_s > 0.0 && bounds.cap_f > 0.0 && bounds.noise_f > 0.0);
+  const OgwsWarmStart* warm = control.warm_start;
+  if (warm != nullptr && warm->empty()) warm = nullptr;
 
   const double area_ref = std::max(timing::total_area(circuit, circuit.sizes()), 1e-12);
 
@@ -35,10 +37,18 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
   const double beta_scale = area_ref / bounds.cap_f;
   const double gamma_scale = area_ref / bounds.noise_f;
 
-  // A1: initial multipliers (λ flow-conserving at λ-scale).
+  // A1: initial multipliers (λ flow-conserving at λ-scale), or the prior
+  // run's best-dual multipliers when warm-starting.
   MultiplierState multipliers(circuit);
   multipliers.init_default(circuit);
   for (double& v : multipliers.lambda) v *= lambda_scale;
+  if (warm != nullptr && !warm->lambda.empty()) {
+    LRSIZER_ASSERT_MSG(warm->lambda.size() == multipliers.lambda.size(),
+                       "warm-start lambda does not match the circuit's edge count");
+    multipliers.lambda = warm->lambda;
+    multipliers.beta = warm->beta;
+    multipliers.gamma = warm->gamma;
+  }
 
   // Distributed per-net crosstalk bounds (paper §4.1 extension): one extra
   // multiplier per owning wire, driven by the same update rule.
@@ -47,16 +57,53 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
     LRSIZER_ASSERT(bounds.per_net_noise_f.size() ==
                    static_cast<std::size_t>(circuit.num_nodes()));
     multipliers.gamma_net.assign(static_cast<std::size_t>(circuit.num_nodes()), 0.0);
+    if (warm != nullptr && !warm->gamma_net.empty()) {
+      LRSIZER_ASSERT_MSG(warm->gamma_net.size() == multipliers.gamma_net.size(),
+                         "warm-start gamma_net does not match the circuit");
+      multipliers.gamma_net = warm->gamma_net;
+    }
   }
   auto noise_duals = [&]() {
     return per_net ? NoiseMultipliers(multipliers.gamma, &multipliers.gamma_net)
                    : NoiseMultipliers(multipliers.gamma);
   };
 
-  std::vector<double> x = circuit.sizes();
+  std::vector<double> x = (warm != nullptr && !warm->sizes.empty()) ? warm->sizes
+                                                                    : circuit.sizes();
+  LRSIZER_ASSERT(x.size() == static_cast<std::size_t>(circuit.num_nodes()));
   std::vector<double> mu;
   LrsWorkspace workspace;
   timing::ArrivalAnalysis arrivals;
+
+  // Max relative violation over every relaxed constraint at iterate `xs`.
+  auto max_rel_violation = [&](const std::vector<double>& xs, double delay,
+                               double cap, double noise) -> double {
+    double viol_per_net = 0.0;
+    if (per_net) {
+      for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+           ++v) {
+        const auto i = static_cast<std::size_t>(v);
+        if (bounds.per_net_noise_f[i] <= 0.0) continue;
+        viol_per_net = std::max(
+            viol_per_net, relative_violation(coupling.owned_noise_linear(v, xs),
+                                             bounds.per_net_noise_f[i]));
+      }
+    }
+    return std::max({relative_violation(delay, bounds.delay_s),
+                     relative_violation(cap, bounds.cap_f),
+                     relative_violation(noise, bounds.noise_f), viol_per_net, 0.0});
+  };
+
+  // Area + max violation of `xs`, via a fresh loads/arrivals analysis.
+  auto evaluate_sizes = [&](const std::vector<double>& xs) {
+    timing::compute_loads(circuit, coupling, xs, options.lrs.mode, workspace.loads);
+    timing::compute_arrivals(circuit, xs, workspace.loads, arrivals);
+    const double area = timing::total_area(circuit, xs);
+    const double violation =
+        max_rel_violation(xs, arrivals.critical_delay, timing::total_cap(circuit, xs),
+                          coupling.noise_linear(xs));
+    return std::pair<double, double>(area, violation);
+  };
 
   OgwsResult result;
   result.sizes = x;
@@ -67,8 +114,41 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
   double best_feasible_area = std::numeric_limits<double>::infinity();
   double best_dual = -std::numeric_limits<double>::infinity();
   double best_violation = std::numeric_limits<double>::infinity();
+  bool evaluated_initial = false;
+
+  if (warm != nullptr && !warm->sizes.empty()) {
+    // Evaluate the warm iterate as the incumbent primal candidate. Nothing
+    // is trusted from the snapshot: area and violations are recomputed under
+    // the *current* bounds, so the incumbent is exactly as good as the warm
+    // sizes are for this problem instance.
+    const auto [area, violation] = evaluate_sizes(x);
+    if (violation <= options.feas_tol) {
+      best_feasible_area = area;
+    } else {
+      best_violation = violation;
+    }
+    result.area = area;
+    result.max_violation = violation;
+    // No certificate yet (overwritten by the first completed iteration).
+    result.rel_gap = std::numeric_limits<double>::infinity();
+    evaluated_initial = true;
+  }
 
   for (int k = 1; k <= options.max_iterations; ++k) {
+    if (control.stop.stop_requested()) {
+      result.cancelled = true;
+      if (!evaluated_initial && result.iterations == 0) {
+        // Stopped before any iterate was produced: evaluate the starting
+        // sizes so the returned metric fields describe the returned sizes
+        // (the OgwsResult contract), and leave the certificate gap unknown
+        // rather than a converged-looking 0.
+        const auto [area, violation] = evaluate_sizes(x);
+        result.area = area;
+        result.max_violation = violation;
+        result.rel_gap = std::numeric_limits<double>::infinity();
+      }
+      break;
+    }
     util::WallTimer iter_timer;
 
     // A2: node weights from edge multipliers.
@@ -89,24 +169,20 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
         lagrangian_value(circuit, coupling, x, mu, multipliers.sink_mu(circuit),
                          multipliers.beta, noise_duals(), bounds, options.lrs.mode);
 
-    const double viol_delay = relative_violation(delay, bounds.delay_s);
-    const double viol_cap = relative_violation(cap, bounds.cap_f);
-    const double viol_noise = relative_violation(noise, bounds.noise_f);
-    double viol_per_net = 0.0;
-    if (per_net) {
-      for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
-           ++v) {
-        const auto i = static_cast<std::size_t>(v);
-        if (bounds.per_net_noise_f[i] <= 0.0) continue;
-        viol_per_net = std::max(
-            viol_per_net, relative_violation(coupling.owned_noise_linear(v, x),
-                                             bounds.per_net_noise_f[i]));
+    const double max_violation = max_rel_violation(x, delay, cap, noise);
+
+    if (dual > best_dual) {
+      best_dual = dual;
+      if (control.capture_warm_start) {
+        // Snapshot the multipliers that produced the best dual — the state
+        // a warm-started rerun needs to reproduce this certificate in one
+        // step.
+        result.warm.lambda = multipliers.lambda;
+        result.warm.beta = multipliers.beta;
+        result.warm.gamma = multipliers.gamma;
+        result.warm.gamma_net = multipliers.gamma_net;
       }
     }
-    const double max_violation =
-        std::max({viol_delay, viol_cap, viol_noise, viol_per_net, 0.0});
-
-    best_dual = std::max(best_dual, dual);
     // Track the best iterate: feasible (within tolerance) with least area,
     // or — before anything feasible shows up — least violating.
     if (max_violation <= options.feas_tol) {
@@ -133,18 +209,17 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
     result.area = have_feasible ? best_feasible_area : area;
     result.dual = best_dual;
     result.rel_gap = cert_gap;
-    if (options.record_history) {
-      result.history.push_back(OgwsIterate{k, area, delay, cap, noise, dual,
-                                           cert_gap, max_violation,
-                                           lrs_stats.passes, iter_timer.seconds()});
-    }
+    OgwsIterate iterate{k,        area,     delay,    cap,           noise,
+                        dual,     cert_gap, max_violation, lrs_stats.passes,
+                        iter_timer.seconds()};
+    if (options.record_history) result.history.push_back(iterate);
 
     // A7: stop when the primal/dual certificates agree.
     if (cert_gap <= options.gap_tol) {
       result.converged = true;
-      if (options.record_history) {
-        result.history.back().seconds = iter_timer.seconds();
-      }
+      iterate.seconds = iter_timer.seconds();
+      if (options.record_history) result.history.back().seconds = iterate.seconds;
+      if (control.observer) control.observer(iterate);
       break;
     }
 
@@ -237,9 +312,9 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
     multipliers.clamp_nonnegative();
     multipliers.project_flow(circuit);
 
-    if (options.record_history) {
-      result.history.back().seconds = iter_timer.seconds();
-    }
+    iterate.seconds = iter_timer.seconds();
+    if (options.record_history) result.history.back().seconds = iterate.seconds;
+    if (control.observer) control.observer(iterate);
     util::log_debug() << "ogws k=" << k << " area=" << area << " gap=" << cert_gap
                       << " viol=" << max_violation;
   }
@@ -255,6 +330,7 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
   tracker.add("ogws/arrivals", util::vector_bytes(arrivals.delay) +
                                    util::vector_bytes(arrivals.arrival));
   result.workspace_bytes = tracker.tracked_bytes();
+  if (control.capture_warm_start) result.warm.sizes = result.sizes;
   return result;
 }
 

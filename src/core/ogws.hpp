@@ -23,6 +23,8 @@
 #pragma once
 
 #include <cstddef>
+#include <functional>
+#include <stop_token>
 #include <vector>
 
 #include "core/lrs.hpp"
@@ -72,11 +74,58 @@ struct OgwsIterate {
   double seconds = 0.0;     ///< wall time of this iteration
 };
 
+/// Restartable OGWS state: the sizes of a prior run's returned iterate plus
+/// the multiplier vector at its best dual. Seeding a fresh run with this
+/// snapshot makes iteration 1 reproduce the prior run's best primal/dual
+/// certificate pair, so re-sizing under identical options re-converges in
+/// one or two iterations, and under tweaked options it starts from the
+/// converged neighborhood instead of the default multipliers.
+struct OgwsWarmStart {
+  /// Initial iterate, indexed by NodeId. Also evaluated up front as the
+  /// incumbent primal candidate (feasibility + area under the *current*
+  /// bounds, so a stale snapshot can never fake a certificate). Empty: start
+  /// from the circuit's current sizes with no incumbent.
+  std::vector<double> sizes;
+  /// λ per EdgeId at the best dual seen; empty: default initialization.
+  std::vector<double> lambda;
+  double beta = 0.0;
+  double gamma = 0.0;
+  /// Per-net γ (only meaningful when the run's bounds enable per-net mode).
+  std::vector<double> gamma_net;
+
+  bool empty() const { return sizes.empty() && lambda.empty(); }
+};
+
+/// Out-of-band controls for a run — everything that is not part of the
+/// deterministic problem statement. Default-constructed = the plain
+/// fire-and-forget run every existing caller gets.
+struct OgwsControl {
+  /// Called once per completed iteration with that iteration's summary
+  /// (dual, certificate gap, max violation, timing). Runs on the calling
+  /// thread, inside the optimization loop — keep it cheap.
+  std::function<void(const OgwsIterate&)> observer;
+  /// Cooperative cancellation, polled once per iteration. On cancellation
+  /// the run returns the best iterate found so far with `cancelled` set.
+  std::stop_token stop;
+  /// Warm-start snapshot (borrowed; must outlive the call). nullptr: cold.
+  const OgwsWarmStart* warm_start = nullptr;
+  /// Record OgwsResult::warm for re-seeding later runs. Off by default for
+  /// raw run_ogws callers: the snapshot costs an O(edges) multiplier copy
+  /// per dual-improving iteration. api::SizingSession enables it by default
+  /// (its results are warm-start seeds by contract) and exposes
+  /// set_capture_warm_start(false) for fire-and-forget harnesses — the
+  /// paper-reproduction benches opt out in bench_common.hpp.
+  bool capture_warm_start = false;
+};
+
 struct OgwsResult {
   /// Best feasible iterate (least area; least-violating when nothing ever
   /// reached feasibility), indexed by NodeId.
   std::vector<double> sizes;
   bool converged = false;
+  /// Cancellation observed via OgwsControl::stop; `sizes` and the metric
+  /// fields still describe the best iterate seen before the interrupt.
+  bool cancelled = false;
   int iterations = 0;
   double area = 0.0;     ///< area of the returned sizes
   double dual = 0.0;     ///< best dual lower bound seen
@@ -84,6 +133,9 @@ struct OgwsResult {
   double max_violation = 0.0;  ///< violation of the returned sizes
   std::vector<OgwsIterate> history;
   std::size_t workspace_bytes = 0;  ///< multiplier + analysis working set
+  /// Snapshot for re-seeding a later run (sizes = the returned iterate,
+  /// multipliers = the state that produced the best dual).
+  OgwsWarmStart warm;
 };
 
 /// Run OGWS. The circuit's current sizes define the reference area used for
@@ -91,6 +143,7 @@ struct OgwsResult {
 /// caller applies result.sizes if desired.
 OgwsResult run_ogws(const netlist::Circuit& circuit,
                     const layout::CouplingSet& coupling, const Bounds& bounds,
-                    const OgwsOptions& options = OgwsOptions{});
+                    const OgwsOptions& options = OgwsOptions{},
+                    const OgwsControl& control = OgwsControl{});
 
 }  // namespace lrsizer::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <map>
 #include <sstream>
 #include <vector>
@@ -217,6 +218,46 @@ LogicNetlist parse_bench(std::istream& in) {
 LogicNetlist parse_bench_string(const std::string& text) {
   std::istringstream in(text);
   return parse_bench(in);
+}
+
+std::vector<std::pair<std::int32_t, double>> read_size_annotations(std::istream& in) {
+  std::vector<std::pair<std::int32_t, double>> sizes;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    // Annotation shape (bench_writer/CLI): "# size <node> <kind> <net> <value>".
+    // A line only counts as an annotation when its third token is an
+    // integer node id; "# size ..." prose comments stay ordinary comments.
+    std::istringstream fields(line);
+    std::string hash, keyword, node_token;
+    if (!(fields >> hash >> keyword >> node_token) || hash != "#" ||
+        keyword != "size") {
+      continue;
+    }
+    std::int32_t node = 0;
+    const auto [end, ec] = std::from_chars(
+        node_token.data(), node_token.data() + node_token.size(), node);
+    if (ec != std::errc{} || end != node_token.data() + node_token.size()) {
+      continue;  // "# size annotations follow" and the like
+    }
+    std::string kind, net;
+    double value = 0.0;
+    if (!(fields >> kind >> net >> value)) {
+      throw BenchParseError(line_no, "malformed size annotation: '" + line + "'");
+    }
+    if (node < 0) {
+      throw BenchParseError(line_no, "size annotation names negative node " +
+                                         std::to_string(node));
+    }
+    if (!(value > 0.0)) {
+      throw BenchParseError(line_no, "size annotation for node " +
+                                         std::to_string(node) +
+                                         " must be > 0, got " + std::to_string(value));
+    }
+    sizes.emplace_back(node, value);
+  }
+  return sizes;
 }
 
 }  // namespace lrsizer::netlist

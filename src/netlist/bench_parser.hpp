@@ -12,9 +12,12 @@
 // BenchParseError with a line number.
 #pragma once
 
+#include <cstdint>
 #include <istream>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "netlist/logic_netlist.hpp"
 
@@ -37,6 +40,16 @@ LogicNetlist parse_bench(std::istream& in);
 
 /// Convenience overload for in-memory text (tests, embedded circuits).
 LogicNetlist parse_bench_string(const std::string& text);
+
+/// Read the `# size <node> <kind> <net> <value>` annotation comments that
+/// bench_writer/the CLI append to sized outputs. Returns (circuit NodeId,
+/// size) pairs in file order. Lines that are not size annotations are
+/// ignored (they are comments to every .bench reader, including parse_bench
+/// above); a line counts as an annotation only when its third token is an
+/// integer node id, so `# size ...` prose stays prose. Truncated or
+/// out-of-range annotations raise BenchParseError. Feeds
+/// api::SizingSession::warm_start_sizes / `lrsizer --warm-start`.
+std::vector<std::pair<std::int32_t, double>> read_size_annotations(std::istream& in);
 
 /// The real ISCAS85 c17 netlist, shipped in-tree (also in data/c17.bench).
 extern const char* const kIscas85C17;

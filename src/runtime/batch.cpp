@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "api/session.hpp"
 #include "netlist/generator.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
@@ -26,39 +27,65 @@ BatchJob make_profile_job(const std::string& profile, std::uint64_t seed,
 std::size_t BatchResult::num_failed() const {
   std::size_t failed = 0;
   for (const auto& job : jobs) {
-    if (!job.ok) ++failed;
+    if (!job.ok && !job.cancelled) ++failed;
   }
   return failed;
 }
 
+std::size_t BatchResult::num_cancelled() const {
+  std::size_t cancelled = 0;
+  for (const auto& job : jobs) {
+    if (job.cancelled) ++cancelled;
+  }
+  return cancelled;
+}
+
 namespace {
 
-JobOutcome run_one(BatchJob&& job, bool keep_flow) {
+JobOutcome run_one(BatchJob&& job, const BatchOptions& options) {
   JobOutcome outcome;
   outcome.name = job.name;
   outcome.seed = job.seed;
   util::WallTimer timer;
+  // The session owns the netlist for the run and hands it back afterwards —
+  // constructed outside the try so the hand-back survives a throwing stage.
+  api::SizingSession session(std::move(job.netlist), job.options);
   try {
-    // The flow's own invariant checks abort; validate the one precondition a
-    // caller can realistically get wrong so a bad job fails, not the batch.
-    if (!job.netlist.finalized()) {
-      throw std::invalid_argument("batch job '" + job.name +
-                                  "': netlist not finalized");
+    session.set_stop_token(options.stop);
+    if (options.observer) {
+      session.set_observer(
+          [&observer = options.observer, &name = outcome.name](
+              const core::OgwsIterate& iterate) { observer(name, iterate); });
     }
-    outcome.flow = core::run_two_stage_flow(job.netlist, job.options);
-    outcome.summary = core::summarize_flow(*outcome.flow);
-    outcome.ok = true;
-    if (!keep_flow) outcome.flow.reset();
+    if (!job.warm_sizes.empty()) {
+      if (const api::Status st = session.warm_start_sizes(std::move(job.warm_sizes));
+          !st.ok()) {
+        throw std::invalid_argument("batch job '" + job.name + "': " + st.to_string());
+      }
+    }
+    const api::Status status = session.run_all();
+    outcome.cancelled = session.cancelled();
+    if (session.has_result()) {
+      // Completed, or cancelled mid-OGWS — either way a usable (partial)
+      // result exists and the summary reports it (summary.cancelled flags
+      // the interrupt).
+      outcome.flow = session.take_result();
+      outcome.summary = core::summarize_flow(*outcome.flow);
+      outcome.ok = true;
+      if (!options.keep_flow_results) outcome.flow.reset();
+    } else {
+      outcome.error = "batch job '" + job.name + "': " + status.to_string();
+    }
   } catch (const std::exception& e) {
     outcome.error = e.what();
   } catch (...) {
     outcome.error = "unknown exception";
   }
-  outcome.netlist = std::move(job.netlist);
+  outcome.netlist = session.release_netlist();
   outcome.seconds = timer.seconds();
   util::log_debug() << "batch job '" << outcome.name << "' "
-                    << (outcome.ok ? "ok" : "FAILED") << " in " << outcome.seconds
-                    << " s";
+                    << (outcome.ok ? "ok" : outcome.cancelled ? "CANCELLED" : "FAILED")
+                    << " in " << outcome.seconds << " s";
   return outcome;
 }
 
@@ -74,10 +101,11 @@ BatchResult run_batch(std::vector<BatchJob> jobs, ThreadPool& pool,
   std::vector<std::future<JobOutcome>> futures;
   futures.reserve(jobs.size());
   for (auto& job : jobs) {
-    futures.push_back(pool.submit(
-        [job = std::move(job), keep = options.keep_flow_results]() mutable {
-          return run_one(std::move(job), keep);
-        }));
+    // run_batch blocks on every future below, so borrowing `options` (stop
+    // token, observer) by reference is safe for the workers' lifetime.
+    futures.push_back(pool.submit([job = std::move(job), &options]() mutable {
+      return run_one(std::move(job), options);
+    }));
   }
 
   result.jobs.reserve(futures.size());
@@ -142,6 +170,7 @@ Json job_json(const JobOutcome& outcome) {
   j.set("name", outcome.name);
   j.set("seed", outcome.seed);
   j.set("ok", outcome.ok);
+  j.set("cancelled", outcome.cancelled);
   if (!outcome.ok) {
     j.set("error", outcome.error);
     j.set("seconds", outcome.seconds);
@@ -183,6 +212,8 @@ core::FlowSummary summary_from_json(const Json& j) {
   s.bound_cap_f = bounds.at("cap_f").as_number();
   s.bound_noise_f = bounds.at("noise_f").as_number();
   s.converged = j.at("converged").as_bool();
+  // Absent in pre-session lrsizer-batch-v1 reports; default false.
+  if (const Json* cancelled = j.find("cancelled")) s.cancelled = cancelled->as_bool();
   s.iterations = static_cast<int>(j.at("iterations").as_number());
   s.area_um2 = j.at("area_um2").as_number();
   s.dual = number_or_inf(j.at("dual"));
@@ -207,6 +238,7 @@ Json batch_json(const BatchResult& result) {
   j.set("peak_memory_bytes", result.peak_memory_bytes);
   j.set("steals", result.steals);
   j.set("failed", result.num_failed());
+  j.set("cancelled", result.num_cancelled());
   Json jobs = Json::array();
   for (const auto& outcome : result.jobs) jobs.push_back(job_json(outcome));
   j.set("jobs", jobs);
@@ -215,12 +247,13 @@ Json batch_json(const BatchResult& result) {
 
 std::string batch_csv(const BatchResult& result) {
   std::ostringstream out;
-  out << "name,seed,ok,num_gates,num_wires,iterations,converged,"
+  out << "name,seed,ok,cancelled,num_gates,num_wires,iterations,converged,"
          "noise_init_f,noise_final_f,delay_init_s,delay_final_s,"
          "power_init_w,power_final_w,area_init_um2,area_final_um2,"
          "rel_gap,max_violation,seconds,memory_bytes\n";
   for (const auto& job : result.jobs) {
-    out << job.name << ',' << job.seed << ',' << (job.ok ? 1 : 0) << ',';
+    out << job.name << ',' << job.seed << ',' << (job.ok ? 1 : 0) << ','
+        << (job.cancelled ? 1 : 0) << ',';
     if (!job.ok) {
       out << ",,,,,,,,,,,,,," << job.seconds << ",\n";
       continue;

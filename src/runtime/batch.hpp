@@ -10,8 +10,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
+#include <stop_token>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -26,6 +29,10 @@ struct BatchJob {
   netlist::LogicNetlist netlist;   ///< finalized input circuit
   core::FlowOptions options;
   std::uint64_t seed = 1;          ///< generator seed (0 for parsed inputs)
+  /// Sparse warm-start sizes (circuit NodeId, size) applied through
+  /// api::SizingSession::warm_start_sizes — e.g. the `# size` annotations of
+  /// a previously sized .bench. Empty: cold start.
+  std::vector<std::pair<std::int32_t, double>> warm_sizes;
 };
 
 /// Build a job from one of the paper's Table-1 profiles (synthesizes the
@@ -36,8 +43,13 @@ BatchJob make_profile_job(const std::string& profile, std::uint64_t seed = 1,
 struct JobOutcome {
   std::string name;
   std::uint64_t seed = 1;
+  /// The job produced a result. A cancelled job can still be ok: when the
+  /// stop arrived mid-OGWS, the session finishes its bookkeeping and the
+  /// summary describes the best partial solution (summary.cancelled set).
   bool ok = false;
-  std::string error;              ///< exception text when !ok
+  /// The batch's stop token interrupted this job (before or during sizing).
+  bool cancelled = false;
+  std::string error;              ///< failure/cancellation text when !ok
   netlist::LogicNetlist netlist;  ///< the job's input, handed back
   /// Full flow result; engaged when ok unless the batch ran with
   /// keep_flow_results = false.
@@ -46,6 +58,11 @@ struct JobOutcome {
   double seconds = 0.0;           ///< this job's wall time inside its worker
 };
 
+/// Per-iteration progress callback: (job name, OGWS iteration summary).
+/// Invoked concurrently from worker threads — must be thread-safe.
+using BatchObserver =
+    std::function<void(const std::string& job, const core::OgwsIterate& iterate)>;
+
 struct BatchOptions {
   /// Worker threads; 0 means hardware concurrency.
   int jobs = 0;
@@ -53,6 +70,12 @@ struct BatchOptions {
   /// summarizing, keeping only JobOutcome::summary. Saves memory on large
   /// sweeps where only the report matters.
   bool keep_flow_results = true;
+  /// Cooperative batch-wide cancellation: in-flight jobs stop at the next
+  /// OGWS iteration (keeping their partial result), queued jobs return
+  /// immediately as cancelled. Default token: never cancelled.
+  std::stop_token stop;
+  /// Progress into the batch report; see BatchObserver.
+  BatchObserver observer;
 };
 
 struct BatchResult {
@@ -64,7 +87,11 @@ struct BatchResult {
   std::size_t peak_memory_bytes = 0;   ///< max per-job memory_bytes
   std::int64_t steals = 0;             ///< pool work-steal count
 
+  /// Jobs that neither produced a result nor were cancelled.
   std::size_t num_failed() const;
+  /// Jobs interrupted by the batch stop token (with or without a partial
+  /// result).
+  std::size_t num_cancelled() const;
   /// Σ job seconds / wall seconds — the observed parallel speedup.
   double speedup() const {
     return wall_seconds > 0.0 ? total_job_seconds / wall_seconds : 0.0;

@@ -1,6 +1,8 @@
 // ISCAS85 .bench parser: happy path (c17), formats, and error reporting.
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "netlist/bench_parser.hpp"
 #include "netlist/logic_netlist.hpp"
 
@@ -123,6 +125,34 @@ TEST(BenchParser, ErrorReportsLineNumber) {
   } catch (const netlist::BenchParseError& e) {
     EXPECT_EQ(e.line(), 3);
   }
+}
+
+TEST(BenchParser, ReadsSizeAnnotations) {
+  // The shape `lrsizer --out` appends; ordinary comments are skipped, and
+  // "# size" prose (non-integer third token) stays an ordinary comment.
+  std::istringstream in(
+      "# sized by lrsizer: c17 seed 1\n"
+      "INPUT(a)\n"
+      "#\n"
+      "# size annotations follow\n"
+      "# component sizes: node kind net size\n"
+      "# size 4 gate G10 1.25\n"
+      "# size 5 wire G10 0.5\n");
+  const auto sizes = netlist::read_size_annotations(in);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0].first, 4);
+  EXPECT_DOUBLE_EQ(sizes[0].second, 1.25);
+  EXPECT_EQ(sizes[1].first, 5);
+  EXPECT_DOUBLE_EQ(sizes[1].second, 0.5);
+}
+
+TEST(BenchParser, RejectsMalformedSizeAnnotations) {
+  std::istringstream truncated("# size 4 gate\n");
+  EXPECT_THROW(netlist::read_size_annotations(truncated), netlist::BenchParseError);
+  std::istringstream negative("# size -2 gate G1 1.0\n");
+  EXPECT_THROW(netlist::read_size_annotations(negative), netlist::BenchParseError);
+  std::istringstream zero("# size 4 gate G1 0\n");
+  EXPECT_THROW(netlist::read_size_annotations(zero), netlist::BenchParseError);
 }
 
 }  // namespace

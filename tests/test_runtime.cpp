@@ -4,7 +4,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <stop_token>
 #include <string>
 #include <thread>
 #include <vector>
@@ -137,6 +140,13 @@ netlist::GeneratorSpec small_spec(std::uint64_t seed) {
   return spec;
 }
 
+runtime::BatchOptions batch_options(int jobs, bool keep_flow_results = true) {
+  runtime::BatchOptions options;
+  options.jobs = jobs;
+  options.keep_flow_results = keep_flow_results;
+  return options;
+}
+
 std::vector<runtime::BatchJob> small_jobs(int count) {
   std::vector<runtime::BatchJob> jobs;
   for (int i = 0; i < count; ++i) {
@@ -151,7 +161,7 @@ std::vector<runtime::BatchJob> small_jobs(int count) {
 }
 
 TEST(Batch, ResultsStayInSubmitOrder) {
-  auto batch = runtime::run_batch(small_jobs(4), runtime::BatchOptions{2, true});
+  auto batch = runtime::run_batch(small_jobs(4), batch_options(2));
   ASSERT_EQ(batch.jobs.size(), 4u);
   for (int i = 0; i < 4; ++i) {
     EXPECT_EQ(batch.jobs[static_cast<std::size_t>(i)].name,
@@ -165,8 +175,8 @@ TEST(Batch, ResultsStayInSubmitOrder) {
 TEST(Batch, DeterministicAcrossWorkerCounts) {
   // The headline contract: per-job results are bit-identical whether the
   // batch runs sequentially or on 8 oversubscribed workers.
-  auto sequential = runtime::run_batch(small_jobs(6), runtime::BatchOptions{1, true});
-  auto parallel = runtime::run_batch(small_jobs(6), runtime::BatchOptions{8, true});
+  auto sequential = runtime::run_batch(small_jobs(6), batch_options(1));
+  auto parallel = runtime::run_batch(small_jobs(6), batch_options(8));
   ASSERT_EQ(sequential.jobs.size(), parallel.jobs.size());
   for (std::size_t i = 0; i < sequential.jobs.size(); ++i) {
     const auto& a = sequential.jobs[i];
@@ -193,7 +203,7 @@ TEST(Batch, DeterministicAcrossWorkerCounts) {
 }
 
 TEST(Batch, RollupsAggregatePerJobNumbers) {
-  auto batch = runtime::run_batch(small_jobs(3), runtime::BatchOptions{2, true});
+  auto batch = runtime::run_batch(small_jobs(3), batch_options(2));
   EXPECT_GT(batch.wall_seconds, 0.0);
   EXPECT_GT(batch.total_job_seconds, 0.0);
   EXPECT_GT(batch.speedup(), 0.0);
@@ -214,7 +224,7 @@ TEST(Batch, FailedJobIsReportedNotFatal) {
   // Netlist never finalized: the job must fail with an error message while
   // the rest of the batch completes.
   jobs.push_back(std::move(bad));
-  auto batch = runtime::run_batch(std::move(jobs), runtime::BatchOptions{2, true});
+  auto batch = runtime::run_batch(std::move(jobs), batch_options(2));
   EXPECT_EQ(batch.num_failed(), 1u);
   EXPECT_TRUE(batch.jobs[0].ok);
   EXPECT_TRUE(batch.jobs[1].ok);
@@ -225,7 +235,7 @@ TEST(Batch, FailedJobIsReportedNotFatal) {
 }
 
 TEST(Batch, KeepFlowResultsFalseDropsHeavyState) {
-  auto batch = runtime::run_batch(small_jobs(1), runtime::BatchOptions{1, false});
+  auto batch = runtime::run_batch(small_jobs(1), batch_options(1, false));
   ASSERT_TRUE(batch.jobs[0].ok);
   EXPECT_FALSE(batch.jobs[0].flow.has_value());
   // The summary survives.
@@ -242,7 +252,7 @@ TEST(Batch, ProfileJobMatchesDirectFlowRun) {
 
   std::vector<runtime::BatchJob> jobs;
   jobs.push_back(runtime::make_profile_job("c432", 1, options));
-  auto batch = runtime::run_batch(std::move(jobs), runtime::BatchOptions{1, true});
+  auto batch = runtime::run_batch(std::move(jobs), batch_options(1));
   ASSERT_TRUE(batch.jobs[0].ok);
   EXPECT_EQ(batch.jobs[0].flow->circuit.sizes(), direct.circuit.sizes());
   EXPECT_EQ(batch.jobs[0].summary.iterations, direct.ogws.iterations);
@@ -309,7 +319,7 @@ TEST(Json, ParseHandlesEscapesAndWhitespace) {
 }
 
 TEST(Json, BatchReportSchemaRoundTrips) {
-  auto batch = runtime::run_batch(small_jobs(2), runtime::BatchOptions{2, true});
+  auto batch = runtime::run_batch(small_jobs(2), batch_options(2));
   const runtime::Json report = runtime::batch_json(batch);
   EXPECT_EQ(report.at("schema").as_string(), "lrsizer-batch-v1");
   EXPECT_EQ(report.at("workers").as_number(), 2.0);
@@ -333,10 +343,115 @@ TEST(Json, BatchReportSchemaRoundTrips) {
   EXPECT_EQ(restored.final_metrics.noise_f, original.final_metrics.noise_f);
   EXPECT_EQ(restored.final_metrics.area_um2, original.final_metrics.area_um2);
   EXPECT_EQ(restored.memory_bytes, original.memory_bytes);
+  EXPECT_EQ(restored.cancelled, original.cancelled);
+}
+
+// ---- cancellation + progress ------------------------------------------------
+
+TEST(Batch, PreCancelledTokenDrainsEveryJobAsCancelled) {
+  std::stop_source source;
+  source.request_stop();
+  auto options = batch_options(2);
+  options.stop = source.get_token();
+  auto batch = runtime::run_batch(small_jobs(3), options);
+
+  EXPECT_EQ(batch.num_cancelled(), 3u);
+  EXPECT_EQ(batch.num_failed(), 0u);  // cancelled is not failed
+  for (const auto& job : batch.jobs) {
+    EXPECT_TRUE(job.cancelled);
+    EXPECT_FALSE(job.ok);  // stopped before sizing produced anything
+    EXPECT_NE(job.error.find("cancelled"), std::string::npos);
+  }
+  const runtime::Json report = runtime::batch_json(batch);
+  EXPECT_EQ(report.at("cancelled").as_number(), 3.0);
+  EXPECT_EQ(report.at("failed").as_number(), 0.0);
+}
+
+TEST(Batch, MidRunCancellationKeepsThePartialSummary) {
+  // One worker so job0 is sizing while job1 queues; stop after a few OGWS
+  // iterations. job0 must come back ok+cancelled with a usable partial
+  // summary, job1 cancelled without one.
+  std::stop_source source;
+  std::atomic<int> iterations{0};
+  auto options = batch_options(1);
+  options.stop = source.get_token();
+  options.observer = [&](const std::string&, const core::OgwsIterate&) {
+    if (iterations.fetch_add(1, std::memory_order_relaxed) == 2) {
+      source.request_stop();
+    }
+  };
+  auto batch = runtime::run_batch(small_jobs(2), options);
+
+  ASSERT_EQ(batch.jobs.size(), 2u);
+  const auto& partial = batch.jobs[0];
+  EXPECT_TRUE(partial.ok);
+  EXPECT_TRUE(partial.cancelled);
+  EXPECT_TRUE(partial.summary.cancelled);
+  EXPECT_FALSE(partial.summary.converged);
+  EXPECT_GT(partial.summary.final_metrics.area_um2, 0.0);
+  EXPECT_GT(partial.summary.memory_bytes, 0u);
+
+  const auto& queued = batch.jobs[1];
+  EXPECT_FALSE(queued.ok);
+  EXPECT_TRUE(queued.cancelled);
+  EXPECT_EQ(batch.num_failed(), 0u);
+
+  // The JSON report carries the partial job with its cancelled marker.
+  const runtime::Json report = runtime::batch_json(batch);
+  const auto& jobs = report.at("jobs").as_array();
+  EXPECT_TRUE(jobs[0].at("ok").as_bool());
+  EXPECT_TRUE(jobs[0].at("cancelled").as_bool());
+  EXPECT_FALSE(jobs[1].at("ok").as_bool());
+}
+
+TEST(Batch, ObserverReceivesProgressFromEveryJob) {
+  std::mutex mutex;
+  std::map<std::string, int> events;
+  auto options = batch_options(2);
+  options.observer = [&](const std::string& job, const core::OgwsIterate& it) {
+    EXPECT_GE(it.k, 1);
+    const std::lock_guard<std::mutex> lock(mutex);
+    ++events[job];
+  };
+  auto batch = runtime::run_batch(small_jobs(3), options);
+
+  ASSERT_EQ(events.size(), 3u);
+  for (const auto& job : batch.jobs) {
+    ASSERT_TRUE(job.ok);
+    EXPECT_EQ(events.at(job.name), job.summary.iterations)
+        << "observer events must match the reported iteration count";
+  }
+}
+
+TEST(Batch, WarmSizesFeedTheSessionWarmStart) {
+  // Size once cold, replay the final sizes as a sparse warm start: the
+  // second batch must converge in fewer iterations. Loosen the bounds so
+  // the cold run actually converges on this small generated circuit.
+  auto loosen = [](std::vector<runtime::BatchJob> jobs) {
+    for (auto& job : jobs) {
+      job.options.bound_factors.delay = 1.2;
+      job.options.bound_factors.noise = 0.2;
+    }
+    return jobs;
+  };
+  auto cold = runtime::run_batch(loosen(small_jobs(1)), batch_options(1));
+  ASSERT_TRUE(cold.jobs[0].ok);
+  ASSERT_TRUE(cold.jobs[0].flow.has_value());
+  ASSERT_TRUE(cold.jobs[0].summary.converged);
+
+  const netlist::Circuit& circuit = cold.jobs[0].flow->circuit;
+  auto warm_jobs = loosen(small_jobs(1));
+  for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+       ++v) {
+    warm_jobs[0].warm_sizes.emplace_back(v, circuit.size(v));
+  }
+  auto warm = runtime::run_batch(std::move(warm_jobs), batch_options(1));
+  ASSERT_TRUE(warm.jobs[0].ok);
+  EXPECT_LT(warm.jobs[0].summary.iterations, cold.jobs[0].summary.iterations);
 }
 
 TEST(Batch, CsvHasOneRowPerJobPlusHeader) {
-  auto batch = runtime::run_batch(small_jobs(3), runtime::BatchOptions{1, true});
+  auto batch = runtime::run_batch(small_jobs(3), batch_options(1));
   const std::string csv = runtime::batch_csv(batch);
   std::size_t lines = 0;
   for (char c : csv) {

@@ -4,12 +4,20 @@
 //   lrsizer batch --profiles all --jobs 8    size many circuits in parallel
 //   lrsizer sweep --noise 0.05:0.25:0.05     noise-bound sweep
 //   lrsizer profiles                     list the built-in Table-1 profiles
+//   lrsizer version                      print the version string
 //
 // <input> is a `.bench` file path or a built-in profile name ("c17",
 // "c432" ... "c7552"; profile inputs are synthesized with the Table-1
 // generator). Reports go to stdout plus optional --json / --csv files;
 // sized netlists are emitted as `.bench` with `# size` annotation comments
-// (still parseable by any .bench reader, including `lrsizer run` itself).
+// (still parseable by any .bench reader, including `lrsizer run` itself —
+// and reusable as `--warm-start` seeds).
+//
+// All sizing goes through api::SizingSession (via runtime::run_batch):
+// `--progress` taps the per-iteration observer, Ctrl-C requests cooperative
+// cancellation — in-flight jobs keep their best partial solution and the
+// reports are still written (exit code 130).
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -17,6 +25,7 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stop_token>
 #include <string>
 #include <vector>
 
@@ -34,14 +43,19 @@ namespace {
 
 using namespace lrsizer;
 
-constexpr const char* kVersion = "lrsizer 0.2.0";
+// Injected by tools/CMakeLists.txt from the project() version.
+#ifndef LRSIZER_VERSION
+#define LRSIZER_VERSION "0.0.0-dev"
+#endif
+constexpr const char* kVersion = "lrsizer " LRSIZER_VERSION;
 
 constexpr const char* kUsage = R"(usage:
   lrsizer run <input> [options]               size one circuit
   lrsizer batch [inputs...] [options]         size many circuits in parallel
   lrsizer sweep --noise LO:HI:STEP [options]  sweep the noise-bound factor
   lrsizer profiles                            list built-in Table-1 profiles
-  lrsizer --help | --version
+  lrsizer version | --version                 print the version string
+  lrsizer --help
 
 inputs:
   a `.bench` file path, or a built-in profile name (c17, c432 ... c7552);
@@ -58,12 +72,17 @@ options:
   --delay-bound F   A0 = F x initial delay  (default 1.00)
   --power-bound F   P0 = F x initial power  (default 0.15)
   --noise-bound F   X0 = F x initial noise  (default 0.10)
+  --warm-start FILE (run) seed sizes from a sized .bench's # size annotations
+  --progress        per-OGWS-iteration progress lines on stderr
   --out FILE        (run) write the sized .bench here
   --out-dir DIR     (batch/sweep) write one sized .bench per job into DIR
   --json FILE       write the JSON report ("-" for stdout)
   --csv FILE        write the CSV report ("-" for stdout)
   --quiet           errors only
   --verbose         per-job progress on stderr
+
+Ctrl-C cancels cooperatively: running jobs return their best partial
+solution, reports are still written, and the exit code is 130.
 )";
 
 struct CliOptions {
@@ -75,15 +94,25 @@ struct CliOptions {
   std::uint64_t seed = 1;
   std::int32_t vectors = 32;
   bool use_woss = true;
+  bool progress = false;
   double delay_bound = 1.0;
   double power_bound = 0.15;
   double noise_bound = 0.10;
   int jobs = 0;
+  std::string warm_start_path;
   std::string out_path;
   std::string out_dir;
   std::string json_path;
   std::string csv_path;
 };
+
+// Ctrl-C / SIGTERM request cooperative cancellation through this stop
+// source. With no stop_callbacks registered, request_stop() is a plain
+// atomic state transition — safe enough from a signal handler — and the
+// sizing sessions poll the token once per OGWS iteration.
+std::stop_source g_stop;  // NOLINT(cert-err58-cpp)
+
+extern "C" void handle_interrupt(int) { g_stop.request_stop(); }
 
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "lrsizer: " << message << "\n\n" << kUsage;
@@ -140,6 +169,8 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--seed") cli.seed = static_cast<std::uint64_t>(parse_long(arg, next_value(i)));
     else if (arg == "--vectors") cli.vectors = static_cast<std::int32_t>(parse_long(arg, next_value(i)));
     else if (arg == "--no-woss") cli.use_woss = false;
+    else if (arg == "--progress") cli.progress = true;
+    else if (arg == "--warm-start") cli.warm_start_path = next_value(i);
     else if (arg == "--delay-bound") cli.delay_bound = parse_double(arg, next_value(i));
     else if (arg == "--power-bound") cli.power_bound = parse_double(arg, next_value(i));
     else if (arg == "--noise-bound") cli.noise_bound = parse_double(arg, next_value(i));
@@ -208,6 +239,41 @@ runtime::BatchJob load_job(const std::string& input, const CliOptions& cli) {
   return runtime::make_profile_job(input, cli.seed, job.options);
 }
 
+/// Load `# size` annotations from a previously sized .bench for warm-starting.
+std::vector<std::pair<std::int32_t, double>> load_warm_sizes(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail("cannot open warm-start file '" + path + "'");
+  std::vector<std::pair<std::int32_t, double>> sizes;
+  try {
+    sizes = netlist::read_size_annotations(in);
+  } catch (const netlist::BenchParseError& e) {
+    fail(path + ": " + e.what());
+  }
+  if (sizes.empty()) {
+    fail("warm-start file '" + path +
+         "' has no '# size' annotations (was it written by lrsizer --out?)");
+  }
+  return sizes;
+}
+
+/// Shared batch options: worker count, Ctrl-C token, optional --progress
+/// observer (one line per OGWS iteration; a single fprintf per event keeps
+/// concurrent workers' lines whole).
+runtime::BatchOptions make_batch_options(const CliOptions& cli, int jobs) {
+  runtime::BatchOptions options;
+  options.jobs = jobs;
+  options.stop = g_stop.get_token();
+  if (cli.progress) {
+    options.observer = [](const std::string& job, const core::OgwsIterate& it) {
+      std::fprintf(stderr,
+                   "[%s] k=%-4d area=%-10.1f dual=%-10.1f gap=%6.2f%% viol=%6.2f%%\n",
+                   job.c_str(), it.k, it.area, it.dual, 100.0 * it.rel_gap,
+                   100.0 * it.max_violation);
+    };
+  }
+  return options;
+}
+
 /// Sized netlist as .bench text: the round-trippable netlist followed by
 /// `# size <node> <kind> <net> <value>` comment lines (ignored by parsers).
 std::string sized_bench_text(const runtime::JobOutcome& outcome) {
@@ -266,13 +332,15 @@ void print_batch_table(const runtime::BatchResult& batch) {
                          "pow F(mW)", "area F(um2)", "gap%", "time(s)", "mem(KB)"});
   for (const auto& job : batch.jobs) {
     if (!job.ok) {
-      table.add_row({job.name, "-", "-", "-", "FAILED: " + job.error, "", "", "",
-                     "", util::TextTable::num(job.seconds, 2), ""});
+      table.add_row({job.name, "-", "-", "-",
+                     job.cancelled ? "CANCELLED: " + job.error : "FAILED: " + job.error,
+                     "", "", "", "", util::TextTable::num(job.seconds, 2), ""});
       continue;
     }
     const core::FlowSummary& s = job.summary;
     table.add_row(
-        {job.name, util::TextTable::integer(s.num_gates),
+        {job.cancelled ? job.name + " (partial)" : job.name,
+         util::TextTable::integer(s.num_gates),
          util::TextTable::integer(s.num_wires),
          util::TextTable::integer(s.iterations),
          util::TextTable::num(s.final_metrics.noise_f * 1e12, 2),
@@ -290,11 +358,18 @@ void print_batch_table(const runtime::BatchResult& batch) {
       batch.jobs.size(), batch.num_workers, batch.wall_seconds,
       batch.total_job_seconds, batch.speedup(),
       static_cast<long long>(batch.steals), batch.peak_memory_bytes / 1024);
+  if (batch.num_cancelled() > 0) {
+    std::printf("%zu job(s) cancelled — partial results above/in the reports\n",
+                batch.num_cancelled());
+  }
 }
 
+/// Reports are written even for cancelled batches (the partial-report
+/// contract); the exit code then follows shell convention for SIGINT.
 int finish(const runtime::BatchResult& batch, const CliOptions& cli) {
   write_reports(batch, cli);
-  return batch.num_failed() == 0 ? 0 : 2;
+  if (batch.num_failed() > 0) return 2;
+  return batch.num_cancelled() > 0 ? 130 : 0;
 }
 
 // ---- commands ---------------------------------------------------------------
@@ -303,13 +378,19 @@ int cmd_run(const CliOptions& cli) {
   if (cli.inputs.size() != 1) fail("run expects exactly one input");
   std::vector<runtime::BatchJob> jobs;
   jobs.push_back(load_job(cli.inputs[0], cli));
-  runtime::BatchOptions batch_options;
-  batch_options.jobs = 1;
-  const auto batch = runtime::run_batch(std::move(jobs), batch_options);
+  if (!cli.warm_start_path.empty()) {
+    jobs[0].warm_sizes = load_warm_sizes(cli.warm_start_path);
+  }
+  const auto batch =
+      runtime::run_batch(std::move(jobs), make_batch_options(cli, 1));
   const auto& outcome = batch.jobs[0];
   if (!outcome.ok) {
-    std::cerr << "lrsizer: job failed: " << outcome.error << "\n";
-    return 2;
+    std::cerr << "lrsizer: job " << (outcome.cancelled ? "cancelled" : "failed")
+              << ": " << outcome.error << "\n";
+    // The partial-report contract holds even without a result: requested
+    // report files are still written (with the error/cancelled markers).
+    write_reports(batch, cli);
+    return outcome.cancelled ? 130 : 2;
   }
 
   const core::FlowSummary& s = outcome.summary;
@@ -327,8 +408,10 @@ int cmd_run(const CliOptions& cli) {
                  util::TextTable::num(s.final_metrics.area_um2, 0)});
   std::printf("%s: #G=%d #W=%d, %s after %d iterations (gap %.2f%%)\n",
               outcome.name.c_str(), s.num_gates, s.num_wires,
-              s.converged ? "converged" : "stopped", s.iterations,
-              100.0 * s.rel_gap);
+              s.cancelled   ? "cancelled (partial result)"
+              : s.converged ? "converged"
+                            : "stopped",
+              s.iterations, 100.0 * s.rel_gap);
   table.print(std::cout);
   std::printf("stage1 %.3f s, stage2 %.3f s, mem %zu KB\n", s.stage1_seconds,
               s.stage2_seconds, s.memory_bytes / 1024);
@@ -338,6 +421,9 @@ int cmd_run(const CliOptions& cli) {
 }
 
 int cmd_batch(const CliOptions& cli) {
+  // Warm sizes are node-id-keyed against one specific elaborated circuit;
+  // silently reusing them across a heterogeneous batch would mislead.
+  if (!cli.warm_start_path.empty()) fail("--warm-start only applies to 'run'");
   std::vector<runtime::BatchJob> jobs;
   if (!cli.profiles.empty()) {
     std::vector<std::string> names;
@@ -357,14 +443,14 @@ int cmd_batch(const CliOptions& cli) {
   for (const auto& input : cli.inputs) jobs.push_back(load_job(input, cli));
   if (jobs.empty()) fail("batch needs --profiles and/or input files");
 
-  runtime::BatchOptions batch_options;
-  batch_options.jobs = cli.jobs;
-  const auto batch = runtime::run_batch(std::move(jobs), batch_options);
+  const auto batch =
+      runtime::run_batch(std::move(jobs), make_batch_options(cli, cli.jobs));
   print_batch_table(batch);
   return finish(batch, cli);
 }
 
 int cmd_sweep(const CliOptions& cli) {
+  if (!cli.warm_start_path.empty()) fail("--warm-start only applies to 'run'");
   if (cli.sweep_range.empty()) fail("sweep needs --noise LO:HI:STEP");
   double lo = 0.0, hi = 0.0, step = 0.0;
   {
@@ -395,9 +481,8 @@ int cmd_sweep(const CliOptions& cli) {
     jobs.push_back(std::move(job));
   }
 
-  runtime::BatchOptions batch_options;
-  batch_options.jobs = cli.jobs;
-  const auto batch = runtime::run_batch(std::move(jobs), batch_options);
+  const auto batch =
+      runtime::run_batch(std::move(jobs), make_batch_options(cli, cli.jobs));
   print_batch_table(batch);
   return finish(batch, cli);
 }
@@ -421,6 +506,12 @@ int cmd_profiles() {
 int main(int argc, char** argv) {
   util::set_log_level(util::LogLevel::kWarn);
   const CliOptions cli = parse_args(argc, argv);
+  if (cli.command == "version") {
+    std::cout << kVersion << "\n";
+    return 0;
+  }
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
   if (cli.command == "run") return cmd_run(cli);
   if (cli.command == "batch") return cmd_batch(cli);
   if (cli.command == "sweep") return cmd_sweep(cli);
