@@ -94,6 +94,12 @@ class FlowOptionsBuilder {
     options_.initial_size = size;
     return *this;
   }
+  /// Intra-job kernel threads (1 = serial, 0 = hardware concurrency);
+  /// bit-identical results at any value.
+  FlowOptionsBuilder& threads(int threads) {
+    options_.threads = threads;
+    return *this;
+  }
 
   /// Current (possibly invalid) state, for inspection.
   const core::FlowOptions& peek() const { return options_; }

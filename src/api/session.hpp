@@ -44,6 +44,10 @@
 #include "api/status.hpp"
 #include "core/flow.hpp"
 
+namespace lrsizer::util {
+class Executor;
+}
+
 namespace lrsizer::api {
 
 /// Per-iteration progress callback; receives OGWS's iteration summary
@@ -61,6 +65,10 @@ class SizingSession {
   /// reports readable errors instead of asserting).
   explicit SizingSession(netlist::LogicNetlist netlist,
                          core::FlowOptions options = core::FlowOptions{});
+  ~SizingSession();
+
+  SizingSession(SizingSession&&) = default;
+  SizingSession& operator=(SizingSession&&) = default;
 
   // ---- controls (set any time before size()) -------------------------------
 
@@ -70,6 +78,12 @@ class SizingSession {
 
   /// Cooperative cancellation token; see the cancellation contract above.
   void set_stop_token(std::stop_token token) { stop_ = std::move(token); }
+
+  /// Kernel executor for the sizing stage's level-parallel passes (borrowed;
+  /// must outlive size()). Overrides the session's own team: without this,
+  /// size() spins up a runtime::KernelTeam of options.threads when
+  /// options.threads != 1. Results are bit-identical with any executor.
+  void set_executor(util::Executor* executor) { external_executor_ = executor; }
 
   /// Record the warm-start snapshot (`result().ogws.warm`) so this run can
   /// seed warm_start_from() later. On by default — session results are
@@ -143,6 +157,7 @@ class SizingSession {
 
   IterationObserver observer_;
   std::stop_token stop_;
+  util::Executor* external_executor_ = nullptr;
   bool capture_warm_start_ = true;
   std::optional<core::OgwsWarmStart> warm_;
   std::vector<std::pair<std::int32_t, double>> warm_entries_;

@@ -17,6 +17,7 @@
 #include "core/problem.hpp"
 #include "layout/neighbors.hpp"
 #include "netlist/circuit.hpp"
+#include "timing/arrival.hpp"
 #include "timing/loads.hpp"
 
 namespace lrsizer::core {
@@ -30,5 +31,28 @@ double lagrangian_value(const netlist::Circuit& circuit,
                         const std::vector<double>& x, const std::vector<double>& mu,
                         double mu_sink, double beta, const NoiseMultipliers& gamma,
                         const Bounds& bounds, timing::CouplingLoadMode mode);
+
+/// Precomputed scalar terms of L at `x`: exactly timing::total_area(x),
+/// timing::total_cap(x) and coupling.noise_linear(x). The OGWS loop already
+/// computes all three for its iterate metrics, so handing them over stops
+/// the dual evaluation from re-deriving them.
+struct LagrangianTerms {
+  double area = 0.0;
+  double cap = 0.0;
+  double noise = 0.0;
+};
+
+/// Same value, but the Elmore delays come from a precomputed arrival
+/// analysis at `x` (ArrivalAnalysis::delay[i] is exactly r_i·C_i) instead of
+/// a fresh load pass, and the scalar terms from `terms` — the OGWS hot loop
+/// already has all of it in hand, so this skips one full
+/// O(|V|+|E|+|pairs|) load pass (plus its allocation) and the three scalar
+/// sweeps per iteration. Bit-identical to the load-pass overload.
+double lagrangian_value(const netlist::Circuit& circuit,
+                        const layout::CouplingSet& coupling,
+                        const std::vector<double>& x, const std::vector<double>& mu,
+                        double mu_sink, double beta, const NoiseMultipliers& gamma,
+                        const Bounds& bounds, const timing::ArrivalAnalysis& arrivals,
+                        const LagrangianTerms& terms);
 
 }  // namespace lrsizer::core

@@ -2,11 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+#include <optional>
 
+#include "layout/coloring.hpp"
 #include "timing/upstream.hpp"
 #include "util/assert.hpp"
 
 namespace lrsizer::core {
+
+namespace {
+
+/// Fixed chunk size of the parallel colored sweep (Executor contract).
+constexpr std::int32_t kGrain = 32;
+
+/// Relative-change denominator floor: guards the S5 fixpoint metric against
+/// x_i == 0 (a 0/0 or y/0 there turns max_rel_change into NaN and silently
+/// disables the convergence test). Any positive x_i a caller can legally
+/// pass is far above this, so the guard never changes a healthy value.
+constexpr double kTinySize = std::numeric_limits<double>::min();
+
+}  // namespace
 
 double optimal_resize(const netlist::Circuit& circuit,
                       const layout::CouplingSet& coupling,
@@ -36,37 +52,126 @@ double optimal_resize(const netlist::Circuit& circuit,
 LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
                  const std::vector<double>& mu, double beta,
                  const NoiseMultipliers& gamma, const LrsOptions& options,
-                 std::vector<double>& x, LrsWorkspace& workspace) {
+                 std::vector<double>& x, LrsWorkspace& workspace,
+                 const LrsRuntime& runtime) {
   LRSIZER_ASSERT(x.size() == static_cast<std::size_t>(circuit.num_nodes()));
   LRSIZER_ASSERT(mu.size() == x.size());
 
-  // S1: start from the lower bounds (or the caller's x when warm).
-  if (!options.warm_start) {
-    for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
-         ++v) {
-      x[static_cast<std::size_t>(v)] = circuit.lower_bound(v);
+  // S1: start from the lower bounds (or the caller's x when warm). The S5
+  // relative-change test divides by the previous size, so the start point
+  // must be positive — lower bounds are (asserted by Circuit::validate) and
+  // warm starts are checked here.
+  for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+       ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    if (!options.warm_start) {
+      LRSIZER_ASSERT_MSG(circuit.lower_bound(v) > 0.0,
+                         "LRS needs positive lower bounds");
+      x[i] = circuit.lower_bound(v);
+    } else {
+      LRSIZER_ASSERT_MSG(x[i] > 0.0, "LRS warm start needs positive sizes");
     }
   }
 
+  util::Executor* exec = util::serial(runtime.executor) ? nullptr : runtime.executor;
+
+  // Color schedule for the parallel sweep: the caller's, or a local one.
+  std::optional<netlist::LevelSchedule> local_colors;
+  const netlist::LevelSchedule* colors = runtime.colors;
+  if (exec != nullptr && colors == nullptr) {
+    local_colors.emplace(layout::build_coupling_colors(circuit, coupling));
+    colors = &*local_colors;
+  }
+
+  // Pass-invariant terms of opt_i, derived once instead of per pass per
+  // node (μ, γ and the coupling coefficients are all fixed for this call).
+  workspace.mu_res.assign(x.size(), 0.0);
+  workspace.gamma_coef.assign(x.size(), 0.0);
+  for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+       ++v) {
+    const auto i = static_cast<std::size_t>(v);
+    workspace.mu_res[i] = mu[i] * circuit.unit_res(v);
+    double coef = 0.0;
+    for (const auto& nb : coupling.neighbors(v)) {
+      const netlist::NodeId owner =
+          coupling.pairs()[static_cast<std::size_t>(nb.pair)].a;
+      coef += gamma.for_owner(owner) * nb.c_hat;
+    }
+    workspace.gamma_coef[i] = coef;
+  }
+
+  // S4 per-component body: Theorem 5's closed-form resize (the hoisted twin
+  // of optimal_resize — tests assert the fixpoint against the public
+  // function). Neighbor sizes are read live (Gauss-Seidel, matching the
+  // paper's sweep); under the colored schedule every smaller-id neighbor is
+  // already updated and every larger-id neighbor is not yet — exactly the
+  // index-order semantics.
+  auto resize_node = [&](netlist::NodeId v) -> double {
+    const auto i = static_cast<std::size_t>(v);
+    double couple_nbr = 0.0;  // Σ ĉ_ij x_j
+    for (const auto& nb : coupling.neighbors(v)) {
+      couple_nbr += nb.c_hat * x[static_cast<std::size_t>(nb.other)];
+    }
+    const double numerator =
+        workspace.mu_res[i] * (workspace.loads.cap_prime[i] + couple_nbr);
+    const double denominator = circuit.area_weight(v) +
+                               (beta + workspace.r_up[i]) * circuit.unit_cap(v) +
+                               workspace.gamma_coef[i];
+    LRSIZER_ASSERT_MSG(denominator > 0.0, "area weights must be positive");
+    const double opt = std::sqrt(std::max(numerator, 0.0) / denominator);
+    const double next =
+        std::clamp(opt, circuit.lower_bound(v), circuit.upper_bound(v));
+    const double rel_change = std::abs(next - x[i]) / std::max(x[i], kTinySize);
+    x[i] = next;
+    return rel_change;
+  };
+
+  auto sweep = [&]() -> double {
+    double max_rel_change = 0.0;
+    if (exec == nullptr) {
+      for (netlist::NodeId v = circuit.first_component();
+           v < circuit.end_component(); ++v) {
+        max_rel_change = std::max(max_rel_change, resize_node(v));
+      }
+      return max_rel_change;
+    }
+    for (std::int32_t c = 0; c < colors->num_levels(); ++c) {
+      const auto nodes = colors->level(c);
+      const auto count = static_cast<std::int32_t>(nodes.size());
+      // Fixed-shape max reduction: one partial per (count, kGrain) chunk,
+      // combined in chunk order — and max is exact, so the combined value is
+      // bit-identical to the sequential sweep's regardless of thread count.
+      const std::int32_t chunks = util::num_chunks(count, kGrain);
+      workspace.partials.assign(static_cast<std::size_t>(chunks), 0.0);
+      exec->run_chunks(count, kGrain, [&](std::int32_t begin, std::int32_t end) {
+        double local = 0.0;
+        for (std::int32_t k = begin; k < end; ++k) {
+          local = std::max(local, resize_node(nodes[static_cast<std::size_t>(k)]));
+        }
+        workspace.partials[static_cast<std::size_t>(begin / kGrain)] = local;
+      });
+      for (const double partial : workspace.partials) {
+        max_rel_change = std::max(max_rel_change, partial);
+      }
+    }
+    return max_rel_change;
+  };
+
+  // S2 at the start point; subsequent passes refresh the loads *after* the
+  // sweep (see the hand-back contract in lrs.hpp), which serves as the next
+  // pass's S2 and, on exit, as the caller's final-x analysis.
+  timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads, exec);
+
   LrsStats stats;
   for (int pass = 0; pass < options.max_passes; ++pass) {
-    // S2 + S3: global analyses at the current sizes.
-    timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads);
-    timing::compute_weighted_upstream(circuit, x, mu, workspace.r_up);
+    // S3: μ-weighted upstream resistances at the current sizes.
+    timing::compute_weighted_upstream(circuit, x, mu, workspace.r_up, exec);
 
-    // S4: greedy closed-form resize, components in index order. Neighbor
-    // sizes are read live (Gauss-Seidel), matching the paper's sweep.
-    double max_rel_change = 0.0;
-    for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
-         ++v) {
-      const auto i = static_cast<std::size_t>(v);
-      const double opt = optimal_resize(circuit, coupling, mu, beta, gamma, x,
-                                        workspace.loads, workspace.r_up, v);
-      const double next =
-          std::clamp(opt, circuit.lower_bound(v), circuit.upper_bound(v));
-      max_rel_change = std::max(max_rel_change, std::abs(next - x[i]) / x[i]);
-      x[i] = next;
-    }
+    // S4: greedy closed-form resize, components in color order (= index
+    // order semantics, see above).
+    const double max_rel_change = sweep();
+
+    timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads, exec);
 
     stats.passes = pass + 1;
     stats.max_rel_change = max_rel_change;

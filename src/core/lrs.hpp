@@ -23,7 +23,9 @@
 #include "core/problem.hpp"
 #include "layout/neighbors.hpp"
 #include "netlist/circuit.hpp"
+#include "netlist/levels.hpp"
 #include "timing/loads.hpp"
+#include "util/parallel.hpp"
 
 namespace lrsizer::core {
 
@@ -69,13 +71,41 @@ struct LrsStats {
 struct LrsWorkspace {
   timing::LoadAnalysis loads;
   std::vector<double> r_up;
+  /// Per-chunk partials of the parallel max-relative-change reduction.
+  std::vector<double> partials;
+  /// Pass-invariant per-node terms of Theorem 5's opt_i, hoisted out of the
+  /// sweep at the start of every run_lrs call (they depend only on μ, γ and
+  /// the coupling constants, never on x): numerator coefficient μ_i·r̂_i and
+  /// denominator coupling term Σ_{j∈N(i)} γ_ij·ĉ_ij. Accumulated in the
+  /// exact order optimal_resize uses, so the hoist is bit-neutral.
+  std::vector<double> mu_res;
+  std::vector<double> gamma_coef;
+};
+
+/// Out-of-band execution context for run_lrs — nothing in here changes the
+/// result (bit-determinism contract, docs/ARCHITECTURE.md §Parallel kernels).
+struct LrsRuntime {
+  /// Kernel executor for the level-parallel analyses and the colored sweep;
+  /// nullptr (or threads() == 1) runs serial.
+  util::Executor* executor = nullptr;
+  /// Color schedule from layout::build_coupling_colors for the parallel
+  /// Gauss-Seidel sweep; borrowed, must match (circuit, coupling). Only
+  /// consulted when `executor` is parallel — run_lrs builds a local one when
+  /// needed and none is supplied, so hot callers (run_ogws) should pass the
+  /// schedule they built once.
+  const netlist::LevelSchedule* colors = nullptr;
 };
 
 /// Minimize L_{λ,β,γ}(x) over the size box; x is in/out (indexed by NodeId).
+///
+/// Hand-back contract: on return, `workspace.loads` holds the load analysis
+/// at the returned x (each pass refreshes it *after* the resize sweep), so
+/// the caller's post-LRS timing (OGWS step A3's arrival pass) reuses it
+/// instead of recomputing — one full load pass saved per OGWS iteration.
 LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
                  const std::vector<double>& mu, double beta, const NoiseMultipliers& gamma,
                  const LrsOptions& options, std::vector<double>& x,
-                 LrsWorkspace& workspace);
+                 LrsWorkspace& workspace, const LrsRuntime& runtime = LrsRuntime{});
 
 /// Theorem 5's opt_i for one component given current analyses; exposed for
 /// tests (stationarity checks) and diagnostics.

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
 #include "core/lagrangian.hpp"
+#include "layout/coloring.hpp"
 #include "timing/arrival.hpp"
 #include "timing/metrics.hpp"
 #include "util/assert.hpp"
@@ -75,6 +77,19 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
   LrsWorkspace workspace;
   timing::ArrivalAnalysis arrivals;
 
+  // Kernel-execution context: serial by default; with a parallel executor
+  // the analyses and the LRS sweep run level-parallel (bit-identical). The
+  // coupling color schedule is built once per run — it depends only on the
+  // coupling graph, which is fixed here.
+  util::Executor* exec = util::serial(control.executor) ? nullptr : control.executor;
+  LrsRuntime lrs_runtime;
+  std::optional<netlist::LevelSchedule> colors;
+  if (exec != nullptr) {
+    lrs_runtime.executor = exec;
+    colors.emplace(layout::build_coupling_colors(circuit, coupling));
+    lrs_runtime.colors = &*colors;
+  }
+
   // Max relative violation over every relaxed constraint at iterate `xs`.
   auto max_rel_violation = [&](const std::vector<double>& xs, double delay,
                                double cap, double noise) -> double {
@@ -94,10 +109,12 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
                      relative_violation(noise, bounds.noise_f), viol_per_net, 0.0});
   };
 
-  // Area + max violation of `xs`, via a fresh loads/arrivals analysis.
+  // Area + max violation of `xs`, refreshing the workspace analyses (reused
+  // buffers — no allocation after the first call).
   auto evaluate_sizes = [&](const std::vector<double>& xs) {
-    timing::compute_loads(circuit, coupling, xs, options.lrs.mode, workspace.loads);
-    timing::compute_arrivals(circuit, xs, workspace.loads, arrivals);
+    timing::compute_loads(circuit, coupling, xs, options.lrs.mode, workspace.loads,
+                          exec);
+    timing::compute_arrivals(circuit, xs, workspace.loads, arrivals, exec);
     const double area = timing::total_area(circuit, xs);
     const double violation =
         max_rel_violation(xs, arrivals.critical_delay, timing::total_cap(circuit, xs),
@@ -154,20 +171,25 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
     // A2: node weights from edge multipliers.
     multipliers.compute_mu(circuit, mu);
 
-    // A3: inner minimization + arrival times of the sized circuit.
-    const LrsStats lrs_stats = run_lrs(circuit, coupling, mu, multipliers.beta,
-                                       noise_duals(), options.lrs, x, workspace);
-    timing::compute_loads(circuit, coupling, x, options.lrs.mode, workspace.loads);
-    timing::compute_arrivals(circuit, x, workspace.loads, arrivals);
+    // A3: inner minimization + arrival times of the sized circuit. run_lrs
+    // hands back workspace.loads at the final x (hand-back contract in
+    // lrs.hpp), so the arrival pass runs directly on it — no fresh load
+    // pass here.
+    const LrsStats lrs_stats =
+        run_lrs(circuit, coupling, mu, multipliers.beta, noise_duals(),
+                options.lrs, x, workspace, lrs_runtime);
+    timing::compute_arrivals(circuit, x, workspace.loads, arrivals, exec);
 
-    // Metrics of this iterate.
+    // Metrics of this iterate. The dual reuses the arrival analysis's Elmore
+    // delays and these scalar terms instead of re-deriving any of them.
     const double area = timing::total_area(circuit, x);
     const double cap = timing::total_cap(circuit, x);
     const double noise = coupling.noise_linear(x);
     const double delay = arrivals.critical_delay;
     const double dual =
         lagrangian_value(circuit, coupling, x, mu, multipliers.sink_mu(circuit),
-                         multipliers.beta, noise_duals(), bounds, options.lrs.mode);
+                         multipliers.beta, noise_duals(), bounds, arrivals,
+                         LagrangianTerms{area, cap, noise});
 
     const double max_violation = max_rel_violation(x, delay, cap, noise);
 
@@ -327,6 +349,10 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
                                 util::vector_bytes(workspace.loads.cap_prime) +
                                 util::vector_bytes(workspace.loads.load_in) +
                                 util::vector_bytes(workspace.r_up));
+  // The parallel-only color schedule is deliberately NOT tracked: the
+  // working-set numbers must be bit-identical at every thread count
+  // (determinism contract), and the schedule is O(components) scratch that
+  // exists only while this call runs.
   tracker.add("ogws/arrivals", util::vector_bytes(arrivals.delay) +
                                    util::vector_bytes(arrivals.arrival));
   result.workspace_bytes = tracker.tracked_bytes();

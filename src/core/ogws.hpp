@@ -33,6 +33,7 @@
 #include "layout/neighbors.hpp"
 #include "netlist/circuit.hpp"
 #include "util/memtrack.hpp"
+#include "util/parallel.hpp"
 
 namespace lrsizer::core {
 
@@ -116,6 +117,12 @@ struct OgwsControl {
   /// set_capture_warm_start(false) for fire-and-forget harnesses — the
   /// paper-reproduction benches opt out in bench_common.hpp.
   bool capture_warm_start = false;
+  /// Kernel executor for the level-parallel timing/LRS passes (borrowed;
+  /// must outlive the call). nullptr or threads() == 1 runs serial. Results
+  /// are bit-identical either way (docs/ARCHITECTURE.md §Parallel kernels),
+  /// which is why this lives in the out-of-band control block and not the
+  /// options.
+  util::Executor* executor = nullptr;
 };
 
 struct OgwsResult {

@@ -1,0 +1,41 @@
+#include "layout/coloring.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace lrsizer::layout {
+
+netlist::LevelSchedule build_coupling_colors(const netlist::Circuit& circuit,
+                                             const CouplingSet& coupling) {
+  using netlist::NodeId;
+
+  const auto n = static_cast<std::size_t>(circuit.num_nodes());
+  std::vector<std::int32_t> color(n, -1);
+  std::int32_t max_color = 0;
+
+  // Greedy in ascending component order; neighbors with smaller ids are
+  // already colored, neighbors with larger ids will see v as a conflict and
+  // land strictly above — which is what makes the coloring order-preserving.
+  for (NodeId v = circuit.first_component(); v < circuit.end_component(); ++v) {
+    std::int32_t c = -1;
+    for (const auto& nb : coupling.neighbors(v)) {
+      // Distance 1: the neighbor itself.
+      if (nb.other < v) {
+        c = std::max(c, color[static_cast<std::size_t>(nb.other)]);
+      }
+      // Distance 2: the neighbor's neighbors.
+      for (const auto& nb2 : coupling.neighbors(nb.other)) {
+        if (nb2.other != v && nb2.other < v) {
+          c = std::max(c, color[static_cast<std::size_t>(nb2.other)]);
+        }
+      }
+    }
+    color[static_cast<std::size_t>(v)] = c + 1;
+    max_color = std::max(max_color, c + 1);
+  }
+
+  return netlist::LevelSchedule::from_levels(color, max_color + 1);
+}
+
+}  // namespace lrsizer::layout

@@ -1,0 +1,40 @@
+// Coupling-aware coloring of the sized components — the schedule that turns
+// the LRS Gauss-Seidel sweep (core/lrs.cpp, paper Figure 8 step S4) into a
+// deterministic colored sweep (docs/ARCHITECTURE.md §Parallel kernels).
+//
+// Within one LRS pass the only live dependency between components is the
+// coupling adjacency: resizing wire i reads the current sizes x_j of its
+// coupling neighbors j ∈ N(i) (loads and upstream resistances are frozen at
+// the pass start). The coloring groups components into classes that can be
+// resized concurrently, with two properties:
+//
+//   * order-preserving: for every coupling pair (a, b) with a < b,
+//     color(a) < color(b). Sweeping the colors in ascending order therefore
+//     reproduces the paper's ascending-index Gauss-Seidel sweep *bit for
+//     bit*: when v is resized, every neighbor j < v is already updated and
+//     every neighbor j > v still holds its pre-sweep value — exactly the
+//     sequential semantics, at any thread count.
+//   * distance-2: two same-color components are neither coupling-adjacent
+//     nor share a coupling neighbor, so concurrent resizes within a class
+//     touch disjoint neighborhoods (no write/write conflicts, and no reads
+//     of a value another class member is writing).
+//
+// Greedy assignment in ascending component order: color(v) = 1 + max color
+// over already-colored conflicts (distance ≤ 2 in the coupling graph), 0
+// when unconflicted. Gates and uncoupled wires all land on color 0; channel
+// adjacency graphs are near-paths, so coupled wires need only a handful of
+// colors.
+#pragma once
+
+#include "layout/neighbors.hpp"
+#include "netlist/circuit.hpp"
+#include "netlist/levels.hpp"
+
+namespace lrsizer::layout {
+
+/// Color classes over [first_component, end_component), returned as a
+/// LevelSchedule whose "levels" are the colors in sweep order.
+netlist::LevelSchedule build_coupling_colors(const netlist::Circuit& circuit,
+                                             const CouplingSet& coupling);
+
+}  // namespace lrsizer::layout

@@ -1,0 +1,71 @@
+#include "netlist/levels.hpp"
+
+#include <algorithm>
+
+#include "netlist/circuit.hpp"
+#include "util/assert.hpp"
+
+namespace lrsizer::netlist {
+
+LevelSchedule LevelSchedule::from_levels(std::span<const std::int32_t> level_of,
+                                         std::int32_t num_levels) {
+  LevelSchedule schedule;
+  schedule.offsets.assign(static_cast<std::size_t>(num_levels) + 1, 0);
+  std::int32_t included = 0;
+  for (const std::int32_t level : level_of) {
+    if (level < 0) continue;
+    LRSIZER_ASSERT(level < num_levels);
+    ++schedule.offsets[static_cast<std::size_t>(level) + 1];
+    ++included;
+  }
+  for (std::size_t l = 1; l < schedule.offsets.size(); ++l) {
+    schedule.offsets[l] += schedule.offsets[l - 1];
+  }
+  schedule.nodes.resize(static_cast<std::size_t>(included));
+  std::vector<std::int32_t> cursor(schedule.offsets.begin(),
+                                   schedule.offsets.end() - 1);
+  // Ascending v keeps each level's nodes in ascending NodeId order.
+  for (std::size_t v = 0; v < level_of.size(); ++v) {
+    if (level_of[v] < 0) continue;
+    schedule.nodes[static_cast<std::size_t>(
+        cursor[static_cast<std::size_t>(level_of[v])]++)] =
+        static_cast<NodeId>(v);
+  }
+  return schedule;
+}
+
+LevelSchedule build_forward_levels(const Circuit& circuit) {
+  const auto n = static_cast<std::size_t>(circuit.num_nodes());
+  // Source (and the excluded sink) sit at -1 so drivers land on level 0.
+  std::vector<std::int32_t> level(n, -1);
+  std::int32_t max_level = 0;
+  // Ascending index is a topological order (index contract), so every
+  // input's level is final when a node is visited.
+  for (NodeId v = 1; v < circuit.sink(); ++v) {
+    std::int32_t lvl = -1;
+    for (const NodeId p : circuit.inputs(v)) {
+      lvl = std::max(lvl, level[static_cast<std::size_t>(p)]);
+    }
+    level[static_cast<std::size_t>(v)] = lvl + 1;
+    max_level = std::max(max_level, lvl + 1);
+  }
+  return LevelSchedule::from_levels(level, max_level + 1);
+}
+
+LevelSchedule build_reverse_levels(const Circuit& circuit) {
+  const auto n = static_cast<std::size_t>(circuit.num_nodes());
+  // Sink (and the excluded source) sit at -1 so primary outputs land on 0.
+  std::vector<std::int32_t> level(n, -1);
+  std::int32_t max_level = 0;
+  for (NodeId v = circuit.sink() - 1; v >= 1; --v) {
+    std::int32_t lvl = -1;
+    for (const NodeId child : circuit.outputs(v)) {
+      lvl = std::max(lvl, level[static_cast<std::size_t>(child)]);
+    }
+    level[static_cast<std::size_t>(v)] = lvl + 1;
+    max_level = std::max(max_level, lvl + 1);
+  }
+  return LevelSchedule::from_levels(level, max_level + 1);
+}
+
+}  // namespace lrsizer::netlist

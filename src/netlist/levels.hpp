@@ -1,0 +1,72 @@
+// Topological level schedules — the wavefront decomposition behind the
+// level-parallel timing/LRS kernels (docs/ARCHITECTURE.md §Parallel kernels).
+//
+// The circuit's index contract already gives *an* order (every edge goes
+// low → high), but a sequential order hides the available parallelism. The
+// forward schedule groups the non-source/sink nodes into wavefronts
+//
+//   level(v) = 1 + max_{p ∈ input(v)} level(p),   level(source) = 0,
+//
+// so that every node's fanin lives in strictly earlier levels; the reverse
+// schedule is the mirror over fanout. A forward pass (arrivals, upstream
+// resistance) may process one level's nodes in any order — or concurrently —
+// and a reverse pass (loads) likewise over the reverse schedule. Per-node
+// arithmetic is unchanged, so the wavefront order is bit-identical to the
+// index order.
+//
+// The same structure doubles as the *color* schedule of the LRS
+// Gauss-Seidel sweep (layout/coloring.hpp): there "levels" are conflict-free
+// color classes of the coupling graph.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/types.hpp"
+
+namespace lrsizer::netlist {
+
+class Circuit;
+
+/// An ordered partition of a node subset: level l holds nodes whose
+/// dependencies are all in levels < l, in ascending NodeId order. CSR
+/// layout, precomputed once per circuit (Figure 10a linear-memory claim
+/// holds: 4(n + levels) bytes on top of the graph).
+struct LevelSchedule {
+  /// num_levels()+1 offsets into `nodes`; empty schedule = no offsets.
+  std::vector<std::int32_t> offsets;
+  /// Member nodes grouped by level, ascending NodeId within a level.
+  std::vector<NodeId> nodes;
+
+  std::int32_t num_levels() const {
+    return offsets.empty() ? 0 : static_cast<std::int32_t>(offsets.size()) - 1;
+  }
+  std::int32_t num_nodes() const { return static_cast<std::int32_t>(nodes.size()); }
+  std::span<const NodeId> level(std::int32_t l) const {
+    const auto i = static_cast<std::size_t>(l);
+    return {nodes.data() + offsets[i],
+            static_cast<std::size_t>(offsets[i + 1] - offsets[i])};
+  }
+  std::size_t bytes() const {
+    return offsets.capacity() * sizeof(std::int32_t) +
+           nodes.capacity() * sizeof(NodeId);
+  }
+
+  /// Bucket every node with level_of[v] >= 0 by its level (counting sort, so
+  /// nodes stay ascending within a level). `num_levels` must be
+  /// 1 + max(level_of) (0 when no node is included).
+  static LevelSchedule from_levels(std::span<const std::int32_t> level_of,
+                                   std::int32_t num_levels);
+};
+
+/// Forward wavefronts over nodes 1 .. sink-1 (drivers + components): every
+/// node's inputs lie in strictly earlier levels (source counts as level 0).
+LevelSchedule build_forward_levels(const Circuit& circuit);
+
+/// Reverse wavefronts over nodes 1 .. sink-1: every node's outputs lie in
+/// strictly earlier levels (sink counts as level 0).
+LevelSchedule build_reverse_levels(const Circuit& circuit);
+
+}  // namespace lrsizer::netlist

@@ -12,6 +12,7 @@
 
 #include "netlist/circuit.hpp"
 #include "timing/loads.hpp"
+#include "util/parallel.hpp"
 
 namespace lrsizer::timing {
 
@@ -19,11 +20,23 @@ struct ArrivalAnalysis {
   std::vector<double> delay;    ///< D_i per node (0 for source/sink)
   std::vector<double> arrival;  ///< a_i per node (source = 0)
   double critical_delay = 0.0;  ///< D of the circuit
+
+  void resize(std::size_t n) {
+    // Same shape-keyed refill skip as LoadAnalysis::resize: the pass writes
+    // every node 1..sink-1 plus arrival[sink]; the remaining entries keep
+    // the first-time zeros.
+    if (delay.size() == n) return;
+    delay.assign(n, 0.0);
+    arrival.assign(n, 0.0);
+  }
 };
 
-/// One topological sweep; O(|V| + |E|).
+/// One topological sweep; O(|V| + |E|). With a parallel `exec`, runs
+/// wavefront-by-wavefront over `circuit.forward_levels()` — bit-identical to
+/// the serial pass at any thread count.
 void compute_arrivals(const netlist::Circuit& circuit, const std::vector<double>& x,
-                      const LoadAnalysis& loads, ArrivalAnalysis& out);
+                      const LoadAnalysis& loads, ArrivalAnalysis& out,
+                      util::Executor* exec = nullptr);
 
 /// Nodes of one critical path, source-side first (excludes source/sink).
 std::vector<netlist::NodeId> critical_path(const netlist::Circuit& circuit,

@@ -4,9 +4,17 @@
 
 namespace lrsizer::timing {
 
+namespace {
+
+/// Chunk size of the parallel load pass (fixed — the Executor determinism
+/// contract keys reduction/chunk shapes to (n, grain) only).
+constexpr std::int32_t kGrain = 64;
+
+}  // namespace
+
 void compute_loads(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
                    const std::vector<double>& x, CouplingLoadMode mode,
-                   LoadAnalysis& out) {
+                   LoadAnalysis& out, util::Executor* exec) {
   using netlist::NodeId;
   using netlist::NodeKind;
 
@@ -15,8 +23,10 @@ void compute_loads(const netlist::Circuit& circuit, const layout::CouplingSet& c
   out.resize(n);
 
   const NodeId sink = circuit.sink();
-  // Reverse topological order = descending node index (index contract).
-  for (NodeId v = sink - 1; v >= 1; --v) {
+  // Per-node body, shared verbatim by the sequential and wavefront paths so
+  // the two are bit-identical. Writes only node v's slots; reads only the
+  // children's load_in (complete before v under either order) and x.
+  auto load_node = [&](NodeId v) {
     const auto i = static_cast<std::size_t>(v);
 
     double child_sum = circuit.pin_load(v);  // C_L attached at this output
@@ -64,6 +74,24 @@ void compute_loads(const netlist::Circuit& circuit, const layout::CouplingSet& c
       case NodeKind::kSink:
         break;
     }
+  };
+
+  if (util::serial(exec)) {
+    // Reverse topological order = descending node index (index contract).
+    for (NodeId v = sink - 1; v >= 1; --v) load_node(v);
+    return;
+  }
+  // Wavefront order: a node's children all live in earlier reverse levels,
+  // so each level is embarrassingly parallel.
+  const netlist::LevelSchedule& schedule = circuit.reverse_levels();
+  for (std::int32_t l = 0; l < schedule.num_levels(); ++l) {
+    const auto nodes = schedule.level(l);
+    exec->run_chunks(static_cast<std::int32_t>(nodes.size()), kGrain,
+                     [&](std::int32_t begin, std::int32_t end) {
+                       for (std::int32_t k = begin; k < end; ++k) {
+                         load_node(nodes[static_cast<std::size_t>(k)]);
+                       }
+                     });
   }
 }
 

@@ -23,6 +23,7 @@
 
 #include "layout/neighbors.hpp"
 #include "netlist/circuit.hpp"
+#include "util/parallel.hpp"
 
 namespace lrsizer::timing {
 
@@ -37,15 +38,24 @@ struct LoadAnalysis {
   std::vector<double> load_in;
 
   void resize(std::size_t n) {
+    // Re-zeroing is skipped when the shape is unchanged: compute_loads
+    // overwrites every entry for nodes 1..sink-1 unconditionally, and the
+    // source/sink entries stay at the 0 this first-time fill wrote. Dropping
+    // the three O(n) refills matters — the OGWS hot loop runs this pass
+    // several times per iteration.
+    if (cap_delay.size() == n) return;
     cap_delay.assign(n, 0.0);
     cap_prime.assign(n, 0.0);
     load_in.assign(n, 0.0);
   }
 };
 
-/// One reverse-topological sweep; O(|V| + |E| + |pairs|).
+/// One reverse-topological sweep; O(|V| + |E| + |pairs|). With a parallel
+/// `exec`, the sweep runs wavefront-by-wavefront over
+/// `circuit.reverse_levels()` — output is bit-identical to the serial pass
+/// at any thread count (docs/ARCHITECTURE.md §Parallel kernels).
 void compute_loads(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
                    const std::vector<double>& x, CouplingLoadMode mode,
-                   LoadAnalysis& out);
+                   LoadAnalysis& out, util::Executor* exec = nullptr);
 
 }  // namespace lrsizer::timing

@@ -4,18 +4,30 @@
 
 namespace lrsizer::timing {
 
+namespace {
+
+/// Fixed chunk size of the parallel upstream pass (Executor contract).
+constexpr std::int32_t kGrain = 64;
+
+}  // namespace
+
 void compute_weighted_upstream(const netlist::Circuit& circuit,
                                const std::vector<double>& x,
                                const std::vector<double>& mu,
-                               std::vector<double>& r_up) {
+                               std::vector<double>& r_up,
+                               util::Executor* exec) {
   using netlist::NodeId;
 
   const auto n = static_cast<std::size_t>(circuit.num_nodes());
   LRSIZER_ASSERT(x.size() == n);
   LRSIZER_ASSERT(mu.size() == n);
-  r_up.assign(n, 0.0);
+  // Every node 1..sink-1 is written below; source/sink keep the first-time
+  // zeros (shape-keyed refill skip, see LoadAnalysis::resize).
+  if (r_up.size() != n) r_up.assign(n, 0.0);
 
-  for (NodeId v = 1; v < circuit.sink(); ++v) {
+  // Shared per-node body: writes r_up[v] only, reads parents' r_up (earlier
+  // forward levels).
+  auto upstream_node = [&](NodeId v) {
     double acc = 0.0;
     for (NodeId p : circuit.inputs(v)) {
       if (p == circuit.source()) continue;  // drivers: nothing upstream
@@ -24,6 +36,21 @@ void compute_weighted_upstream(const netlist::Circuit& circuit,
       if (circuit.is_wire(p)) acc += r_up[pi];
     }
     r_up[static_cast<std::size_t>(v)] = acc;
+  };
+
+  if (util::serial(exec)) {
+    for (NodeId v = 1; v < circuit.sink(); ++v) upstream_node(v);
+    return;
+  }
+  const netlist::LevelSchedule& schedule = circuit.forward_levels();
+  for (std::int32_t l = 0; l < schedule.num_levels(); ++l) {
+    const auto nodes = schedule.level(l);
+    exec->run_chunks(static_cast<std::int32_t>(nodes.size()), kGrain,
+                     [&](std::int32_t begin, std::int32_t end) {
+                       for (std::int32_t k = begin; k < end; ++k) {
+                         upstream_node(nodes[static_cast<std::size_t>(k)]);
+                       }
+                     });
   }
 }
 

@@ -16,13 +16,18 @@
 #include <vector>
 
 #include "netlist/circuit.hpp"
+#include "util/parallel.hpp"
 
 namespace lrsizer::timing {
 
-/// One topological sweep; O(|V| + |E|). `mu` is indexed by NodeId.
+/// One topological sweep; O(|V| + |E|). `mu` is indexed by NodeId. With a
+/// parallel `exec`, runs wavefront-by-wavefront over
+/// `circuit.forward_levels()` — bit-identical to the serial pass at any
+/// thread count.
 void compute_weighted_upstream(const netlist::Circuit& circuit,
                                const std::vector<double>& x,
                                const std::vector<double>& mu,
-                               std::vector<double>& r_up);
+                               std::vector<double>& r_up,
+                               util::Executor* exec = nullptr);
 
 }  // namespace lrsizer::timing

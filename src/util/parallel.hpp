@@ -1,0 +1,88 @@
+// Minimal chunk-execution interface for the level-parallel kernels.
+//
+// The timing/LRS kernels (timing/loads, timing/arrival, timing/upstream,
+// core/lrs) process one topological wavefront (or one sweep color) at a
+// time; nodes inside a wavefront are independent, so each wavefront can be
+// split into index chunks and executed concurrently. `Executor` is the
+// abstraction those kernels program against: `run_chunks(n, grain, fn)`
+// invokes fn(begin, end) over [0, n) split into ceil(n/grain) fixed chunks
+// and returns only after every chunk completed.
+//
+// Determinism contract (docs/ARCHITECTURE.md §Parallel kernels): chunk
+// boundaries depend only on (n, grain) — never on the thread count — so a
+// reduction that stores one partial per chunk and combines the partials in
+// chunk order has a fixed shape: threads=1 output is bit-identical to
+// threads=N. Per-node work must write only that node's slots and read only
+// values frozen before the wavefront started.
+//
+// This header is std-only so every layer (timing, core, api, runtime) can
+// depend on it; the threaded implementation is runtime::KernelTeam
+// (runtime/pool.hpp). A null `Executor*` everywhere means "run serial".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+
+namespace lrsizer::util {
+
+/// Non-owning reference to a `void(begin, end)` callable. The hot loops
+/// dispatch one of these per wavefront; unlike std::function it never
+/// allocates and is two words to copy. The referenced callable must outlive
+/// the call it is passed to (always true for a lambda argument: the
+/// temporary lives to the end of the full call expression).
+class ChunkFn {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, ChunkFn>>>
+  ChunkFn(F&& fn)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(fn)))),
+        call_([](void* ctx, std::int32_t begin, std::int32_t end) {
+          (*static_cast<std::remove_reference_t<F>*>(ctx))(begin, end);
+        }) {}
+
+  void operator()(std::int32_t begin, std::int32_t end) const {
+    call_(ctx_, begin, end);
+  }
+
+ private:
+  void* ctx_;
+  void (*call_)(void*, std::int32_t, std::int32_t);
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Total concurrency including the calling thread; 1 means serial.
+  virtual int threads() const = 0;
+
+  /// Execute fn(begin, end) over [0, n) split into ceil(n/grain) chunks of
+  /// `grain` indices (the last chunk may be short), concurrently up to
+  /// threads(); blocks until every chunk has completed. Writes made by the
+  /// chunks happen-before the return. Chunk `c` covers
+  /// [c·grain, min(n, (c+1)·grain)) regardless of the thread count. An
+  /// implementation may coarsen the grain when a round would exceed its
+  /// chunk-count limit (runtime::KernelTeam does above 2^16-1 chunks), but
+  /// only as a deterministic function of (n, grain) — chunk boundaries stay
+  /// thread-count-invariant in every case, which is all the fixed-shape
+  /// reduction convention below relies on for max-reductions; shape-
+  /// sensitive (sum) reductions must size their slots per actual begin
+  /// values, not assume ceil(n/grain) chunks.
+  virtual void run_chunks(std::int32_t n, std::int32_t grain, ChunkFn fn) = 0;
+};
+
+/// True when `exec` provides no usable concurrency — the kernels' signal to
+/// take their plain sequential fast path (which is bit-identical).
+inline bool serial(const Executor* exec) {
+  return exec == nullptr || exec->threads() <= 1;
+}
+
+/// Number of fixed-shape chunks run_chunks(n, grain, ·) dispatches; also the
+/// partial-slot count for deterministic reductions (slot = begin / grain).
+inline std::int32_t num_chunks(std::int32_t n, std::int32_t grain) {
+  return (n + grain - 1) / grain;
+}
+
+}  // namespace lrsizer::util

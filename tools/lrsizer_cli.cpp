@@ -65,7 +65,9 @@ options:
   --profiles LIST   (batch) comma-separated profile names, or "all"
   --profile NAME    (sweep) circuit to sweep (default c432)
   --noise LO:HI:STEP (sweep) inclusive range of noise-bound factors
-  --jobs N          worker threads (default: hardware concurrency)
+  --jobs N          concurrent jobs (default: cores / --threads)
+  --threads N       kernel threads per job for the sizing stage (default 1;
+                    0 = hardware concurrency; results are bit-identical)
   --seed N          generator/elaboration seed (default 1)
   --vectors N       stage-1 simulation vectors (default 32)
   --no-woss         keep the initial track order (skip stage-1 WOSS)
@@ -99,6 +101,7 @@ struct CliOptions {
   double power_bound = 0.15;
   double noise_bound = 0.10;
   int jobs = 0;
+  int threads = 1;
   std::string warm_start_path;
   std::string out_path;
   std::string out_dir;
@@ -166,6 +169,10 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--profile") cli.sweep_profile = next_value(i);
     else if (arg == "--noise") cli.sweep_range = next_value(i);
     else if (arg == "--jobs") cli.jobs = static_cast<int>(parse_long(arg, next_value(i)));
+    else if (arg == "--threads") {
+      cli.threads = static_cast<int>(parse_long(arg, next_value(i)));
+      if (cli.threads < 0) fail("--threads must be >= 0 (0 = hardware concurrency)");
+    }
     else if (arg == "--seed") cli.seed = static_cast<std::uint64_t>(parse_long(arg, next_value(i)));
     else if (arg == "--vectors") cli.vectors = static_cast<std::int32_t>(parse_long(arg, next_value(i)));
     else if (arg == "--no-woss") cli.use_woss = false;
@@ -194,6 +201,7 @@ core::FlowOptions flow_options(const CliOptions& cli) {
   options.bound_factors.delay = cli.delay_bound;
   options.bound_factors.power = cli.power_bound;
   options.bound_factors.noise = cli.noise_bound;
+  options.threads = cli.threads;
   return options;
 }
 
