@@ -90,6 +90,12 @@ class FlowOptionsBuilder {
     options_.ogws = ogws;
     return *this;
   }
+  /// OGWS iteration cap (shorthand for rebuilding the whole ogws bundle —
+  /// the one solver knob remote jobs commonly tweak; serve/protocol.cpp).
+  FlowOptionsBuilder& max_iterations(int iterations) {
+    options_.ogws.max_iterations = iterations;
+    return *this;
+  }
   FlowOptionsBuilder& initial_size(double size) {
     options_.initial_size = size;
     return *this;

@@ -1,0 +1,31 @@
+// Structural hashing of logic netlists — the circuit half of the batch-level
+// result-cache key (runtime/cache.hpp, docs/SERVING.md §Cache semantics).
+//
+// Two netlists hash equal iff they are structurally identical: same gates in
+// the same definition order with the same names, ops, fanin lists and
+// primary-output marks. That is exactly the input identity the flow is
+// deterministic over, so (netlist_hash, canonical options) keys a unique
+// FlowResult.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace lrsizer::netlist {
+
+class LogicNetlist;
+
+/// 64-bit FNV-1a offset/prime, exposed so other key components (canonical
+/// option strings) hash with the same function.
+inline constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over raw bytes, continuing from `h` (seed with kFnvOffset).
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t h = kFnvOffset);
+
+/// Structural hash of a logic netlist (names, ops, fanins, output marks).
+/// Stable across processes and platforms; independent of finalize() state.
+std::uint64_t netlist_hash(const LogicNetlist& netlist);
+
+}  // namespace lrsizer::netlist

@@ -1,12 +1,16 @@
 #include "runtime/batch.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <exception>
 #include <future>
 #include <limits>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 #include "api/session.hpp"
@@ -42,9 +46,15 @@ std::size_t BatchResult::num_cancelled() const {
   return cancelled;
 }
 
-namespace {
+std::size_t BatchResult::num_cache_hits() const {
+  std::size_t hits = 0;
+  for (const auto& job : jobs) {
+    if (job.cache_hit) ++hits;
+  }
+  return hits;
+}
 
-JobOutcome run_one(BatchJob&& job, const BatchOptions& options) {
+JobOutcome run_job(BatchJob job, const JobControls& controls) {
   JobOutcome outcome;
   outcome.name = job.name;
   outcome.seed = job.seed;
@@ -53,10 +63,10 @@ JobOutcome run_one(BatchJob&& job, const BatchOptions& options) {
   // constructed outside the try so the hand-back survives a throwing stage.
   api::SizingSession session(std::move(job.netlist), job.options);
   try {
-    session.set_stop_token(options.stop);
-    if (options.observer) {
+    session.set_stop_token(controls.stop);
+    if (controls.observer) {
       session.set_observer(
-          [&observer = options.observer, &name = outcome.name](
+          [&observer = controls.observer, &name = outcome.name](
               const core::OgwsIterate& iterate) { observer(name, iterate); });
     }
     if (!job.warm_sizes.empty()) {
@@ -74,7 +84,6 @@ JobOutcome run_one(BatchJob&& job, const BatchOptions& options) {
       outcome.flow = session.take_result();
       outcome.summary = core::summarize_flow(*outcome.flow);
       outcome.ok = true;
-      if (!options.keep_flow_results) outcome.flow.reset();
     } else {
       outcome.error = "batch job '" + job.name + "': " + status.to_string();
     }
@@ -91,6 +100,48 @@ JobOutcome run_one(BatchJob&& job, const BatchOptions& options) {
   return outcome;
 }
 
+/// Final sizes of a completed flow as sparse (NodeId, size) pairs — the
+/// cache-entry/warm-start currency.
+std::vector<std::pair<std::int32_t, double>> sparse_sizes(
+    const core::FlowResult& flow) {
+  std::vector<std::pair<std::int32_t, double>> sizes;
+  const netlist::Circuit& circuit = flow.circuit;
+  for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+       ++v) {
+    sizes.emplace_back(v, circuit.size(v));
+  }
+  return sizes;
+}
+
+namespace {
+
+JobOutcome run_one(BatchJob&& job, const BatchOptions& options,
+                   const CacheKey* key) {
+  JobOutcome outcome =
+      run_job(std::move(job), JobControls{options.stop, options.observer});
+  // Publish completed cold runs; cancelled/failed outcomes never enter the
+  // cache (their bits depend on where the interrupt landed).
+  if (key && outcome.ok && !outcome.cancelled && outcome.flow) {
+    options.cache->store(*key, CachedEntry{job_json(outcome),
+                                           sparse_sizes(*outcome.flow)});
+  }
+  if (!options.keep_flow_results) outcome.flow.reset();
+  return outcome;
+}
+
+/// Outcome for a job answered entirely from a completed cache entry.
+JobOutcome outcome_from_cache(BatchJob&& job,
+                              const std::shared_ptr<const CachedEntry>& entry) {
+  JobOutcome outcome;
+  outcome.name = job.name;
+  outcome.seed = job.seed;
+  outcome.ok = true;
+  outcome.cache_hit = true;
+  outcome.summary = summary_from_json(entry->job);
+  outcome.netlist = std::move(job.netlist);
+  return outcome;
+}
+
 }  // namespace
 
 BatchResult run_batch(std::vector<BatchJob> jobs, ThreadPool& pool,
@@ -100,18 +151,75 @@ BatchResult run_batch(std::vector<BatchJob> jobs, ThreadPool& pool,
   const std::int64_t steals_before = pool.steal_count();
 
   util::WallTimer wall;
-  std::vector<std::future<JobOutcome>> futures;
-  futures.reserve(jobs.size());
-  for (auto& job : jobs) {
-    // run_batch blocks on every future below, so borrowing `options` (stop
-    // token, observer) by reference is safe for the workers' lifetime.
-    futures.push_back(pool.submit([job = std::move(job), &options]() mutable {
-      return run_one(std::move(job), options);
-    }));
+
+  // Cache pre-pass (submit-order deterministic, so reports stay byte-equal
+  // at any worker count): key every cacheable job, answer completed hits
+  // without submitting, and collapse byte-identical in-batch duplicates
+  // onto their first occurrence. Jobs with explicit warm_sizes bypass the
+  // cache — their outcome depends on the seed sizes, not just the key.
+  const std::size_t n = jobs.size();
+  std::vector<CacheKey> keys(n);
+  std::vector<char> cacheable(n, 0);
+  std::vector<std::shared_ptr<const CachedEntry>> hit(n);
+  std::vector<std::ptrdiff_t> dup_of(n, -1);
+  if (options.cache) {
+    std::unordered_map<std::string, std::size_t> owner_of;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!jobs[i].warm_sizes.empty()) continue;
+      keys[i] = cache_key(jobs[i].netlist, jobs[i].options);
+      cacheable[i] = 1;
+      if ((hit[i] = options.cache->lookup(keys[i].key))) continue;
+      const auto [it, inserted] = owner_of.emplace(keys[i].key, i);
+      if (!inserted) {
+        dup_of[i] = static_cast<std::ptrdiff_t>(it->second);
+      } else if (options.cache_warm) {
+        if (const auto warm = options.cache->lookup_warm(keys[i])) {
+          // Near-identical prior result (same circuit, other options):
+          // seed from its sizes. The run stays the key's owner and is
+          // published, so later identical jobs hit.
+          jobs[i].warm_sizes = warm->sizes;
+        }
+      }
+    }
   }
 
-  result.jobs.reserve(futures.size());
-  for (auto& future : futures) result.jobs.push_back(future.get());
+  std::vector<std::optional<std::future<JobOutcome>>> futures(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (hit[i] || dup_of[i] >= 0) continue;
+    const CacheKey* key = cacheable[i] ? &keys[i] : nullptr;
+    // run_batch blocks on every future below, so borrowing `options` (stop
+    // token, observer, cache) by reference is safe for the workers'
+    // lifetime.
+    futures[i] =
+        pool.submit([job = std::move(jobs[i]), &options, key]() mutable {
+          return run_one(std::move(job), options, key);
+        });
+  }
+
+  result.jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (futures[i]) {
+      result.jobs.push_back(futures[i]->get());
+    } else if (hit[i]) {
+      result.jobs.push_back(outcome_from_cache(std::move(jobs[i]), hit[i]));
+    } else {
+      // In-batch duplicate: its owner came earlier in submit order, so its
+      // outcome is already assembled — share it bit for bit.
+      const JobOutcome& owner =
+          result.jobs[static_cast<std::size_t>(dup_of[i])];
+      JobOutcome dup;
+      dup.name = jobs[i].name;
+      dup.seed = jobs[i].seed;
+      dup.ok = owner.ok;
+      dup.cancelled = owner.cancelled;
+      dup.cache_hit = true;
+      dup.error = owner.error;
+      dup.flow = owner.flow;
+      dup.summary = owner.summary;
+      dup.netlist = std::move(jobs[i].netlist);
+      result.jobs.push_back(std::move(dup));
+    }
+  }
   result.wall_seconds = wall.seconds();
   result.steals = pool.steal_count() - steals_before;
 
@@ -191,6 +299,7 @@ Json job_json(const JobOutcome& outcome) {
   j.set("seed", outcome.seed);
   j.set("ok", outcome.ok);
   j.set("cancelled", outcome.cancelled);
+  j.set("cache_hit", outcome.cache_hit);
   if (!outcome.ok) {
     j.set("error", outcome.error);
     j.set("seconds", outcome.seconds);
@@ -250,6 +359,14 @@ core::FlowSummary summary_from_json(const Json& j) {
 Json batch_json(const BatchResult& result) {
   Json j = Json::object();
   j.set("schema", "lrsizer-batch-v1");
+  if (result.shard_count > 0) {
+    // Present only in shard reports; merge_batch_reports consumes it and
+    // the merged report drops it — matching an unsharded report's shape.
+    Json shard = Json::object();
+    shard.set("index", static_cast<std::int64_t>(result.shard_index));
+    shard.set("count", static_cast<std::int64_t>(result.shard_count));
+    j.set("shard", shard);
+  }
   j.set("workers", static_cast<std::int64_t>(result.num_workers));
   j.set("wall_seconds", result.wall_seconds);
   j.set("total_job_seconds", result.total_job_seconds);
@@ -259,21 +376,114 @@ Json batch_json(const BatchResult& result) {
   j.set("steals", result.steals);
   j.set("failed", result.num_failed());
   j.set("cancelled", result.num_cancelled());
+  j.set("cache_hits", result.num_cache_hits());
   Json jobs = Json::array();
   for (const auto& outcome : result.jobs) jobs.push_back(job_json(outcome));
   j.set("jobs", jobs);
   return j;
 }
 
+Json merge_batch_reports(const std::vector<Json>& shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("merge: no reports given");
+  }
+  const std::size_t count = shards.size();
+  // Validate the shard family: every report carries shard {index, count}
+  // with the same count == number of inputs, indices a permutation of 0..N-1.
+  std::vector<const Json*> by_index(count, nullptr);
+  for (const Json& report : shards) {
+    if (!report.is_object() || !report.find("schema") ||
+        report.at("schema").as_string() != "lrsizer-batch-v1") {
+      throw std::invalid_argument("merge: input is not a lrsizer-batch-v1 report");
+    }
+    const Json* shard = report.find("shard");
+    if (!shard) {
+      throw std::invalid_argument(
+          "merge: report has no shard annotation (was it produced with --shard?)");
+    }
+    // Validate as doubles first: casting an out-of-range double to size_t
+    // is undefined, and these come from files the user may have edited.
+    const double index_d = shard->at("index").as_number();
+    const double count_d = shard->at("count").as_number();
+    if (!(index_d >= 0 && index_d < 1e9) || !(count_d >= 1 && count_d < 1e9)) {
+      throw std::invalid_argument("merge: shard index/count out of range");
+    }
+    const auto index = static_cast<std::size_t>(index_d);
+    const auto n = static_cast<std::size_t>(count_d);
+    if (n != count) {
+      throw std::invalid_argument(
+          "merge: report says " + std::to_string(n) + " shards but " +
+          std::to_string(count) + " were given");
+    }
+    if (index >= count || by_index[index]) {
+      throw std::invalid_argument("merge: duplicate or out-of-range shard index " +
+                                  std::to_string(index));
+    }
+    by_index[index] = &report;
+  }
+
+  // Re-interleave: global job g ran as shard g mod N, position g div N.
+  std::size_t total_jobs = 0;
+  for (const Json* report : by_index) total_jobs += report->at("jobs").size();
+  Json jobs = Json::array();
+  for (std::size_t g = 0; g < total_jobs; ++g) {
+    const auto& shard_jobs = by_index[g % count]->at("jobs").as_array();
+    const std::size_t pos = g / count;
+    if (pos >= shard_jobs.size()) {
+      throw std::invalid_argument(
+          "merge: shard " + std::to_string(g % count) +
+          " is missing job at global index " + std::to_string(g) +
+          " (inconsistent shard job counts)");
+    }
+    jobs.push_back(shard_jobs[pos]);
+  }
+
+  // Rollups: additive counters sum; wall clock and workers take the max
+  // (shards run concurrently on separate processes/machines).
+  auto num = [](const Json& report, const char* key) {
+    const Json* v = report.find(key);
+    return v && v->is_number() ? v->as_number() : 0.0;
+  };
+  double workers = 0.0, wall = 0.0, job_seconds = 0.0, total_mem = 0.0,
+         peak_mem = 0.0, steals = 0.0, failed = 0.0, cancelled = 0.0,
+         cache_hits = 0.0;
+  for (const Json* report : by_index) {
+    workers = std::max(workers, num(*report, "workers"));
+    wall = std::max(wall, num(*report, "wall_seconds"));
+    job_seconds += num(*report, "total_job_seconds");
+    total_mem += num(*report, "total_memory_bytes");
+    peak_mem = std::max(peak_mem, num(*report, "peak_memory_bytes"));
+    steals += num(*report, "steals");
+    failed += num(*report, "failed");
+    cancelled += num(*report, "cancelled");
+    cache_hits += num(*report, "cache_hits");
+  }
+
+  Json j = Json::object();
+  j.set("schema", "lrsizer-batch-v1");
+  j.set("workers", workers);
+  j.set("wall_seconds", wall);
+  j.set("total_job_seconds", job_seconds);
+  j.set("speedup", wall > 0.0 ? job_seconds / wall : 0.0);
+  j.set("total_memory_bytes", total_mem);
+  j.set("peak_memory_bytes", peak_mem);
+  j.set("steals", steals);
+  j.set("failed", failed);
+  j.set("cancelled", cancelled);
+  j.set("cache_hits", cache_hits);
+  j.set("jobs", jobs);
+  return j;
+}
+
 std::string batch_csv(const BatchResult& result) {
   std::ostringstream out;
-  out << "name,seed,ok,cancelled,num_gates,num_wires,iterations,converged,"
-         "noise_init_f,noise_final_f,delay_init_s,delay_final_s,"
+  out << "name,seed,ok,cancelled,cache_hit,num_gates,num_wires,iterations,"
+         "converged,noise_init_f,noise_final_f,delay_init_s,delay_final_s,"
          "power_init_w,power_final_w,area_init_um2,area_final_um2,"
          "rel_gap,max_violation,seconds,memory_bytes\n";
   for (const auto& job : result.jobs) {
     out << job.name << ',' << job.seed << ',' << (job.ok ? 1 : 0) << ','
-        << (job.cancelled ? 1 : 0) << ',';
+        << (job.cancelled ? 1 : 0) << ',' << (job.cache_hit ? 1 : 0) << ',';
     if (!job.ok) {
       out << ",,,,,,,,,,,,,," << job.seconds << ",\n";
       continue;

@@ -19,6 +19,7 @@
 
 #include "core/flow.hpp"
 #include "netlist/logic_netlist.hpp"
+#include "runtime/cache.hpp"
 #include "runtime/json.hpp"
 #include "runtime/pool.hpp"
 
@@ -49,6 +50,9 @@ struct JobOutcome {
   bool ok = false;
   /// The batch's stop token interrupted this job (before or during sizing).
   bool cancelled = false;
+  /// This outcome was served without running the flow: answered from the
+  /// result cache, or deduped against an identical job in the same batch.
+  bool cache_hit = false;
   std::string error;              ///< failure/cancellation text when !ok
   netlist::LogicNetlist netlist;  ///< the job's input, handed back
   /// Full flow result; engaged when ok unless the batch ran with
@@ -62,6 +66,27 @@ struct JobOutcome {
 /// Invoked concurrently from worker threads — must be thread-safe.
 using BatchObserver =
     std::function<void(const std::string& job, const core::OgwsIterate& iterate)>;
+
+/// Per-job controls for run_job(): the stop token and progress observer one
+/// sizing run honors. A default-constructed JobControls means "run to
+/// completion, silently".
+struct JobControls {
+  std::stop_token stop;
+  BatchObserver observer;
+};
+
+/// Run one job through its own api::SizingSession on the calling thread.
+/// Never throws: failures come back as !ok with the error text, and the
+/// input netlist is always handed back in the outcome. The full FlowResult
+/// is kept (callers drop it if they only want the summary). This is the
+/// unit of work both run_batch and the serve loop (serve/server.hpp)
+/// schedule.
+JobOutcome run_job(BatchJob job, const JobControls& controls = JobControls{});
+
+/// Final sizes of a completed flow as sparse (circuit NodeId, size) pairs —
+/// the currency of cache entries and warm starts.
+std::vector<std::pair<std::int32_t, double>> sparse_sizes(
+    const core::FlowResult& flow);
 
 struct BatchOptions {
   /// Concurrent jobs (pool workers). 0 = auto: hardware concurrency divided
@@ -80,6 +105,20 @@ struct BatchOptions {
   std::stop_token stop;
   /// Progress into the batch report; see BatchObserver.
   BatchObserver observer;
+  /// Result cache (borrowed; may be shared with a serve loop). When set,
+  /// run_batch keys every job as netlist_hash × canonical(options) before
+  /// submitting: completed entries answer without running, byte-identical
+  /// in-batch duplicates run once and share the outcome, and every
+  /// completed cold run is stored back. Jobs with explicit warm_sizes
+  /// bypass the cache (their outcome depends on the seed sizes, not just
+  /// the key). nullptr: no caching.
+  ResultCache* cache = nullptr;
+  /// With `cache` set: on a cache miss, seed the job from the sizes of a
+  /// cached result with the same netlist + elaboration but different
+  /// solver/bound options (ResultCache::lookup_warm). Off by default —
+  /// warm-started runs converge to an equally valid but not bit-identical
+  /// trajectory, so this trades reproducibility-vs-cold for speed.
+  bool cache_warm = false;
 };
 
 struct BatchResult {
@@ -90,12 +129,21 @@ struct BatchResult {
   std::size_t total_memory_bytes = 0;  ///< Σ per-job memory_bytes
   std::size_t peak_memory_bytes = 0;   ///< max per-job memory_bytes
   std::int64_t steals = 0;             ///< pool work-steal count
+  /// Sweep-shard annotation (`--shard k/N`): this batch ran the global job
+  /// list's indices ≡ shard_index (mod shard_count). Set by the caller
+  /// after run_batch; shard_count == 0 means unsharded. batch_json emits a
+  /// "shard" object that merge_batch_reports uses to interleave shards
+  /// back into the global submit order.
+  int shard_index = 0;
+  int shard_count = 0;
 
   /// Jobs that neither produced a result nor were cancelled.
   std::size_t num_failed() const;
   /// Jobs interrupted by the batch stop token (with or without a partial
   /// result).
   std::size_t num_cancelled() const;
+  /// Jobs answered without running the flow (cache or in-batch dedupe).
+  std::size_t num_cache_hits() const;
   /// Σ job seconds / wall seconds — the observed parallel speedup.
   double speedup() const {
     return wall_seconds > 0.0 ? total_job_seconds / wall_seconds : 0.0;
@@ -122,10 +170,27 @@ Json job_json(const JobOutcome& outcome);
 core::FlowSummary summary_from_json(const Json& j);
 
 /// Whole batch: {"schema": "lrsizer-batch-v1", "workers": N, rollups,
-/// "jobs": [...]}.
+/// "jobs": [...]}; a "shard" object after "schema" when shard_count > 0.
 Json batch_json(const BatchResult& result);
 
 /// CSV with one row per job (header included), matching job_json's scalars.
 std::string batch_csv(const BatchResult& result);
+
+/// Merge N shard reports (each batch_json'd with `shard: {index, count}`)
+/// back into one unsharded `lrsizer-batch-v1` report: jobs re-interleaved
+/// into the global submit order (global index g lives in shard g mod N),
+/// additive rollups summed, wall clock and worker count taken as the max
+/// across shards (shards run concurrently on separate processes/machines).
+/// Apart from scheduling-dependent fields (wall-clock numbers, and the
+/// steal counter when jobs > 1), the merged report is byte-identical
+/// to the report an unsharded run of the same job list would produce —
+/// provided the global list has no byte-identical duplicate jobs (cache
+/// dedupe is per-process, so a duplicate landing on a different shard than
+/// its twin re-runs there and the cache_hit/cache_hits markers differ; the
+/// sizing numbers still match by determinism).
+/// Throws std::invalid_argument on schema/shard mismatches (wrong schema,
+/// missing shard annotation, duplicate or missing shard indices,
+/// inconsistent counts).
+Json merge_batch_reports(const std::vector<Json>& shards);
 
 }  // namespace lrsizer::runtime

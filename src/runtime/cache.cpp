@@ -1,0 +1,307 @@
+#include "runtime/cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "netlist/hash.hpp"
+#include "netlist/logic_netlist.hpp"
+#include "util/logging.hpp"
+
+namespace lrsizer::runtime {
+
+namespace {
+
+const char* step_rule_name(core::StepRule rule) {
+  switch (rule) {
+    case core::StepRule::kSubgradient: return "subgradient";
+    case core::StepRule::kMultiplicative: return "multiplicative";
+  }
+  return "?";
+}
+
+const char* load_mode_name(timing::CouplingLoadMode mode) {
+  switch (mode) {
+    case timing::CouplingLoadMode::kLocalOnly: return "local";
+    case timing::CouplingLoadMode::kPropagateUpstream: return "propagate";
+  }
+  return "?";
+}
+
+/// tech + elab: everything that determines the elaborated circuit. Kept as
+/// its own object so the warm-start compatibility prefix can hash it alone.
+Json elab_canon(const core::FlowOptions& o) {
+  Json j = Json::object();
+  Json tech = Json::object();
+  tech.set("gate_unit_res", o.tech.gate_unit_res);
+  tech.set("gate_unit_cap", o.tech.gate_unit_cap);
+  tech.set("wire_res_per_um", o.tech.wire_res_per_um);
+  tech.set("wire_cap_per_um", o.tech.wire_cap_per_um);
+  tech.set("wire_fringe_per_um", o.tech.wire_fringe_per_um);
+  tech.set("supply_voltage", o.tech.supply_voltage);
+  tech.set("frequency", o.tech.frequency);
+  tech.set("min_size", o.tech.min_size);
+  tech.set("max_size", o.tech.max_size);
+  tech.set("gate_area_per_size", o.tech.gate_area_per_size);
+  tech.set("wire_area_per_size", o.tech.wire_area_per_size);
+  tech.set("driver_res", o.tech.driver_res);
+  tech.set("output_load", o.tech.output_load);
+  j.set("tech", tech);
+  Json elab = Json::object();
+  // Seeds are 64-bit and Json numbers are doubles: serialize them as
+  // strings so seeds above 2^53 cannot collide onto one key.
+  elab.set("seed", std::to_string(o.elab.seed));
+  elab.set("min_wire_length", o.elab.min_wire_length);
+  elab.set("max_wire_length", o.elab.max_wire_length);
+  elab.set("max_star_fanout", static_cast<std::int64_t>(o.elab.max_star_fanout));
+  elab.set("segments_per_wire",
+           static_cast<std::int64_t>(o.elab.segments_per_wire));
+  elab.set("driver_res", o.elab.driver_res);
+  elab.set("output_load", o.elab.output_load);
+  elab.set("differentiate_gate_types", o.elab.differentiate_gate_types);
+  j.set("elab", elab);
+  return j;
+}
+
+std::string hex16(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+Json canonical_options_json(const core::FlowOptions& o) {
+  Json j = elab_canon(o);
+  Json sim = Json::object();
+  sim.set("vector_period", static_cast<std::int64_t>(o.sim.vector_period));
+  sim.set("gate_delay", static_cast<std::int64_t>(o.sim.gate_delay));
+  j.set("sim", sim);
+  j.set("num_vectors", static_cast<std::int64_t>(o.num_vectors));
+  j.set("pattern_seed", std::to_string(o.pattern_seed));
+  Json channels = Json::object();
+  channels.set("max_channel_width",
+               static_cast<std::int64_t>(o.channels.max_channel_width));
+  channels.set("seed", std::to_string(o.channels.seed));
+  j.set("channels", channels);
+  Json neighbors = Json::object();
+  neighbors.set("pitch_um", o.neighbors.pitch_um);
+  neighbors.set("fringe_per_um", o.neighbors.fringe_per_um);
+  neighbors.set("fold_miller", o.neighbors.fold_miller);
+  j.set("neighbors", neighbors);
+  j.set("use_woss", o.use_woss);
+  Json bounds = Json::object();
+  bounds.set("delay", o.bound_factors.delay);
+  bounds.set("power", o.bound_factors.power);
+  bounds.set("noise", o.bound_factors.noise);
+  bounds.set("per_net_noise", o.bound_factors.per_net_noise);
+  j.set("bound_factors", bounds);
+  Json ogws = Json::object();
+  ogws.set("max_iterations", static_cast<std::int64_t>(o.ogws.max_iterations));
+  ogws.set("gap_tol", o.ogws.gap_tol);
+  ogws.set("feas_tol", o.ogws.feas_tol);
+  ogws.set("step0", o.ogws.step0);
+  ogws.set("step_rule", step_rule_name(o.ogws.step_rule));
+  Json lrs = Json::object();
+  lrs.set("max_passes", static_cast<std::int64_t>(o.ogws.lrs.max_passes));
+  lrs.set("tol", o.ogws.lrs.tol);
+  lrs.set("warm_start", o.ogws.lrs.warm_start);
+  lrs.set("mode", load_mode_name(o.ogws.lrs.mode));
+  ogws.set("lrs", lrs);
+  ogws.set("record_history", o.ogws.record_history);
+  j.set("ogws", ogws);
+  j.set("initial_size", o.initial_size);
+  // FlowOptions::threads intentionally absent: bit-identical results at any
+  // thread count, so it must not split the cache.
+  return j;
+}
+
+CacheKey cache_key(const netlist::LogicNetlist& nl,
+                   const core::FlowOptions& options) {
+  CacheKey key;
+  const std::uint64_t nh = netlist::netlist_hash(nl);
+  const std::uint64_t eh = netlist::fnv1a(elab_canon(options).dump());
+  const std::uint64_t oh = netlist::fnv1a(canonical_options_json(options).dump());
+  key.warm_prefix = "n" + hex16(nh) + "-e" + hex16(eh);
+  key.key = key.warm_prefix + "-o" + hex16(oh);
+  return key;
+}
+
+ResultCache::ResultCache(std::string disk_dir) : disk_dir_(std::move(disk_dir)) {}
+
+std::shared_ptr<const CachedEntry> ResultCache::lookup_locked(
+    const std::string& key) {
+  // Callers hold mutex_.
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second;
+  return load_from_disk(key);
+}
+
+std::shared_ptr<const CachedEntry> ResultCache::lookup(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = lookup_locked(key);
+  if (entry) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+  return entry;
+}
+
+void ResultCache::store(const CacheKey& key, CachedEntry entry) {
+  auto shared = std::make_shared<const CachedEntry>(std::move(entry));
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key.key] = shared;
+    warm_index_[key.warm_prefix] = key.key;
+  }
+  persist(key.key, *shared);
+}
+
+std::shared_ptr<const CachedEntry> ResultCache::lookup_warm(const CacheKey& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = warm_index_.find(key.warm_prefix);
+  if (it == warm_index_.end() || it->second == key.key) return nullptr;
+  const auto entry = entries_.find(it->second);
+  return entry != entries_.end() ? entry->second : nullptr;
+}
+
+ResultCache::Acquire ResultCache::acquire(const CacheKey& key,
+                                          std::shared_ptr<const CachedEntry>* hit,
+                                          FollowerFn on_done) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (auto entry = lookup_locked(key.key)) {
+    ++hits_;
+    if (hit) *hit = std::move(entry);
+    return Acquire::kHit;
+  }
+  ++misses_;
+  const auto it = in_flight_.find(key.key);
+  if (it != in_flight_.end()) {
+    it->second.push_back(std::move(on_done));
+    return Acquire::kFollower;
+  }
+  in_flight_.emplace(key.key, std::vector<FollowerFn>{});
+  return Acquire::kOwner;
+}
+
+void ResultCache::publish(const CacheKey& key, CachedEntry entry) {
+  auto shared = std::make_shared<const CachedEntry>(std::move(entry));
+  std::vector<FollowerFn> followers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key.key] = shared;
+    warm_index_[key.warm_prefix] = key.key;
+    const auto it = in_flight_.find(key.key);
+    if (it != in_flight_.end()) {
+      followers = std::move(it->second);
+      in_flight_.erase(it);
+    }
+    hits_ += followers.size();
+  }
+  persist(key.key, *shared);
+  for (auto& fn : followers) fn(shared);
+}
+
+void ResultCache::abandon(const CacheKey& key) {
+  std::vector<FollowerFn> followers;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = in_flight_.find(key.key);
+    if (it != in_flight_.end()) {
+      followers = std::move(it->second);
+      in_flight_.erase(it);
+    }
+  }
+  for (auto& fn : followers) fn(nullptr);
+}
+
+std::size_t ResultCache::hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::size_t ResultCache::misses() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+// ---- disk persistence (schema lrsizer-cache-v1) -----------------------------
+
+std::shared_ptr<const CachedEntry> ResultCache::load_from_disk(
+    const std::string& key) {
+  if (disk_dir_.empty()) return nullptr;
+  const auto path = std::filesystem::path(disk_dir_) / (key + ".json");
+  std::ifstream in(path);
+  if (!in) return nullptr;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    Json doc = Json::parse(buffer.str());
+    if (doc.at("schema").as_string() != "lrsizer-cache-v1") return nullptr;
+    CachedEntry entry;
+    entry.job = doc.at("job");
+    for (const Json& pair : doc.at("sizes").as_array()) {
+      const auto& p = pair.as_array();
+      entry.sizes.emplace_back(static_cast<std::int32_t>(p.at(0).as_number()),
+                               p.at(1).as_number());
+    }
+    auto shared = std::make_shared<const CachedEntry>(std::move(entry));
+    entries_[key] = shared;  // promote to memory (mutex_ held by caller)
+    return shared;
+  } catch (const std::exception& e) {
+    util::log_warn() << "cache file " << path.string() << " unreadable ("
+                     << e.what() << "); treating as a miss";
+    return nullptr;
+  }
+}
+
+void ResultCache::persist(const std::string& key, const CachedEntry& entry) {
+  if (disk_dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(disk_dir_, ec);
+  Json doc = Json::object();
+  doc.set("schema", "lrsizer-cache-v1");
+  doc.set("key", key);
+  doc.set("job", entry.job);
+  Json sizes = Json::array();
+  for (const auto& [node, size] : entry.sizes) {
+    Json pair = Json::array();
+    pair.push_back(static_cast<std::int64_t>(node));
+    pair.push_back(size);
+    sizes.push_back(pair);
+  }
+  doc.set("sizes", sizes);
+  // Write-then-rename so concurrent processes sharing the cache dir (e.g.
+  // sharded sweeps) never observe a torn entry; rename is atomic within a
+  // directory. Racing writers produce identical bytes anyway (same key ⇒
+  // same deterministic result), so last-rename-wins is harmless.
+  const auto path = std::filesystem::path(disk_dir_) / (key + ".json");
+  auto tmp = path;
+  tmp += ".tmp" + std::to_string(
+                      std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp);
+    if (!out) {
+      util::log_warn() << "cannot persist cache entry to " << tmp.string();
+      return;
+    }
+    out << doc.dump(2) << "\n";
+  }
+  std::error_code rename_ec;
+  std::filesystem::rename(tmp, path, rename_ec);
+  if (rename_ec) {
+    util::log_warn() << "cannot publish cache entry " << path.string() << ": "
+                     << rename_ec.message();
+    std::filesystem::remove(tmp, rename_ec);
+  }
+}
+
+}  // namespace lrsizer::runtime

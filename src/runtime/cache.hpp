@@ -1,0 +1,143 @@
+// Batch-level result caching: dedupe identical sizing jobs across a batch,
+// across a serve loop's lifetime, and (optionally) across processes via an
+// on-disk cache directory.
+//
+// Key semantics (specified in docs/SERVING.md §Cache semantics): a job is
+// identified by
+//
+//   netlist_hash(logic netlist)  ×  canonical(FlowOptions)
+//
+// where the canonical form covers every option that can change the flow's
+// outcome and deliberately excludes `FlowOptions::threads` — results are
+// bit-identical at any thread count (docs/ARCHITECTURE.md §Parallel
+// kernels), so a cached result answers requests at any parallelism. Any
+// other option field invalidates the key.
+//
+// A cached entry stores the completed job's report JSON (the
+// `lrsizer-batch-v1` job object, served back verbatim so cache hits are
+// byte-identical to the original run) plus the final sparse size vector.
+// The sizes double as warm-start seeds for *near-identical* jobs: same
+// netlist and same elaboration (same circuit), different bound/solver knobs
+// (lookup_warm; opt-in, because a warm-started run converges to an equally
+// valid but not bit-identical trajectory).
+//
+// Thread safety: every public method is safe to call concurrently; follower
+// callbacks registered through acquire() run on the thread that calls
+// publish()/abandon(), while holding no cache-internal locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "runtime/json.hpp"
+
+namespace lrsizer::netlist {
+class LogicNetlist;
+}
+
+namespace lrsizer::runtime {
+
+/// Canonical JSON form of every outcome-affecting FlowOptions field, in a
+/// fixed key order with shortest-round-trip numbers — byte-equal canon means
+/// flow-equivalent options. `threads` is excluded by the bit-determinism
+/// contract.
+Json canonical_options_json(const core::FlowOptions& options);
+
+struct CacheKey {
+  /// "n<netlist-hash>-e<elab-hash>-o<options-hash>" (16 hex digits each).
+  /// The full cache key; also a valid portable file stem.
+  std::string key;
+  /// "n<netlist-hash>-e<elab-hash>": the warm-start compatibility class —
+  /// same circuit after elaboration, any solver/bound options.
+  std::string warm_prefix;
+};
+
+/// Build the cache key for (netlist, options). O(netlist) hashing; no
+/// elaboration runs.
+CacheKey cache_key(const netlist::LogicNetlist& netlist,
+                   const core::FlowOptions& options);
+
+/// One completed job, as the cache stores and serves it.
+struct CachedEntry {
+  /// The run's `lrsizer-batch-v1` job object (job_json), verbatim.
+  Json job;
+  /// Final sizes as sparse (circuit NodeId, size) pairs — warm-start food.
+  std::vector<std::pair<std::int32_t, double>> sizes;
+};
+
+class ResultCache {
+ public:
+  /// Memory-only cache. With a non-empty `disk_dir`, completed entries are
+  /// additionally persisted as `<disk_dir>/<key>.json` (schema
+  /// `lrsizer-cache-v1`) and misses fall back to disk, so the cache
+  /// survives across processes. The directory is created on first store;
+  /// unreadable/corrupt files are treated as misses.
+  explicit ResultCache(std::string disk_dir = "");
+
+  /// Completed-entry lookup (memory first, then disk). nullptr on miss.
+  std::shared_ptr<const CachedEntry> lookup(const std::string& key);
+
+  /// Store a completed entry (and persist it when disk-backed). Overwrites.
+  void store(const CacheKey& key, CachedEntry entry);
+
+  /// Most recent completed entry with the same warm prefix but a different
+  /// full key — a near-identical job whose sizes can warm-start this one.
+  /// nullptr when none is known (memory-resident index only).
+  std::shared_ptr<const CachedEntry> lookup_warm(const CacheKey& key);
+
+  // ---- in-flight dedupe ----------------------------------------------------
+
+  enum class Acquire {
+    kHit,       ///< completed entry returned via *hit
+    kOwner,     ///< caller runs the job and must publish() or abandon()
+    kFollower,  ///< same key in flight; on_done will be called exactly once
+  };
+
+  /// Follower completion callback: the published entry, or nullptr when the
+  /// owner abandoned (failed/cancelled) — the follower should run the job
+  /// itself (re-acquiring first; it may become the new owner).
+  using FollowerFn = std::function<void(std::shared_ptr<const CachedEntry>)>;
+
+  /// Atomically: completed entry → kHit; key in flight → register follower;
+  /// otherwise the caller becomes the owner.
+  Acquire acquire(const CacheKey& key, std::shared_ptr<const CachedEntry>* hit,
+                  FollowerFn on_done);
+
+  /// Owner completed: store the entry and fire every follower with it.
+  void publish(const CacheKey& key, CachedEntry entry);
+
+  /// Owner failed or was cancelled: fire every follower with nullptr (each
+  /// re-runs on its own) and release the key.
+  void abandon(const CacheKey& key);
+
+  // ---- stats ---------------------------------------------------------------
+
+  /// True when a disk directory backs this cache (entries survive restarts).
+  bool disk_backed() const { return !disk_dir_.empty(); }
+
+  std::size_t hits() const;    ///< lookup/acquire answered from a completed entry
+  std::size_t misses() const;  ///< lookups that found nothing completed
+
+ private:
+  std::shared_ptr<const CachedEntry> lookup_locked(const std::string& key);
+  std::shared_ptr<const CachedEntry> load_from_disk(const std::string& key);
+  void persist(const std::string& key, const CachedEntry& entry);
+
+  mutable std::mutex mutex_;
+  std::string disk_dir_;
+  std::unordered_map<std::string, std::shared_ptr<const CachedEntry>> entries_;
+  /// warm_prefix -> full key of the most recently completed entry.
+  std::unordered_map<std::string, std::string> warm_index_;
+  std::unordered_map<std::string, std::vector<FollowerFn>> in_flight_;
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+};
+
+}  // namespace lrsizer::runtime

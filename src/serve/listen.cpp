@@ -1,0 +1,187 @@
+#include "serve/listen.hpp"
+
+#include <iostream>
+
+#include "util/logging.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define LRSIZER_HAVE_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#endif
+
+namespace lrsizer::serve {
+
+#if defined(LRSIZER_HAVE_SOCKETS)
+
+namespace {
+
+/// Read lines from / write response lines to one connected socket. Reads
+/// are poll-gated so a stop request (Ctrl-C) is noticed within ~500 ms even
+/// while the client is idle; writes happen from worker threads through the
+/// Server's serialized sink.
+class Connection {
+ public:
+  explicit Connection(int fd, bool close_on_destroy = true)
+      : fd_(fd), close_on_destroy_(close_on_destroy) {}
+  ~Connection() {
+    if (close_on_destroy_) ::close(fd_);
+  }
+
+  /// False on EOF, error, or stop request; strips the trailing newline
+  /// like std::getline.
+  bool read_line(std::string& line, const std::stop_token& stop) {
+    while (true) {
+      const std::size_t newline = buffer_.find('\n', pos_);
+      if (newline != std::string::npos) {
+        line.assign(buffer_, pos_, newline - pos_);
+        pos_ = newline + 1;
+        return true;
+      }
+      buffer_.erase(0, pos_);
+      pos_ = 0;
+      if (!fill(stop)) {
+        // EOF with a final unterminated line still hands it over.
+        if (buffer_.empty()) return false;
+        line = std::move(buffer_);
+        buffer_.clear();
+        return true;
+      }
+    }
+  }
+
+  void write_line(const std::string& line) {
+    std::string out = line;
+    out.push_back('\n');
+    std::size_t off = 0;
+    while (off < out.size()) {
+      // MSG_NOSIGNAL: a disconnected client must surface as a write error,
+      // not a process-killing SIGPIPE — this is a long-lived server.
+#if defined(MSG_NOSIGNAL)
+      const ssize_t n =
+          ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+#else
+      const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
+#endif
+      if (n < 0 && errno == EINTR) continue;  // retry, or the line tears
+      if (n <= 0) return;  // client went away; the read loop will notice
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+ private:
+  /// Append at least one byte to the buffer; false on EOF/error/stop.
+  bool fill(const std::stop_token& stop) {
+    while (true) {
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, 500);
+      if (stop.stop_requested()) return false;
+      if (ready < 0 && errno != EINTR) return false;
+      if (ready <= 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      return true;
+    }
+  }
+
+  int fd_;
+  bool close_on_destroy_;
+  std::string buffer_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool listen_available() { return true; }
+
+void serve_stdin(Server& server, const std::stop_token& stop) {
+  server.hello();
+  Connection input(0, /*close_on_destroy=*/false);
+  std::string line;
+  while (!stop.stop_requested() && input.read_line(line, stop)) {
+    if (!server.handle_line(line)) break;
+  }
+  server.drain();
+}
+
+int listen_and_serve(std::uint16_t port, const ServerOptions& options) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    util::log_error() << "serve: socket(): " << std::strerror(errno);
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 4) < 0) {
+    util::log_error() << "serve: cannot listen on 127.0.0.1:" << port << ": "
+                      << std::strerror(errno);
+    ::close(listener);
+    return 1;
+  }
+  util::log_info() << "serve: listening on 127.0.0.1:" << port;
+
+  bool shutdown_requested = false;
+  while (!shutdown_requested && !options.stop.stop_requested()) {
+    // Poll with a timeout so a stop request (Ctrl-C) is noticed between
+    // connections, not only at the next accept.
+    pollfd pfd{listener, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 500);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+    const int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+#if defined(SO_NOSIGPIPE)
+    // BSD/macOS counterpart of MSG_NOSIGNAL above.
+    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+    Connection connection(fd);
+    Server server(options,
+                  [&connection](const std::string& line) {
+                    connection.write_line(line);
+                  });
+    server.hello();
+    std::string line;
+    while (!options.stop.stop_requested() &&
+           connection.read_line(line, options.stop)) {
+      if (!server.handle_line(line)) {
+        shutdown_requested = true;
+        break;
+      }
+    }
+    server.drain();
+  }
+  ::close(listener);
+  return 0;
+}
+
+#else  // !LRSIZER_HAVE_SOCKETS
+
+bool listen_available() { return false; }
+
+int listen_and_serve(std::uint16_t, const ServerOptions&) {
+  util::log_error() << "serve: --listen is unavailable on this platform "
+                       "(no BSD sockets); use stdin-jsonl mode";
+  return 1;
+}
+
+void serve_stdin(Server& server, const std::stop_token&) {
+  server.serve_stream(std::cin);
+}
+
+#endif
+
+}  // namespace lrsizer::serve

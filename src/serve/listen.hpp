@@ -1,0 +1,34 @@
+// TCP front-end for the serve loop (`lrsizer serve --listen <port>`).
+//
+// Accepts connections on 127.0.0.1:<port> and speaks lrsizer-serve-v1 over
+// each, one client at a time (the next connection is accepted after the
+// current one disconnects or sends shutdown) — the simple single-tenant
+// shape docs/SERVING.md specifies; multi-client fan-in belongs to a fronting
+// proxy. The shared ServerOptions (including its cache pointer) carries
+// across connections, so a reconnecting client still hits the cache.
+//
+// POSIX-only: on platforms without BSD sockets, listen_available() is false
+// and listen_and_serve fails immediately.
+#pragma once
+
+#include <cstdint>
+
+#include "serve/server.hpp"
+
+namespace lrsizer::serve {
+
+/// True when this build can open TCP listen sockets.
+bool listen_available();
+
+/// Serve until `options.stop` is requested or a client sends shutdown.
+/// Returns 0 on clean shutdown, 1 when the socket could not be opened (the
+/// reason is logged).
+int listen_and_serve(std::uint16_t port, const ServerOptions& options);
+
+/// The stdin counterpart of the TCP loop: hello + read request lines from
+/// fd 0 + drain, with POSIX poll-gated reads so a stop request (Ctrl-C) is
+/// noticed within ~500 ms even while stdin is idle. On platforms without
+/// poll this degrades to Server::serve_stream's blocking std::getline.
+void serve_stdin(Server& server, const std::stop_token& stop);
+
+}  // namespace lrsizer::serve

@@ -1,0 +1,316 @@
+#include "serve/protocol.hpp"
+
+#include <stdexcept>
+
+#include "api/options.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/iscas_profiles.hpp"
+
+namespace lrsizer::serve {
+
+namespace {
+
+using api::Status;
+using runtime::Json;
+
+Status expect(bool ok, const std::string& message) {
+  return ok ? Status::Ok() : Status::InvalidArgument(message);
+}
+
+/// Range-checked integer extraction from an untrusted number: the
+/// double→integer cast below is only defined inside the target range, so
+/// out-of-range (or NaN) values must be rejected *before* casting. Bounds
+/// are inclusive.
+bool checked_integer(const Json& value, double lo, double hi,
+                     std::int64_t* out) {
+  const double d = value.as_number();
+  if (!(d >= lo && d <= hi)) return false;  // also rejects NaN
+  *out = static_cast<std::int64_t>(d);
+  return true;
+}
+
+constexpr double kMaxInt32 = 2147483647.0;
+/// Largest integer a double represents exactly — the honest ceiling for
+/// 64-bit seeds arriving as JSON numbers.
+constexpr double kMaxExactDouble = 9007199254740992.0;  // 2^53
+
+bool known_profile(const std::string& name) {
+  if (name == "c17") return true;
+  for (const auto& profile : netlist::iscas85_profiles()) {
+    if (profile.name == name) return true;
+  }
+  return false;
+}
+
+/// "input": {"profile": name} (synthesized, or the real c17) or
+/// {"bench": text} (inline .bench). File paths are deliberately not
+/// accepted: a serving process should not read arbitrary paths on behalf
+/// of remote clients.
+Status parse_input(const Json& input, std::uint64_t seed,
+                   runtime::BatchJob* job) {
+  if (!input.is_object()) {
+    return Status::InvalidArgument("\"input\" must be an object");
+  }
+  const Json* profile = input.find("profile");
+  const Json* bench = input.find("bench");
+  if ((profile != nullptr) == (bench != nullptr)) {
+    return Status::InvalidArgument(
+        "\"input\" needs exactly one of \"profile\" or \"bench\"");
+  }
+  if (profile) {
+    if (!profile->is_string() || !known_profile(profile->as_string())) {
+      return Status::InvalidArgument(
+          "unknown profile " + profile->dump() +
+          " (see `lrsizer profiles` for the built-in names)");
+    }
+    const std::string& name = profile->as_string();
+    if (name == "c17") {
+      job->netlist = netlist::parse_bench_string(netlist::kIscas85C17);
+    } else {
+      job->netlist =
+          netlist::generate_circuit(netlist::spec_for_profile(name, seed));
+    }
+    return Status::Ok();
+  }
+  if (!bench->is_string()) {
+    return Status::InvalidArgument("\"bench\" must be a string of .bench text");
+  }
+  try {
+    job->netlist = netlist::parse_bench_string(bench->as_string());
+  } catch (const netlist::BenchParseError& e) {
+    return Status::InvalidArgument(std::string("bench input: ") + e.what());
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status apply_request_options(const Json& overrides, core::FlowOptions* options) {
+  if (!overrides.is_object()) {
+    return Status::InvalidArgument("\"options\" must be an object");
+  }
+  api::FlowOptionsBuilder builder(*options);
+  for (const auto& [key, value] : overrides.as_object()) {
+    const bool is_number = value.is_number();
+    const bool is_bool = value.is_bool();
+    // Integer knobs go through the range check so semantic validation
+    // (validate_options naming the field) sees a defined value; values a
+    // 32-bit int cannot hold are rejected here instead.
+    std::int64_t integer = 0;
+    const bool is_i32 =
+        is_number && checked_integer(value, -kMaxInt32 - 1, kMaxInt32, &integer);
+    if (key == "vectors" && is_i32) {
+      builder.vectors(static_cast<std::int32_t>(integer));
+    } else if (key == "use_woss" && is_bool) {
+      builder.use_woss(value.as_bool());
+    } else if (key == "delay_bound" && is_number) {
+      builder.delay_bound(value.as_number());
+    } else if (key == "power_bound" && is_number) {
+      builder.power_bound(value.as_number());
+    } else if (key == "noise_bound" && is_number) {
+      builder.noise_bound(value.as_number());
+    } else if (key == "per_net_noise_bound" && is_number) {
+      builder.per_net_noise_bound(value.as_number());
+    } else if (key == "initial_size" && is_number) {
+      builder.initial_size(value.as_number());
+    } else if (key == "threads" && is_i32) {
+      builder.threads(static_cast<int>(integer));
+    } else if (key == "max_iterations" && is_i32) {
+      builder.max_iterations(static_cast<int>(integer));
+    } else {
+      return Status::InvalidArgument(
+          "unknown, mistyped or out-of-range option \"" + key +
+          "\": " + value.dump());
+    }
+  }
+  return builder.build(*options);
+}
+
+Status parse_request(const std::string& line, const core::FlowOptions& base,
+                     Request* out, std::string* error_id) {
+  Json doc;
+  try {
+    doc = Json::parse(line);
+  } catch (const runtime::JsonParseError& e) {
+    return Status::InvalidArgument(e.what());
+  }
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  if (error_id) {
+    if (const Json* found = doc.find("id"); found && found->is_string()) {
+      *error_id = found->as_string();
+    }
+  }
+  const Json* type = doc.find("type");
+  if (!type || !type->is_string()) {
+    return Status::InvalidArgument("request needs a string \"type\"");
+  }
+
+  Request request;
+  if (type->as_string() == "shutdown") {
+    request.kind = Request::Kind::kShutdown;
+    *out = std::move(request);
+    return Status::Ok();
+  }
+
+  const Json* id = doc.find("id");
+  if (const Status st =
+          expect(id && id->is_string() && !id->as_string().empty(),
+                 "request needs a non-empty string \"id\"");
+      !st.ok()) {
+    return st;
+  }
+
+  if (type->as_string() == "cancel") {
+    request.kind = Request::Kind::kCancel;
+    request.cancel_id = id->as_string();
+    *out = std::move(request);
+    return Status::Ok();
+  }
+  if (type->as_string() != "size") {
+    return Status::InvalidArgument("unknown request type " + type->dump());
+  }
+
+  request.kind = Request::Kind::kSize;
+  request.size.id = id->as_string();
+  request.size.job.name = id->as_string();
+  request.size.job.options = base;
+  // Default seed: the server's (base.elab.seed = the CLI --seed), so a
+  // request without "seed" generates AND elaborates exactly like the
+  // equivalent `lrsizer run` — never a mixed generation/elaboration pair.
+  request.size.job.seed = base.elab.seed;
+
+  if (const Json* seed = doc.find("seed")) {
+    std::int64_t value = 0;
+    if (!seed->is_number() ||
+        !checked_integer(*seed, 0, kMaxExactDouble, &value)) {
+      return Status::InvalidArgument(
+          "\"seed\" must be an integer in [0, 2^53]");
+    }
+    request.size.job.seed = static_cast<std::uint64_t>(value);
+    request.size.job.options.elab.seed = request.size.job.seed;
+  }
+  if (const Json* options = doc.find("options")) {
+    if (const Status st =
+            apply_request_options(*options, &request.size.job.options);
+        !st.ok()) {
+      return st;
+    }
+  }
+  const Json* input = doc.find("input");
+  if (!input) return Status::InvalidArgument("size request needs \"input\"");
+  if (const Status st =
+          parse_input(*input, request.size.job.seed, &request.size.job);
+      !st.ok()) {
+    return st;
+  }
+  if (const Json* progress = doc.find("progress")) {
+    std::int64_t value = 0;
+    if (!progress->is_number() ||
+        !checked_integer(*progress, 0, kMaxInt32, &value)) {
+      return Status::InvalidArgument(
+          "\"progress\" must be an integer in [0, 2^31)");
+    }
+    request.size.progress_every = static_cast<int>(value);
+  }
+  if (const Json* sizes = doc.find("sizes")) {
+    if (!sizes->is_bool()) {
+      return Status::InvalidArgument("\"sizes\" must be a bool");
+    }
+    request.size.want_sizes = sizes->as_bool();
+  }
+  if (const Json* warm = doc.find("warm_start")) {
+    if (!warm->is_array()) {
+      return Status::InvalidArgument(
+          "\"warm_start\" must be an array of [node, size] pairs");
+    }
+    for (const Json& pair : warm->as_array()) {
+      std::int64_t node = 0;
+      if (!pair.is_array() || pair.size() != 2 ||
+          !pair.as_array()[0].is_number() ||
+          !checked_integer(pair.as_array()[0], 0, kMaxInt32, &node) ||
+          !pair.as_array()[1].is_number()) {
+        return Status::InvalidArgument(
+            "\"warm_start\" entries must be [node, size] pairs with an "
+            "integer node id");
+      }
+      request.size.job.warm_sizes.emplace_back(
+          static_cast<std::int32_t>(node), pair.as_array()[1].as_number());
+    }
+  }
+  *out = std::move(request);
+  return Status::Ok();
+}
+
+// ---- response builders ------------------------------------------------------
+
+Json hello_json(const std::string& version, int jobs,
+                const std::string& cache_mode) {
+  Json j = Json::object();
+  j.set("schema", "lrsizer-serve-v1");
+  j.set("type", "hello");
+  j.set("version", version);
+  j.set("jobs", static_cast<std::int64_t>(jobs));
+  j.set("cache", cache_mode);
+  return j;
+}
+
+Json accepted_json(const std::string& id, const std::string& key) {
+  Json j = Json::object();
+  j.set("type", "accepted");
+  j.set("id", id);
+  j.set("key", key);
+  return j;
+}
+
+Json progress_json(const std::string& id, const core::OgwsIterate& iterate) {
+  Json j = Json::object();
+  j.set("type", "progress");
+  j.set("id", id);
+  j.set("k", static_cast<std::int64_t>(iterate.k));
+  j.set("area", iterate.area);
+  j.set("dual", iterate.dual);
+  j.set("rel_gap", iterate.rel_gap);
+  j.set("max_violation", iterate.max_violation);
+  return j;
+}
+
+Json result_json(const std::string& id, bool cache_hit, const Json& job,
+                 const std::vector<std::pair<std::int32_t, double>>* sizes) {
+  Json j = Json::object();
+  j.set("type", "result");
+  j.set("id", id);
+  j.set("cache_hit", cache_hit);
+  j.set("job", job);
+  if (sizes) {
+    Json array = Json::array();
+    for (const auto& [node, size] : *sizes) {
+      Json pair = Json::array();
+      pair.push_back(static_cast<std::int64_t>(node));
+      pair.push_back(size);
+      array.push_back(pair);
+    }
+    j.set("sizes", array);
+  }
+  return j;
+}
+
+Json cancelled_json(const std::string& id, const Json* partial_job) {
+  Json j = Json::object();
+  j.set("type", "cancelled");
+  j.set("id", id);
+  if (partial_job) j.set("job", *partial_job);
+  return j;
+}
+
+Json error_json(const std::string& id, const std::string& message) {
+  Json j = Json::object();
+  j.set("type", "error");
+  if (!id.empty()) j.set("id", id);
+  j.set("message", message);
+  return j;
+}
+
+}  // namespace lrsizer::serve

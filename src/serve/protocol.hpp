@@ -1,0 +1,92 @@
+// The lrsizer-serve-v1 wire protocol: newline-delimited JSON messages, one
+// object per line in both directions. This header is the single in-code
+// mirror of the spec in docs/SERVING.md — request parsing and response
+// building live here, free of any threading, so the protocol round-trips
+// under test without a running server.
+//
+// Requests:  size | cancel | shutdown
+// Responses: hello | accepted | progress | result | cancelled | error
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/status.hpp"
+#include "core/ogws.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/json.hpp"
+
+namespace lrsizer::serve {
+
+/// One parsed `size` request: the job to run plus its streaming knobs.
+struct SizeRequest {
+  /// Client-chosen correlation id; echoed on every response for this job.
+  std::string id;
+  /// Assembled job (name = id; netlist from "input", options = server
+  /// defaults overridden by the request's "options" object).
+  runtime::BatchJob job;
+  /// Emit a progress response every Nth OGWS iteration (0 = none).
+  int progress_every = 0;
+  /// Include the final sparse size vector in the result response.
+  bool want_sizes = false;
+};
+
+struct Request {
+  enum class Kind { kSize, kCancel, kShutdown };
+  Kind kind = Kind::kShutdown;
+  SizeRequest size;       ///< kSize
+  std::string cancel_id;  ///< kCancel
+};
+
+/// Parse one request line against the server's default options. On failure
+/// the Status message is what the error response should carry; *out is
+/// untouched. `base` supplies every option the request does not override.
+/// `error_id` (optional) receives the request's id whenever the line parsed
+/// far enough to have one, so even rejections can echo it.
+api::Status parse_request(const std::string& line,
+                          const core::FlowOptions& base, Request* out,
+                          std::string* error_id = nullptr);
+
+/// Override `options` fields from a request "options" object. Accepted keys
+/// (matching the CLI flags): vectors, use_woss, delay_bound, power_bound,
+/// noise_bound, per_net_noise_bound, initial_size, threads, max_iterations.
+/// Seeds are NOT an options key — the request-level "seed" field is the one
+/// seed knob (it covers generation and elaboration together, so two
+/// requests with equal seeds always mean the same circuit). Unknown keys
+/// are errors; the result is re-validated via api::validate_options.
+api::Status apply_request_options(const runtime::Json& overrides,
+                                  core::FlowOptions* options);
+
+// ---- response builders (serialize with .dump() — compact, one line) --------
+
+/// First line the server emits; names the schema, server version, worker
+/// count and cache mode ("memory" or "disk").
+runtime::Json hello_json(const std::string& version, int jobs,
+                         const std::string& cache_mode);
+
+/// The job was admitted; `key` is its cache key (clients can correlate
+/// dedupe across jobs).
+runtime::Json accepted_json(const std::string& id, const std::string& key);
+
+runtime::Json progress_json(const std::string& id,
+                            const core::OgwsIterate& iterate);
+
+/// Terminal success. `job` is the lrsizer-batch-v1 job object — served
+/// verbatim from the cache on a hit, so duplicate jobs get byte-identical
+/// payloads. `sizes` (optional) is the final sparse size vector.
+runtime::Json result_json(
+    const std::string& id, bool cache_hit, const runtime::Json& job,
+    const std::vector<std::pair<std::int32_t, double>>* sizes);
+
+/// Terminal cancellation. `partial_job` (optional) carries the best partial
+/// result when the cancel landed mid-OGWS.
+runtime::Json cancelled_json(const std::string& id,
+                             const runtime::Json* partial_job);
+
+/// Malformed request or failed job. `id` is empty when the line never
+/// parsed far enough to have one.
+runtime::Json error_json(const std::string& id, const std::string& message);
+
+}  // namespace lrsizer::serve

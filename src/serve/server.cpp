@@ -1,0 +1,252 @@
+#include "serve/server.hpp"
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.hpp"
+
+namespace lrsizer::serve {
+
+using runtime::CachedEntry;
+using runtime::Json;
+using runtime::ResultCache;
+
+Server::Server(ServerOptions options, Sink sink)
+    : options_(std::move(options)),
+      sink_(std::move(sink)),
+      pool_(options_.jobs >= 1 ? options_.jobs : 1) {
+  if (options_.cache) {
+    cache_ = options_.cache;
+  } else {
+    owned_cache_ = std::make_unique<ResultCache>();
+    cache_ = owned_cache_.get();
+  }
+}
+
+Server::~Server() { drain(); }
+
+void Server::emit(const Json& response) {
+  const std::string line = response.dump();
+  const std::lock_guard<std::mutex> lock(sink_mutex_);
+  sink_(line);
+}
+
+void Server::hello() {
+  emit(hello_json(options_.version, pool_.num_workers(),
+                  cache_->disk_backed() ? "disk" : "memory"));
+}
+
+Server::Stats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void Server::finish(const std::shared_ptr<Pending>& pending) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  active_.erase(pending->request.id);
+  --in_flight_;
+  if (in_flight_ == 0) idle_cv_.notify_all();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+int Server::serve_stream(std::istream& in) {
+  hello();
+  std::string line;
+  while (!options_.stop.stop_requested() && std::getline(in, line)) {
+    if (!handle_line(line)) break;
+  }
+  drain();
+  return 0;
+}
+
+bool Server::handle_line(const std::string& line) {
+  if (line.find_first_not_of(" \t\r\n") == std::string::npos) return true;
+  Request request;
+  // `id` echoes back on rejection whenever the line parsed far enough to
+  // have one, so a client with several requests in flight knows which
+  // request was rejected.
+  std::string id;
+  if (const api::Status st =
+          parse_request(line, options_.base_options, &request, &id);
+      !st.ok()) {
+    emit(error_json(id, st.message()));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.errors;
+    return true;
+  }
+  switch (request.kind) {
+    case Request::Kind::kShutdown:
+      return false;
+    case Request::Kind::kCancel:
+      handle_cancel(request.cancel_id);
+      return true;
+    case Request::Kind::kSize:
+      handle_size(std::move(request.size));
+      return true;
+  }
+  return true;
+}
+
+void Server::handle_cancel(const std::string& id) {
+  std::shared_ptr<Pending> pending;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = active_.find(id);
+    if (it != active_.end()) pending = it->second;
+  }
+  if (!pending) {
+    emit(error_json(id, "cancel: no active job with this id"));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.errors;
+    return;
+  }
+  // Cooperative: a running session stops at its next OGWS iteration; a
+  // deduped follower answers `cancelled` when its shared run completes.
+  pending->stop.request_stop();
+}
+
+void Server::handle_size(SizeRequest request) {
+  auto pending = std::make_shared<Pending>();
+  pending->request = std::move(request);
+  const std::string id = pending->request.id;
+
+  enum class Admit { kOk, kDuplicateId, kBackpressure };
+  Admit admit = Admit::kOk;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (active_.count(id) != 0) {
+      admit = Admit::kDuplicateId;
+      ++stats_.errors;
+    } else if (options_.max_pending > 0 &&
+               in_flight_ >= static_cast<std::size_t>(options_.max_pending)) {
+      admit = Admit::kBackpressure;
+      ++stats_.errors;
+    } else {
+      active_[id] = pending;
+      ++in_flight_;
+      ++stats_.accepted;
+    }
+  }
+  if (admit == Admit::kDuplicateId) {
+    emit(error_json(id, "a job with this id is already active"));
+    return;
+  }
+  if (admit == Admit::kBackpressure) {
+    emit(error_json(id, "backpressure: " + std::to_string(options_.max_pending) +
+                            " jobs already pending — retry later"));
+    return;
+  }
+  // Jobs with client-supplied warm sizes bypass the cache: their outcome
+  // depends on the seed sizes, not just the key.
+  pending->cacheable = pending->request.job.warm_sizes.empty();
+  if (pending->cacheable) {
+    pending->key = runtime::cache_key(pending->request.job.netlist,
+                                      pending->request.job.options);
+  }
+  emit(accepted_json(id, pending->cacheable ? pending->key.key : ""));
+  schedule(std::move(pending));
+}
+
+void Server::schedule(std::shared_ptr<Pending> pending) {
+  if (pending->cacheable) {
+    std::shared_ptr<const CachedEntry> hit;
+    // Fired exactly once by publish() (entry) or abandon() (nullptr) when
+    // this job attaches as a follower of an identical in-flight run.
+    auto on_done = [this, pending](std::shared_ptr<const CachedEntry> entry) {
+      if (pending->stop.get_token().stop_requested()) {
+        emit(cancelled_json(pending->request.id, nullptr));
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.cancelled;
+        }
+        finish(pending);
+        return;
+      }
+      if (entry) {
+        emit(result_json(pending->request.id, true, entry->job,
+                         pending->request.want_sizes ? &entry->sizes : nullptr));
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.completed;
+          ++stats_.cache_hits;
+        }
+        finish(pending);
+      } else {
+        // Owner failed or was cancelled — run this job on its own. It
+        // re-acquires: it may become the new owner or follow another twin.
+        schedule(pending);
+      }
+    };
+    switch (cache_->acquire(pending->key, &hit, on_done)) {
+      case ResultCache::Acquire::kHit:
+        emit(result_json(pending->request.id, true, hit->job,
+                         pending->request.want_sizes ? &hit->sizes : nullptr));
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.completed;
+          ++stats_.cache_hits;
+        }
+        finish(pending);
+        return;
+      case ResultCache::Acquire::kFollower:
+        return;
+      case ResultCache::Acquire::kOwner:
+        if (options_.cache_warm && pending->request.job.warm_sizes.empty()) {
+          if (const auto warm = cache_->lookup_warm(pending->key)) {
+            pending->request.job.warm_sizes = warm->sizes;
+          }
+        }
+        break;
+    }
+  }
+  pool_.submit([this, pending = std::move(pending)] { execute(pending); });
+}
+
+void Server::execute(const std::shared_ptr<Pending>& pending) {
+  // Server-wide shutdown cancels this job too.
+  std::stop_callback link(options_.stop,
+                          [&stop = pending->stop] { stop.request_stop(); });
+  runtime::JobControls controls;
+  controls.stop = pending->stop.get_token();
+  const int every = pending->request.progress_every;
+  if (every > 0) {
+    controls.observer = [this, pending, every](const std::string&,
+                                               const core::OgwsIterate& it) {
+      if (it.k % every == 0) emit(progress_json(pending->request.id, it));
+    };
+  }
+
+  runtime::JobOutcome outcome =
+      run_job(std::move(pending->request.job), controls);
+
+  if (outcome.ok && !outcome.cancelled) {
+    CachedEntry entry{runtime::job_json(outcome),
+                      runtime::sparse_sizes(*outcome.flow)};
+    emit(result_json(pending->request.id, false, entry.job,
+                     pending->request.want_sizes ? &entry.sizes : nullptr));
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.completed;
+    }
+    if (pending->cacheable) cache_->publish(pending->key, std::move(entry));
+  } else if (outcome.cancelled) {
+    if (pending->cacheable) cache_->abandon(pending->key);
+    std::optional<Json> partial;
+    if (outcome.ok) partial = runtime::job_json(outcome);
+    emit(cancelled_json(pending->request.id, partial ? &*partial : nullptr));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cancelled;
+  } else {
+    if (pending->cacheable) cache_->abandon(pending->key);
+    emit(error_json(pending->request.id, outcome.error));
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.errors;
+  }
+  finish(pending);
+}
+
+}  // namespace lrsizer::serve

@@ -1,0 +1,139 @@
+// The long-lived sizing service behind `lrsizer serve`.
+//
+// A Server reads lrsizer-serve-v1 request lines (serve/protocol.hpp),
+// schedules each size job as one api::SizingSession on a
+// runtime::ThreadPool, and streams responses — accepted, periodic progress
+// (from the session's IterationObserver), then exactly one terminal
+// result / cancelled / error per job — through a caller-supplied line sink.
+// Responses for different jobs interleave; per job the order is always
+// accepted → progress* → terminal.
+//
+// Every job is deduped through a runtime::ResultCache: completed identical
+// jobs answer instantly with the stored report (byte-identical payload),
+// and an identical job arriving while its twin is still running attaches
+// as a follower and shares the result when it lands (in-flight dedupe). A
+// caller-supplied cache can be disk-backed and shared across restarts; by
+// default the server owns a memory-only cache for its lifetime.
+//
+// Threading: handle_line() must be called from one thread (the read loop).
+// The sink is invoked from the read thread and from pool workers, one
+// complete line per call, serialized by an internal mutex — it only needs
+// to write and flush. drain() blocks until every accepted job has emitted
+// its terminal response.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <stop_token>
+#include <string>
+#include <unordered_map>
+
+#include "core/flow.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/pool.hpp"
+#include "serve/protocol.hpp"
+
+namespace lrsizer::serve {
+
+struct ServerOptions {
+  /// Concurrent jobs (pool workers); clamped to >= 1.
+  int jobs = 1;
+  /// Defaults for every job; request "options" objects override per job.
+  core::FlowOptions base_options;
+  /// Result cache (borrowed, must outlive the server; may be shared with
+  /// run_batch or other servers). nullptr: the server owns a memory-only
+  /// cache.
+  runtime::ResultCache* cache = nullptr;
+  /// On a cache miss, warm-start from a cached result with the same
+  /// netlist + elaboration but different solver/bound options (see
+  /// BatchOptions::cache_warm for the determinism trade-off).
+  bool cache_warm = false;
+  /// Backpressure: with > 0, a size request arriving while this many jobs
+  /// are already accepted-but-unfinished is rejected with an error
+  /// response (the client retries later). 0 = unbounded queue.
+  int max_pending = 0;
+  /// Server-wide cooperative shutdown (e.g. SIGINT): running jobs are
+  /// cancelled mid-OGWS and answer `cancelled`.
+  std::stop_token stop;
+  /// Reported in the hello message.
+  std::string version;
+};
+
+class Server {
+ public:
+  /// `sink` receives every response as one complete line (no trailing
+  /// newline); it must write-and-flush so clients see responses promptly.
+  using Sink = std::function<void(const std::string& line)>;
+
+  Server(ServerOptions options, Sink sink);
+  /// Drains in-flight jobs (equivalent to drain()).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Emit the hello line (schema, version, workers, cache mode).
+  void hello();
+
+  /// Handle one request line (empty/blank lines are ignored). Returns
+  /// false when the line was a shutdown request — the caller should stop
+  /// reading and drain().
+  bool handle_line(const std::string& line);
+
+  /// Block until every accepted job has emitted its terminal response.
+  void drain();
+
+  /// hello + read lines until EOF or shutdown + drain. Returns 0.
+  int serve_stream(std::istream& in);
+
+  struct Stats {
+    std::size_t accepted = 0;   ///< size requests admitted
+    std::size_t completed = 0;  ///< result responses (hit or cold)
+    std::size_t cache_hits = 0; ///< results answered without running
+    std::size_t cancelled = 0;  ///< cancelled responses
+    std::size_t errors = 0;     ///< error responses (parse + job failures)
+  };
+  Stats stats() const;
+
+ private:
+  /// One accepted job from admission to its terminal response. Kept whole
+  /// (including the netlist) so a follower whose owner aborted can re-run.
+  struct Pending {
+    SizeRequest request;
+    runtime::CacheKey key;
+    bool cacheable = false;
+    std::stop_source stop;
+  };
+
+  void emit(const runtime::Json& response);
+  /// Route through the cache (hit / follower / owner) or straight to the
+  /// pool. Safe to call from the read thread and from follower callbacks.
+  void schedule(std::shared_ptr<Pending> pending);
+  /// Run the job on the current (worker) thread and emit its terminal
+  /// response; publishes/abandons the cache key for owners.
+  void execute(const std::shared_ptr<Pending>& pending);
+  void finish(const std::shared_ptr<Pending>& pending);
+  void handle_size(SizeRequest request);
+  void handle_cancel(const std::string& id);
+
+  ServerOptions options_;
+  Sink sink_;
+  std::unique_ptr<runtime::ResultCache> owned_cache_;
+  runtime::ResultCache* cache_ = nullptr;
+
+  std::mutex sink_mutex_;
+
+  mutable std::mutex mutex_;  ///< guards active_, in_flight_, stats_
+  std::condition_variable idle_cv_;
+  std::unordered_map<std::string, std::shared_ptr<Pending>> active_;
+  std::size_t in_flight_ = 0;
+  Stats stats_;
+
+  runtime::ThreadPool pool_;  ///< last member: workers die before the rest
+};
+
+}  // namespace lrsizer::serve

@@ -1,0 +1,660 @@
+// Tests for the serving stack: netlist hashing, the result cache (including
+// in-flight dedupe), the lrsizer-serve-v1 protocol, the Server loop, and
+// shard-report merging. Every message type docs/SERVING.md specifies is
+// exercised here (hello, accepted, progress, result, cancelled, error;
+// size, cancel, shutdown).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/bench_parser.hpp"
+#include "netlist/generator.hpp"
+#include "netlist/hash.hpp"
+#include "runtime/batch.hpp"
+#include "runtime/cache.hpp"
+#include "runtime/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+
+namespace lrsizer {
+namespace {
+
+using runtime::Json;
+
+netlist::GeneratorSpec tiny_spec(std::uint64_t seed) {
+  netlist::GeneratorSpec spec;
+  spec.num_gates = 30;
+  spec.num_wires = 60;
+  spec.num_inputs = 6;
+  spec.num_outputs = 3;
+  spec.depth = 5;
+  spec.seed = seed;
+  return spec;
+}
+
+core::FlowOptions fast_options() {
+  core::FlowOptions options;
+  options.num_vectors = 8;
+  return options;
+}
+
+// ---- netlist hashing --------------------------------------------------------
+
+TEST(NetlistHash, EqualStructuresHashEqual) {
+  const auto a = netlist::generate_circuit(tiny_spec(1));
+  const auto b = netlist::generate_circuit(tiny_spec(1));
+  EXPECT_EQ(netlist::netlist_hash(a), netlist::netlist_hash(b));
+}
+
+TEST(NetlistHash, DifferentSeedsHashDifferent) {
+  const auto a = netlist::generate_circuit(tiny_spec(1));
+  const auto b = netlist::generate_circuit(tiny_spec(2));
+  EXPECT_NE(netlist::netlist_hash(a), netlist::netlist_hash(b));
+}
+
+// ---- cache keys -------------------------------------------------------------
+
+TEST(CacheKey, ThreadsDoNotSplitTheKey) {
+  // The bit-determinism contract: any --threads value produces the same
+  // result, so it must map to the same cache key.
+  const auto nl = netlist::generate_circuit(tiny_spec(1));
+  core::FlowOptions a = fast_options();
+  core::FlowOptions b = fast_options();
+  a.threads = 1;
+  b.threads = 8;
+  EXPECT_EQ(runtime::cache_key(nl, a).key, runtime::cache_key(nl, b).key);
+}
+
+TEST(CacheKey, AnyOtherOptionInvalidatesTheKey) {
+  const auto nl = netlist::generate_circuit(tiny_spec(1));
+  const auto base = runtime::cache_key(nl, fast_options());
+  core::FlowOptions tweaked = fast_options();
+  tweaked.bound_factors.noise = 0.17;
+  const auto other = runtime::cache_key(nl, tweaked);
+  EXPECT_NE(base.key, other.key);
+  // Same circuit, different solver/bound knobs: same warm-start class.
+  EXPECT_EQ(base.warm_prefix, other.warm_prefix);
+
+  core::FlowOptions reelab = fast_options();
+  reelab.elab.seed = 99;
+  // A different elaboration is a different circuit: new warm class too.
+  EXPECT_NE(runtime::cache_key(nl, reelab).warm_prefix, base.warm_prefix);
+}
+
+// ---- ResultCache ------------------------------------------------------------
+
+runtime::CachedEntry make_entry(const std::string& marker) {
+  runtime::CachedEntry entry;
+  entry.job = Json::object();
+  entry.job.set("name", marker);
+  entry.sizes = {{7, 1.25}, {8, 2.5}};
+  return entry;
+}
+
+TEST(ResultCache, StoreLookupAndWarmLookup) {
+  runtime::ResultCache cache;
+  runtime::CacheKey key{"nA-eB-o1", "nA-eB"};
+  runtime::CacheKey sibling{"nA-eB-o2", "nA-eB"};
+  runtime::CacheKey stranger{"nC-eD-o1", "nC-eD"};
+
+  EXPECT_EQ(cache.lookup(key.key), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.store(key, make_entry("first"));
+  const auto hit = cache.lookup(key.key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->job.at("name").as_string(), "first");
+  EXPECT_EQ(hit->sizes.size(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Warm lookup: a *different* key in the same class finds it; the same
+  // key and an unrelated class do not.
+  ASSERT_NE(cache.lookup_warm(sibling), nullptr);
+  EXPECT_EQ(cache.lookup_warm(key), nullptr);
+  EXPECT_EQ(cache.lookup_warm(stranger), nullptr);
+}
+
+TEST(ResultCache, InFlightDedupePublishAndAbandon) {
+  runtime::ResultCache cache;
+  runtime::CacheKey key{"nA-eB-o1", "nA-eB"};
+
+  std::shared_ptr<const runtime::CachedEntry> hit;
+  EXPECT_EQ(cache.acquire(key, &hit, nullptr),
+            runtime::ResultCache::Acquire::kOwner);
+
+  // Identical job while the owner runs: registered as a follower.
+  std::vector<std::shared_ptr<const runtime::CachedEntry>> seen;
+  const auto follow = [&seen](std::shared_ptr<const runtime::CachedEntry> e) {
+    seen.push_back(std::move(e));
+  };
+  EXPECT_EQ(cache.acquire(key, &hit, follow),
+            runtime::ResultCache::Acquire::kFollower);
+  EXPECT_EQ(cache.acquire(key, &hit, follow),
+            runtime::ResultCache::Acquire::kFollower);
+  EXPECT_TRUE(seen.empty());
+
+  // Owner publishes: both followers fire with the entry, and later
+  // acquires hit directly.
+  cache.publish(key, make_entry("published"));
+  ASSERT_EQ(seen.size(), 2u);
+  ASSERT_NE(seen[0], nullptr);
+  EXPECT_EQ(seen[0]->job.at("name").as_string(), "published");
+  EXPECT_EQ(cache.acquire(key, &hit, nullptr),
+            runtime::ResultCache::Acquire::kHit);
+  ASSERT_NE(hit, nullptr);
+
+  // Abandon path: follower of a failed owner is woken with nullptr so it
+  // can re-run (and becomes the new owner on re-acquire).
+  runtime::CacheKey other{"nA-eB-o9", "nA-eB"};
+  EXPECT_EQ(cache.acquire(other, &hit, nullptr),
+            runtime::ResultCache::Acquire::kOwner);
+  seen.clear();
+  EXPECT_EQ(cache.acquire(other, &hit, follow),
+            runtime::ResultCache::Acquire::kFollower);
+  cache.abandon(other);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], nullptr);
+  EXPECT_EQ(cache.acquire(other, &hit, nullptr),
+            runtime::ResultCache::Acquire::kOwner);
+}
+
+TEST(ResultCache, DiskEntriesSurviveAcrossInstances) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "lrsizer_cache_test";
+  std::filesystem::remove_all(dir);
+  runtime::CacheKey key{"nA-eB-o1", "nA-eB"};
+  {
+    runtime::ResultCache cache(dir.string());
+    cache.store(key, make_entry("persisted"));
+  }
+  runtime::ResultCache fresh(dir.string());
+  const auto hit = fresh.lookup(key.key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->job.at("name").as_string(), "persisted");
+  EXPECT_EQ(hit->sizes, make_entry("persisted").sizes);
+
+  // A corrupt file is a miss, not a crash.
+  {
+    std::ofstream out(dir / "nBAD-eBAD-oBAD.json");
+    out << "{not json";
+  }
+  runtime::ResultCache corrupt(dir.string());
+  EXPECT_EQ(corrupt.lookup("nBAD-eBAD-oBAD"), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
+// ---- run_batch + cache ------------------------------------------------------
+
+TEST(BatchCache, DuplicateJobsDedupeBitIdentically) {
+  // Three jobs, first two byte-identical: the duplicate must not re-run and
+  // must share the owner's outcome bit for bit.
+  auto make_jobs = [] {
+    std::vector<runtime::BatchJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+      runtime::BatchJob job;
+      job.name = "job" + std::to_string(i);
+      job.netlist = netlist::generate_circuit(tiny_spec(i < 2 ? 1 : 2));
+      job.options = fast_options();
+      jobs.push_back(std::move(job));
+    }
+    return jobs;
+  };
+  runtime::ResultCache cache;
+  runtime::BatchOptions options;
+  options.jobs = 1;
+  options.cache = &cache;
+  const auto batch = runtime::run_batch(make_jobs(), options);
+
+  ASSERT_EQ(batch.jobs.size(), 3u);
+  EXPECT_FALSE(batch.jobs[0].cache_hit);
+  EXPECT_TRUE(batch.jobs[1].cache_hit);
+  EXPECT_FALSE(batch.jobs[2].cache_hit);
+  EXPECT_EQ(batch.num_cache_hits(), 1u);
+  ASSERT_TRUE(batch.jobs[1].ok);
+  ASSERT_TRUE(batch.jobs[1].flow.has_value());
+  EXPECT_EQ(batch.jobs[0].flow->circuit.sizes(),
+            batch.jobs[1].flow->circuit.sizes());
+  EXPECT_EQ(batch.jobs[0].summary.iterations, batch.jobs[1].summary.iterations);
+  EXPECT_EQ(batch.jobs[0].summary.final_metrics.area_um2,
+            batch.jobs[1].summary.final_metrics.area_um2);
+  const Json report = runtime::batch_json(batch);
+  EXPECT_EQ(report.at("cache_hits").as_number(), 1.0);
+
+  // Changed option: the same netlist is a different key, so nothing
+  // dedupes in a fresh cache (no false sharing).
+  runtime::ResultCache fresh;
+  runtime::BatchOptions fresh_options;
+  fresh_options.jobs = 1;
+  fresh_options.cache = &fresh;
+  auto tweaked = make_jobs();
+  tweaked[1].options.bound_factors.noise = 0.17;
+  const auto batch2 = runtime::run_batch(std::move(tweaked), fresh_options);
+  EXPECT_EQ(batch2.num_cache_hits(), 0u)
+      << "jobs with distinct options must all run";
+}
+
+TEST(BatchCache, CompletedEntriesAnswerAcrossBatches) {
+  auto make_job = [] {
+    runtime::BatchJob job;
+    job.name = "repeat";
+    job.netlist = netlist::generate_circuit(tiny_spec(1));
+    job.options = fast_options();
+    std::vector<runtime::BatchJob> jobs;
+    jobs.push_back(std::move(job));
+    return jobs;
+  };
+  runtime::ResultCache cache;
+  runtime::BatchOptions options;
+  options.jobs = 1;
+  options.cache = &cache;
+  const auto first = runtime::run_batch(make_job(), options);
+  ASSERT_TRUE(first.jobs[0].ok);
+  EXPECT_FALSE(first.jobs[0].cache_hit);
+
+  const auto second = runtime::run_batch(make_job(), options);
+  ASSERT_TRUE(second.jobs[0].ok);
+  EXPECT_TRUE(second.jobs[0].cache_hit);
+  // The served summary reproduces the original run field for field (their
+  // job JSONs differ only in wall-clock seconds and the cache_hit marker).
+  auto strip = [](Json j) {
+    j.set("seconds", 0);
+    j.set("cache_hit", false);
+    return j.dump();
+  };
+  EXPECT_EQ(strip(runtime::job_json(first.jobs[0])),
+            strip(runtime::job_json(second.jobs[0])));
+}
+
+// ---- protocol ---------------------------------------------------------------
+
+TEST(Protocol, ParsesASizeRequestWithOverrides) {
+  serve::Request request;
+  const api::Status st = serve::parse_request(
+      R"({"type":"size","id":"j1","input":{"profile":"c17"},"seed":3,)"
+      R"("options":{"vectors":16,"noise_bound":0.2,"max_iterations":40},)"
+      R"("progress":5,"sizes":true,"warm_start":[[7,1.5]]})",
+      core::FlowOptions{}, &request);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(request.kind, serve::Request::Kind::kSize);
+  EXPECT_EQ(request.size.id, "j1");
+  EXPECT_EQ(request.size.job.seed, 3u);
+  EXPECT_EQ(request.size.job.options.elab.seed, 3u);
+  EXPECT_EQ(request.size.job.options.num_vectors, 16);
+  EXPECT_EQ(request.size.job.options.bound_factors.noise, 0.2);
+  EXPECT_EQ(request.size.job.options.ogws.max_iterations, 40);
+  EXPECT_EQ(request.size.progress_every, 5);
+  EXPECT_TRUE(request.size.want_sizes);
+  ASSERT_EQ(request.size.job.warm_sizes.size(), 1u);
+  EXPECT_EQ(request.size.job.warm_sizes[0].first, 7);
+  EXPECT_GT(request.size.job.netlist.num_gates_logic(), 0);
+}
+
+TEST(Protocol, DefaultSeedFollowsTheServersElabSeed) {
+  // No request "seed": generation and elaboration both use the server's
+  // seed — never a mixed pair the equivalent `lrsizer run --seed` could
+  // not produce.
+  core::FlowOptions base;
+  base.elab.seed = 7;
+  serve::Request request;
+  const api::Status st = serve::parse_request(
+      R"({"type":"size","id":"a","input":{"profile":"c17"}})", base, &request);
+  ASSERT_TRUE(st.ok()) << st.to_string();
+  EXPECT_EQ(request.size.job.seed, 7u);
+  EXPECT_EQ(request.size.job.options.elab.seed, 7u);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  serve::Request request;
+  const core::FlowOptions base;
+  EXPECT_FALSE(serve::parse_request("not json", base, &request).ok());
+  EXPECT_FALSE(serve::parse_request(R"({"type":"resize","id":"a"})", base,
+                                    &request).ok());
+  EXPECT_FALSE(serve::parse_request(R"({"type":"size"})", base, &request).ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c9999"}})",
+                   base, &request)
+                   .ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("options":{"bogus_knob":1}})",
+                   base, &request)
+                   .ok());
+  // Validation catches consistent-but-impossible options too.
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("options":{"vectors":-4}})",
+                   base, &request)
+                   .ok());
+  // Out-of-range numbers are rejected before any narrowing cast (the cast
+  // would be undefined; the ASan+UBSan CI job runs this suite).
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("seed":-1})",
+                   base, &request)
+                   .ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("options":{"vectors":1e300}})",
+                   base, &request)
+                   .ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("progress":1e12})",
+                   base, &request)
+                   .ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("warm_start":[[-2,1.0]]})",
+                   base, &request)
+                   .ok());
+  // cancel and shutdown parse.
+  ASSERT_TRUE(
+      serve::parse_request(R"({"type":"cancel","id":"a"})", base, &request).ok());
+  EXPECT_EQ(request.kind, serve::Request::Kind::kCancel);
+  EXPECT_EQ(request.cancel_id, "a");
+  ASSERT_TRUE(serve::parse_request(R"({"type":"shutdown"})", base, &request).ok());
+  EXPECT_EQ(request.kind, serve::Request::Kind::kShutdown);
+}
+
+// ---- server -----------------------------------------------------------------
+
+/// Thread-safe response collector: the test-side Sink.
+struct Collector {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<Json> lines;
+
+  serve::Server::Sink sink() {
+    return [this](const std::string& line) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      lines.push_back(Json::parse(line));
+      cv.notify_all();
+    };
+  }
+
+  std::vector<Json> of_type(const std::string& type) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    std::vector<Json> matching;
+    for (const Json& line : lines) {
+      if (line.at("type").as_string() == type) matching.push_back(line);
+    }
+    return matching;
+  }
+
+  /// Wait until at least `n` responses of `type` arrived (fails the test on
+  /// timeout rather than hanging).
+  bool wait_for(const std::string& type, std::size_t n) {
+    std::unique_lock<std::mutex> lock(mutex);
+    return cv.wait_for(lock, std::chrono::seconds(60), [&] {
+      std::size_t count = 0;
+      for (const Json& line : lines) {
+        if (line.at("type").as_string() == type) ++count;
+      }
+      return count >= n;
+    });
+  }
+};
+
+std::string size_request(const std::string& id, const std::string& profile,
+                         const std::string& extra = "") {
+  return R"({"type":"size","id":")" + id + R"(","input":{"profile":")" +
+         profile + R"("},"options":{"vectors":8})" + extra + "}";
+}
+
+TEST(Server, JsonlRoundTripMatchesADirectRun) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.version = "test";
+  {
+    serve::Server server(options, collector.sink());
+    std::istringstream in(size_request("a", "c17") + "\n");
+    server.serve_stream(in);
+  }
+  ASSERT_EQ(collector.of_type("hello").size(), 1u);
+  EXPECT_EQ(collector.of_type("hello")[0].at("schema").as_string(),
+            "lrsizer-serve-v1");
+  ASSERT_EQ(collector.of_type("accepted").size(), 1u);
+  const auto results = collector.of_type("result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].at("cache_hit").as_bool());
+
+  // The served job object equals a direct run_job report byte for byte
+  // (wall-clock fields aside).
+  runtime::BatchJob job;
+  job.name = "a";
+  job.netlist = netlist::parse_bench_string(netlist::kIscas85C17);
+  core::FlowOptions direct_options;
+  direct_options.num_vectors = 8;
+  job.options = direct_options;
+  const auto outcome = runtime::run_job(std::move(job));
+  ASSERT_TRUE(outcome.ok);
+  auto strip = [](Json j) {
+    j.set("seconds", 0);
+    j.set("stage1_seconds", 0);
+    j.set("stage2_seconds", 0);
+    return j.dump();
+  };
+  EXPECT_EQ(strip(results[0].at("job")), strip(runtime::job_json(outcome)));
+}
+
+TEST(Server, DuplicateJobsAnswerFromCacheByteIdentically) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  {
+    serve::Server server(options, collector.sink());
+    std::istringstream in(size_request("a", "c17", R"(,"sizes":true)") + "\n" +
+                          size_request("b", "c17", R"(,"sizes":true)") + "\n" +
+                          size_request("c", "c17",
+                                       R"(,"sizes":true,"seed":9)") +
+                          "\n");
+    server.serve_stream(in);
+  }
+  const auto results = collector.of_type("result");
+  ASSERT_EQ(results.size(), 3u);
+  Json by_id[3];
+  for (const Json& r : results) {
+    by_id[r.at("id").as_string()[0] - 'a'] = r;
+  }
+  // Exactly the duplicate is a hit, with a byte-identical job payload
+  // (including its sizes).
+  EXPECT_FALSE(by_id[0].at("cache_hit").as_bool());
+  EXPECT_TRUE(by_id[1].at("cache_hit").as_bool());
+  EXPECT_EQ(by_id[0].at("job").dump(), by_id[1].at("job").dump());
+  EXPECT_EQ(by_id[0].at("sizes").dump(), by_id[1].at("sizes").dump());
+  // Different seed = different netlist: a miss that re-runs.
+  EXPECT_FALSE(by_id[2].at("cache_hit").as_bool());
+  EXPECT_NE(by_id[0].at("job").dump(), by_id[2].at("job").dump());
+}
+
+TEST(Server, CancelMidJobYieldsACancelledResponse) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  serve::Server server(options, collector.sink());
+  server.hello();
+  // c432 runs hundreds of OGWS iterations; progress every iteration gives a
+  // deterministic "the job is mid-OGWS now" signal to cancel on.
+  ASSERT_TRUE(server.handle_line(size_request("x", "c432", R"(,"progress":1)")));
+  ASSERT_TRUE(collector.wait_for("progress", 1)) << "job never started";
+  ASSERT_TRUE(server.handle_line(R"({"type":"cancel","id":"x"})"));
+  server.drain();
+
+  const auto cancelled = collector.of_type("cancelled");
+  ASSERT_EQ(cancelled.size(), 1u);
+  EXPECT_EQ(cancelled[0].at("id").as_string(), "x");
+  // The cancel landed mid-OGWS, so the partial result rides along.
+  ASSERT_NE(cancelled[0].find("job"), nullptr);
+  EXPECT_TRUE(cancelled[0].at("job").at("cancelled").as_bool());
+  EXPECT_TRUE(collector.of_type("result").empty());
+  EXPECT_EQ(server.stats().cancelled, 1u);
+}
+
+TEST(Server, ShutdownStopsReadingFurtherRequests) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  {
+    serve::Server server(options, collector.sink());
+    std::istringstream in(size_request("a", "c17") + "\n" +
+                          R"({"type":"shutdown"})" + "\n" +
+                          size_request("late", "c17") + "\n");
+    server.serve_stream(in);
+  }
+  // "a" completes (shutdown drains in-flight work); "late" is never read.
+  ASSERT_EQ(collector.of_type("result").size(), 1u);
+  EXPECT_EQ(collector.of_type("accepted").size(), 1u);
+}
+
+TEST(Server, MalformedAndUnknownRequestsGetErrorResponses) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  {
+    serve::Server server(options, collector.sink());
+    std::istringstream in(std::string("this is not json\n") +
+                          R"({"type":"cancel","id":"ghost"})" + "\n" +
+                          size_request("a", "c9999") + "\n");
+    server.serve_stream(in);
+  }
+  const auto errors = collector.of_type("error");
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_TRUE(collector.of_type("result").empty());
+  EXPECT_EQ(collector.lines.size(), 4u);  // hello + 3 errors
+  // Whenever the line parsed far enough to carry an id, the error echoes
+  // it; a fully unparseable line cannot.
+  EXPECT_EQ(errors[0].find("id"), nullptr);
+  EXPECT_EQ(errors[1].at("id").as_string(), "ghost");
+  EXPECT_EQ(errors[2].at("id").as_string(), "a");
+}
+
+TEST(Server, BackpressureRejectsBeyondMaxPending) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.max_pending = 1;
+  serve::Server server(options, collector.sink());
+  server.hello();
+  // First job occupies the single pending slot while it runs...
+  ASSERT_TRUE(server.handle_line(size_request("a", "c432", R"(,"progress":1)")));
+  ASSERT_TRUE(collector.wait_for("progress", 1));
+  // ...so the second is rejected with a backpressure error.
+  ASSERT_TRUE(server.handle_line(size_request("b", "c17")));
+  const auto errors = collector.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].at("id").as_string(), "b");
+  EXPECT_NE(errors[0].at("message").as_string().find("backpressure"),
+            std::string::npos);
+  ASSERT_TRUE(server.handle_line(R"({"type":"cancel","id":"a"})"));
+  server.drain();
+}
+
+// ---- merge ------------------------------------------------------------------
+
+/// Null out every wall-clock-derived field so reports from different runs
+/// compare byte-for-byte on everything deterministic.
+Json normalize_walltimes(Json report) {
+  report.set("wall_seconds", nullptr);
+  report.set("total_job_seconds", nullptr);
+  report.set("speedup", nullptr);
+  Json jobs = Json::array();
+  for (Json job : report.at("jobs").as_array()) {
+    job.set("seconds", nullptr);
+    if (job.find("stage1_seconds")) {
+      job.set("stage1_seconds", nullptr);
+      job.set("stage2_seconds", nullptr);
+    }
+    jobs.push_back(job);
+  }
+  report.set("jobs", jobs);
+  return report;
+}
+
+std::vector<runtime::BatchJob> sweep_jobs(int count) {
+  std::vector<runtime::BatchJob> jobs;
+  for (int i = 0; i < count; ++i) {
+    runtime::BatchJob job;
+    job.name = "point" + std::to_string(i);
+    job.netlist = netlist::generate_circuit(tiny_spec(1));
+    job.options = fast_options();
+    job.options.bound_factors.noise = 0.10 + 0.02 * i;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TEST(Merge, TwoDisjointShardsEqualTheUnshardedReport) {
+  runtime::BatchOptions options;
+  options.jobs = 1;
+  auto unsharded = runtime::run_batch(sweep_jobs(5), options);
+  const Json full = runtime::batch_json(unsharded);
+
+  // Shard k runs global indices ≡ k (mod 2), exactly like `--shard k/2`.
+  std::vector<Json> shard_reports;
+  for (int k = 0; k < 2; ++k) {
+    auto all = sweep_jobs(5);
+    std::vector<runtime::BatchJob> part;
+    for (std::size_t i = 0; i < all.size(); ++i) {
+      if (i % 2 == static_cast<std::size_t>(k)) part.push_back(std::move(all[i]));
+    }
+    auto shard = runtime::run_batch(std::move(part), options);
+    shard.shard_index = k;
+    shard.shard_count = 2;
+    shard_reports.push_back(runtime::batch_json(shard));
+  }
+
+  const Json merged = runtime::merge_batch_reports(shard_reports);
+  EXPECT_EQ(merged.find("shard"), nullptr) << "merged reports are unsharded";
+  EXPECT_EQ(normalize_walltimes(merged).dump(),
+            normalize_walltimes(full).dump());
+}
+
+TEST(Merge, RejectsOutOfRangeShardFields) {
+  // Hand-edited/corrupt shard fields must reject readably, not cast
+  // undefined doubles to size_t.
+  Json bad = Json::parse(
+      R"({"schema":"lrsizer-batch-v1","shard":{"index":-1,"count":2},"jobs":[]})");
+  EXPECT_THROW(runtime::merge_batch_reports({bad, bad}), std::invalid_argument);
+  Json huge = Json::parse(
+      R"({"schema":"lrsizer-batch-v1","shard":{"index":0,"count":1e18},"jobs":[]})");
+  EXPECT_THROW(runtime::merge_batch_reports({huge}), std::invalid_argument);
+}
+
+TEST(Merge, RejectsInconsistentShardFamilies) {
+  runtime::BatchOptions options;
+  options.jobs = 1;
+  auto batch = runtime::run_batch(sweep_jobs(2), options);
+  const Json unsharded = runtime::batch_json(batch);
+  batch.shard_index = 0;
+  batch.shard_count = 2;
+  const Json shard0 = runtime::batch_json(batch);
+  batch.shard_index = 1;
+  const Json shard1 = runtime::batch_json(batch);
+
+  EXPECT_THROW(runtime::merge_batch_reports({}), std::invalid_argument);
+  // Unannotated report.
+  EXPECT_THROW(runtime::merge_batch_reports({unsharded, shard1}),
+               std::invalid_argument);
+  // Duplicate index.
+  EXPECT_THROW(runtime::merge_batch_reports({shard0, shard0}),
+               std::invalid_argument);
+  // Wrong family size (count says 2, one given).
+  EXPECT_THROW(runtime::merge_batch_reports({shard0}), std::invalid_argument);
+  // Not a batch report at all.
+  Json bogus = Json::object();
+  bogus.set("schema", "something-else");
+  EXPECT_THROW(runtime::merge_batch_reports({bogus, shard1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lrsizer

@@ -10,6 +10,9 @@ exits 1 when any kernel regressed by more than --threshold percent (default
 kernels appear, old ones retire). The redundancy block is compared the same
 way via its fused ns.
 
+The lrsizer-bench-kernels-v1 schema this consumes (and the batch/cache
+schemas its sibling reports use) is documented in docs/SCHEMAS.md.
+
 Stdlib-only so it runs anywhere CI has a python3.
 """
 

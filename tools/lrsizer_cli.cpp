@@ -17,6 +17,9 @@
 // `--progress` taps the per-iteration observer, Ctrl-C requests cooperative
 // cancellation — in-flight jobs keep their best partial solution and the
 // reports are still written (exit code 130).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -25,8 +28,10 @@
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <stdexcept>
 #include <stop_token>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -36,6 +41,9 @@
 #include "netlist/generator.hpp"
 #include "netlist/iscas_profiles.hpp"
 #include "runtime/batch.hpp"
+#include "runtime/cache.hpp"
+#include "serve/listen.hpp"
+#include "serve/server.hpp"
 #include "util/logging.hpp"
 #include "util/table.hpp"
 
@@ -53,6 +61,8 @@ constexpr const char* kUsage = R"(usage:
   lrsizer run <input> [options]               size one circuit
   lrsizer batch [inputs...] [options]         size many circuits in parallel
   lrsizer sweep --noise LO:HI:STEP [options]  sweep the noise-bound factor
+  lrsizer serve [options]                     long-lived jsonl sizing service
+  lrsizer merge <reports...> [options]        merge sharded sweep reports
   lrsizer profiles                            list built-in Table-1 profiles
   lrsizer version | --version                 print the version string
   lrsizer --help
@@ -65,6 +75,9 @@ options:
   --profiles LIST   (batch) comma-separated profile names, or "all"
   --profile NAME    (sweep) circuit to sweep (default c432)
   --noise LO:HI:STEP (sweep) inclusive range of noise-bound factors
+  --shard K/N       (batch/sweep) run only the global job list's indices
+                    congruent to K mod N; the JSON report is annotated so
+                    `lrsizer merge` can reassemble the full sweep
   --jobs N          concurrent jobs (default: cores / --threads)
   --threads N       kernel threads per job for the sizing stage (default 1;
                     0 = hardware concurrency; results are bit-identical)
@@ -75,6 +88,17 @@ options:
   --power-bound F   P0 = F x initial power  (default 0.15)
   --noise-bound F   X0 = F x initial noise  (default 0.10)
   --warm-start FILE (run) seed sizes from a sized .bench's # size annotations
+  --cache-dir DIR   persist completed results as lrsizer-cache-v1 JSON in
+                    DIR and answer identical jobs from there (run/batch/
+                    sweep/serve); without it batch/serve still dedupe
+                    in-memory
+  --cache-warm      on a cache miss, warm-start from a cached result with
+                    the same circuit but different bounds/solver options
+                    (faster, but not bit-identical to a cold run)
+  --listen PORT     (serve) accept lrsizer-serve-v1 over TCP on
+                    127.0.0.1:PORT instead of stdin/stdout
+  --max-pending N   (serve) reject size requests beyond N unfinished jobs
+                    with an error response (backpressure; default: unbounded)
   --progress        per-OGWS-iteration progress lines on stderr
   --out FILE        (run) write the sized .bench here
   --out-dir DIR     (batch/sweep) write one sized .bench per job into DIR
@@ -82,6 +106,10 @@ options:
   --csv FILE        write the CSV report ("-" for stdout)
   --quiet           errors only
   --verbose         per-job progress on stderr
+
+serve reads newline-delimited JSON requests (docs/SERVING.md) and streams
+accepted / progress / result / cancelled / error responses; identical jobs
+are answered from the result cache byte-identically without re-running.
 
 Ctrl-C cancels cooperatively: running jobs return their best partial
 solution, reports are still written, and the exit code is 130.
@@ -102,6 +130,12 @@ struct CliOptions {
   double noise_bound = 0.10;
   int jobs = 0;
   int threads = 1;
+  int shard_index = 0;
+  int shard_count = 0;  ///< 0 = unsharded
+  int listen_port = 0;  ///< 0 = stdin/stdout
+  int max_pending = 0;
+  bool cache_warm = false;
+  std::string cache_dir;
   std::string warm_start_path;
   std::string out_path;
   std::string out_dir;
@@ -172,6 +206,29 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--threads") {
       cli.threads = static_cast<int>(parse_long(arg, next_value(i)));
       if (cli.threads < 0) fail("--threads must be >= 0 (0 = hardware concurrency)");
+    }
+    else if (arg == "--shard") {
+      const std::string value = next_value(i);
+      const std::size_t slash = value.find('/');
+      if (slash == std::string::npos) fail("--shard expects K/N");
+      cli.shard_index = static_cast<int>(parse_long(arg, value.substr(0, slash)));
+      cli.shard_count = static_cast<int>(parse_long(arg, value.substr(slash + 1)));
+      if (cli.shard_count < 1 || cli.shard_index < 0 ||
+          cli.shard_index >= cli.shard_count) {
+        fail("--shard K/N needs 0 <= K < N");
+      }
+    }
+    else if (arg == "--cache-dir") cli.cache_dir = next_value(i);
+    else if (arg == "--cache-warm") cli.cache_warm = true;
+    else if (arg == "--listen") {
+      cli.listen_port = static_cast<int>(parse_long(arg, next_value(i)));
+      if (cli.listen_port < 1 || cli.listen_port > 65535) {
+        fail("--listen expects a port in 1..65535");
+      }
+    }
+    else if (arg == "--max-pending") {
+      cli.max_pending = static_cast<int>(parse_long(arg, next_value(i)));
+      if (cli.max_pending < 0) fail("--max-pending must be >= 0");
     }
     else if (arg == "--seed") cli.seed = static_cast<std::uint64_t>(parse_long(arg, next_value(i)));
     else if (arg == "--vectors") cli.vectors = static_cast<std::int32_t>(parse_long(arg, next_value(i)));
@@ -264,13 +321,16 @@ std::vector<std::pair<std::int32_t, double>> load_warm_sizes(const std::string& 
   return sizes;
 }
 
-/// Shared batch options: worker count, Ctrl-C token, optional --progress
-/// observer (one line per OGWS iteration; a single fprintf per event keeps
-/// concurrent workers' lines whole).
-runtime::BatchOptions make_batch_options(const CliOptions& cli, int jobs) {
+/// Shared batch options: worker count, Ctrl-C token, result cache, optional
+/// --progress observer (one line per OGWS iteration; a single fprintf per
+/// event keeps concurrent workers' lines whole).
+runtime::BatchOptions make_batch_options(const CliOptions& cli, int jobs,
+                                         runtime::ResultCache* cache) {
   runtime::BatchOptions options;
   options.jobs = jobs;
   options.stop = g_stop.get_token();
+  options.cache = cache;
+  options.cache_warm = cli.cache_warm;
   if (cli.progress) {
     options.observer = [](const std::string& job, const core::OgwsIterate& it) {
       std::fprintf(stderr,
@@ -326,13 +386,44 @@ void write_reports(const runtime::BatchResult& batch, const CliOptions& cli) {
   if (!cli.csv_path.empty()) write_file(cli.csv_path, runtime::batch_csv(batch));
   if (!cli.out_dir.empty()) {
     std::filesystem::create_directories(cli.out_dir);
+    std::size_t skipped_cached = 0;
     for (const auto& outcome : batch.jobs) {
+      // Cross-batch cache hits carry a summary but no FlowResult, so there
+      // is no sized netlist to write (the run that populated the cache
+      // wrote it).
+      if (outcome.ok && !outcome.flow) {
+        ++skipped_cached;
+        continue;
+      }
       if (!outcome.ok) continue;
       const auto path =
           std::filesystem::path(cli.out_dir) / (outcome.name + ".bench");
       write_file(path.string(), sized_bench_text(outcome));
     }
+    if (skipped_cached > 0) {
+      std::fprintf(stderr,
+                   "lrsizer: --out-dir: %zu cache-hit job(s) have no sized "
+                   ".bench to write (the runs that populated the cache wrote "
+                   "them; re-run without --cache-dir to regenerate)\n",
+                   skipped_cached);
+    }
   }
+}
+
+/// --shard K/N: keep only the global job list's indices ≡ K (mod N). The
+/// filter runs on the fully assembled, deterministic job list, so N shard
+/// runs partition exactly the jobs one unsharded run would execute.
+std::vector<runtime::BatchJob> apply_shard(std::vector<runtime::BatchJob> jobs,
+                                           const CliOptions& cli) {
+  if (cli.shard_count == 0) return jobs;
+  std::vector<runtime::BatchJob> kept;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i % static_cast<std::size_t>(cli.shard_count) ==
+        static_cast<std::size_t>(cli.shard_index)) {
+      kept.push_back(std::move(jobs[i]));
+    }
+  }
+  return kept;
 }
 
 void print_batch_table(const runtime::BatchResult& batch) {
@@ -370,6 +461,10 @@ void print_batch_table(const runtime::BatchResult& batch) {
     std::printf("%zu job(s) cancelled — partial results above/in the reports\n",
                 batch.num_cancelled());
   }
+  if (batch.num_cache_hits() > 0) {
+    std::printf("%zu job(s) answered from cache without re-running\n",
+                batch.num_cache_hits());
+  }
 }
 
 /// Reports are written even for cancelled batches (the partial-report
@@ -384,13 +479,18 @@ int finish(const runtime::BatchResult& batch, const CliOptions& cli) {
 
 int cmd_run(const CliOptions& cli) {
   if (cli.inputs.size() != 1) fail("run expects exactly one input");
+  if (cli.shard_count > 0) fail("--shard only applies to batch/sweep");
   std::vector<runtime::BatchJob> jobs;
   jobs.push_back(load_job(cli.inputs[0], cli));
   if (!cli.warm_start_path.empty()) {
     jobs[0].warm_sizes = load_warm_sizes(cli.warm_start_path);
   }
-  const auto batch =
-      runtime::run_batch(std::move(jobs), make_batch_options(cli, 1));
+  // A single run only benefits from the cache when it persists across
+  // processes; without --cache-dir the run stays cache-free.
+  runtime::ResultCache cache(cli.cache_dir);
+  const auto batch = runtime::run_batch(
+      std::move(jobs),
+      make_batch_options(cli, 1, cli.cache_dir.empty() ? nullptr : &cache));
   const auto& outcome = batch.jobs[0];
   if (!outcome.ok) {
     std::cerr << "lrsizer: job " << (outcome.cancelled ? "cancelled" : "failed")
@@ -424,7 +524,18 @@ int cmd_run(const CliOptions& cli) {
   std::printf("stage1 %.3f s, stage2 %.3f s, mem %zu KB\n", s.stage1_seconds,
               s.stage2_seconds, s.memory_bytes / 1024);
 
-  if (!cli.out_path.empty()) write_file(cli.out_path, sized_bench_text(outcome));
+  if (outcome.cache_hit) {
+    std::printf("(answered from cache: %zu cache hit(s))\n",
+                batch.num_cache_hits());
+  }
+  if (!cli.out_path.empty()) {
+    if (outcome.flow) {
+      write_file(cli.out_path, sized_bench_text(outcome));
+    } else {
+      std::cerr << "lrsizer: --out skipped: the cached result carries no "
+                   "netlist (the run that populated the cache wrote it)\n";
+    }
+  }
   return finish(batch, cli);
 }
 
@@ -450,9 +561,16 @@ int cmd_batch(const CliOptions& cli) {
   }
   for (const auto& input : cli.inputs) jobs.push_back(load_job(input, cli));
   if (jobs.empty()) fail("batch needs --profiles and/or input files");
+  jobs = apply_shard(std::move(jobs), cli);
 
-  const auto batch =
-      runtime::run_batch(std::move(jobs), make_batch_options(cli, cli.jobs));
+  // Batches always dedupe through a cache (memory-only without --cache-dir):
+  // byte-identical jobs in one sweep run once (satisfying `cache_hits` in
+  // the rollup) and identical jobs across runs hit the disk cache.
+  runtime::ResultCache cache(cli.cache_dir);
+  auto batch = runtime::run_batch(std::move(jobs),
+                                  make_batch_options(cli, cli.jobs, &cache));
+  batch.shard_index = cli.shard_index;
+  batch.shard_count = cli.shard_count;
   print_batch_table(batch);
   return finish(batch, cli);
 }
@@ -488,11 +606,102 @@ int cmd_sweep(const CliOptions& cli) {
     job.name += suffix;
     jobs.push_back(std::move(job));
   }
+  jobs = apply_shard(std::move(jobs), cli);
 
-  const auto batch =
-      runtime::run_batch(std::move(jobs), make_batch_options(cli, cli.jobs));
+  runtime::ResultCache cache(cli.cache_dir);
+  auto batch = runtime::run_batch(std::move(jobs),
+                                  make_batch_options(cli, cli.jobs, &cache));
+  batch.shard_index = cli.shard_index;
+  batch.shard_count = cli.shard_count;
   print_batch_table(batch);
   return finish(batch, cli);
+}
+
+int cmd_serve(const CliOptions& cli) {
+  runtime::ResultCache cache(cli.cache_dir);
+  serve::ServerOptions options;
+  // Worker default mirrors run_batch's jobs × threads split.
+  const int hw =
+      std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  const int threads = cli.threads <= 0 ? hw : cli.threads;
+  options.jobs = cli.jobs > 0 ? cli.jobs : std::max(1, hw / threads);
+  options.base_options = flow_options(cli);
+  options.cache = &cache;
+  options.cache_warm = cli.cache_warm;
+  options.max_pending = cli.max_pending;
+  options.version = kVersion;
+
+  // The server registers stop_callbacks on its token; g_stop must stay
+  // callback-free so request_stop() remains safe inside the signal handler
+  // (see its comment). A watcher thread bridges the signal token onto the
+  // server's own stop source, running the callbacks on a normal thread.
+  std::stop_source serve_stop;
+  options.stop = serve_stop.get_token();
+  std::atomic<bool> serving{true};
+  std::thread watcher([&serve_stop, &serving] {
+    while (serving.load(std::memory_order_relaxed)) {
+      if (g_stop.stop_requested()) {
+        serve_stop.request_stop();
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  });
+  const auto stop_watcher = [&serving, &watcher] {
+    serving.store(false, std::memory_order_relaxed);
+    watcher.join();
+  };
+
+  if (cli.listen_port > 0) {
+    const int rc = serve::listen_and_serve(
+        static_cast<std::uint16_t>(cli.listen_port), options);
+    stop_watcher();
+    return g_stop.stop_requested() ? 130 : rc;
+  }
+
+  serve::Server server(options, [](const std::string& line) {
+    std::fwrite(line.data(), 1, line.size(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  });
+  serve::serve_stdin(server, options.stop);
+  stop_watcher();
+  const serve::Server::Stats stats = server.stats();
+  std::fprintf(stderr,
+               "lrsizer serve: %zu accepted, %zu completed (%zu from cache), "
+               "%zu cancelled, %zu errors\n",
+               stats.accepted, stats.completed, stats.cache_hits,
+               stats.cancelled, stats.errors);
+  return g_stop.stop_requested() ? 130 : 0;
+}
+
+int cmd_merge(const CliOptions& cli) {
+  if (cli.inputs.empty()) fail("merge needs shard report files");
+  std::vector<runtime::Json> shards;
+  for (const auto& path : cli.inputs) {
+    std::ifstream in(path);
+    if (!in) fail("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    try {
+      shards.push_back(runtime::Json::parse(buffer.str()));
+    } catch (const runtime::JsonParseError& e) {
+      std::cerr << "lrsizer: " << path << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+  runtime::Json merged;
+  try {
+    merged = runtime::merge_batch_reports(shards);
+  } catch (const std::exception& e) {
+    // invalid_argument from merge's own validation, or out_of_range /
+    // bad_variant_access from structurally malformed report JSON — either
+    // way a readable rejection, not an abort.
+    std::cerr << "lrsizer: " << e.what() << "\n";
+    return 2;
+  }
+  write_file(cli.json_path.empty() ? "-" : cli.json_path, merged.dump(2) + "\n");
+  return 0;
 }
 
 int cmd_profiles() {
@@ -523,6 +732,8 @@ int main(int argc, char** argv) {
   if (cli.command == "run") return cmd_run(cli);
   if (cli.command == "batch") return cmd_batch(cli);
   if (cli.command == "sweep") return cmd_sweep(cli);
+  if (cli.command == "serve") return cmd_serve(cli);
+  if (cli.command == "merge") return cmd_merge(cli);
   if (cli.command == "profiles") return cmd_profiles();
   fail("unknown command '" + cli.command + "'");
 }
