@@ -134,35 +134,111 @@ CacheKey cache_key(const netlist::LogicNetlist& nl,
   return key;
 }
 
-ResultCache::ResultCache(std::string disk_dir) : disk_dir_(std::move(disk_dir)) {}
+namespace {
+
+/// Accounted size of one completed entry: the key (file stem), the
+/// serialized job JSON (the dominant cost in memory and on disk) and 16
+/// bytes per sparse size pair.
+std::size_t entry_bytes(const std::string& key, const CachedEntry& entry) {
+  return key.size() + entry.job.dump().size() + 16 * entry.sizes.size();
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string disk_dir, CacheLimits limits)
+    : disk_dir_(std::move(disk_dir)), limits_(limits) {}
+
+void ResultCache::touch_locked(Slot& slot) {
+  lru_.splice(lru_.begin(), lru_, slot.lru);
+}
+
+void ResultCache::erase_locked(const std::string& key) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru);
+  const auto warm = warm_index_.find(it->second.warm_prefix);
+  if (warm != warm_index_.end() && warm->second == key) warm_index_.erase(warm);
+  entries_.erase(it);
+}
+
+bool ResultCache::insert_locked(const std::string& key,
+                                const std::string& warm_prefix,
+                                std::shared_ptr<const CachedEntry> entry,
+                                std::vector<std::filesystem::path>* unlink) {
+  const std::size_t bytes = entry_bytes(key, *entry);
+  if (limits_.max_entries < 1 || bytes > limits_.max_bytes) {
+    // The entry alone busts the budget (including the max-entries=0 "cache
+    // disabled" case): reject the store, visibly.
+    ++evictions_;
+    return false;
+  }
+  erase_locked(key);  // overwrite: drop the old accounting first
+  lru_.push_front(key);
+  entries_[key] = Slot{std::move(entry), bytes, warm_prefix, lru_.begin()};
+  bytes_ += bytes;
+  warm_index_[warm_prefix] = key;
+  // Evict least-recently-used completed entries until the budget holds
+  // again. The entry just inserted is at the LRU front, so it survives
+  // (its own fit was checked above). In-flight keys live in in_flight_,
+  // not entries_, and are therefore never evicted.
+  while (entries_.size() > limits_.max_entries || bytes_ > limits_.max_bytes) {
+    const std::string victim = lru_.back();
+    erase_locked(victim);
+    ++evictions_;
+    if (!disk_dir_.empty() && unlink) {
+      unlink->push_back(std::filesystem::path(disk_dir_) / (victim + ".json"));
+    }
+  }
+  return true;
+}
+
+void ResultCache::unlink_files(const std::vector<std::filesystem::path>& paths) {
+  // Outside the lock: unlink(2) is atomic, so a crash between the in-memory
+  // evict and this point leaves at worst a stale-but-whole file, never a
+  // torn one. (A racing store of the same key could theoretically re-create
+  // a file we are about to unlink; the result is a benign disk miss later.)
+  for (const auto& path : paths) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+}
 
 std::shared_ptr<const CachedEntry> ResultCache::lookup_locked(
     const std::string& key) {
   // Callers hold mutex_.
   const auto it = entries_.find(key);
-  if (it != entries_.end()) return it->second;
+  if (it != entries_.end()) {
+    touch_locked(it->second);
+    return it->second.entry;
+  }
   return load_from_disk(key);
 }
 
 std::shared_ptr<const CachedEntry> ResultCache::lookup(const std::string& key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  auto entry = lookup_locked(key);
-  if (entry) {
-    ++hits_;
-  } else {
-    ++misses_;
+  std::shared_ptr<const CachedEntry> entry;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entry = lookup_locked(key);
+    if (entry) {
+      ++hits_;
+    } else {
+      ++misses_;
+    }
   }
   return entry;
 }
 
 void ResultCache::store(const CacheKey& key, CachedEntry entry) {
   auto shared = std::make_shared<const CachedEntry>(std::move(entry));
+  std::vector<std::filesystem::path> unlink;
+  bool stored = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    entries_[key.key] = shared;
-    warm_index_[key.warm_prefix] = key.key;
+    stored = insert_locked(key.key, key.warm_prefix, shared, &unlink);
   }
-  persist(key.key, *shared);
+  if (stored) persist(key.key, *shared);
+  unlink_files(unlink);
 }
 
 std::shared_ptr<const CachedEntry> ResultCache::lookup_warm(const CacheKey& key) {
@@ -170,7 +246,7 @@ std::shared_ptr<const CachedEntry> ResultCache::lookup_warm(const CacheKey& key)
   const auto it = warm_index_.find(key.warm_prefix);
   if (it == warm_index_.end() || it->second == key.key) return nullptr;
   const auto entry = entries_.find(it->second);
-  return entry != entries_.end() ? entry->second : nullptr;
+  return entry != entries_.end() ? entry->second.entry : nullptr;
 }
 
 ResultCache::Acquire ResultCache::acquire(const CacheKey& key,
@@ -195,10 +271,11 @@ ResultCache::Acquire ResultCache::acquire(const CacheKey& key,
 void ResultCache::publish(const CacheKey& key, CachedEntry entry) {
   auto shared = std::make_shared<const CachedEntry>(std::move(entry));
   std::vector<FollowerFn> followers;
+  std::vector<std::filesystem::path> unlink;
+  bool stored = false;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    entries_[key.key] = shared;
-    warm_index_[key.warm_prefix] = key.key;
+    stored = insert_locked(key.key, key.warm_prefix, shared, &unlink);
     const auto it = in_flight_.find(key.key);
     if (it != in_flight_.end()) {
       followers = std::move(it->second);
@@ -206,7 +283,10 @@ void ResultCache::publish(const CacheKey& key, CachedEntry entry) {
     }
     hits_ += followers.size();
   }
-  persist(key.key, *shared);
+  if (stored) persist(key.key, *shared);
+  unlink_files(unlink);
+  // Followers share the owner's result even when the budget rejected the
+  // store — in-flight dedupe is never evicted, only completed entries are.
   for (auto& fn : followers) fn(shared);
 }
 
@@ -233,6 +313,32 @@ std::size_t ResultCache::misses() const {
   return misses_;
 }
 
+std::size_t ResultCache::entries() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t ResultCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::size_t ResultCache::evictions() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+CacheStats ResultCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats s;
+  s.entries = entries_.size();
+  s.bytes = bytes_;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  return s;
+}
+
 // ---- disk persistence (schema lrsizer-cache-v1) -----------------------------
 
 std::shared_ptr<const CachedEntry> ResultCache::load_from_disk(
@@ -254,7 +360,13 @@ std::shared_ptr<const CachedEntry> ResultCache::load_from_disk(
                                p.at(1).as_number());
     }
     auto shared = std::make_shared<const CachedEntry>(std::move(entry));
-    entries_[key] = shared;  // promote to memory (mutex_ held by caller)
+    // Promote to memory within the budget (mutex_ held by caller). Reads
+    // never unlink files: a promotion may evict other *memory* entries, and
+    // an entry too big for the budget is served without being cached.
+    const auto dash_o = key.rfind("-o");
+    const std::string prefix =
+        dash_o == std::string::npos ? key : key.substr(0, dash_o);
+    insert_locked(key, prefix, shared, nullptr);
     return shared;
   } catch (const std::exception& e) {
     util::log_warn() << "cache file " << path.string() << " unreadable ("

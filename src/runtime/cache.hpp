@@ -21,13 +21,20 @@
 // (lookup_warm; opt-in, because a warm-started run converges to an equally
 // valid but not bit-identical trajectory).
 //
+// Completed entries are bounded by CacheLimits (LRU eviction over entry
+// count and accounted bytes, enforced in memory and — when disk-backed —
+// on disk by unlinking evicted entries' files). In-flight owner/follower
+// registrations are never evicted.
+//
 // Thread safety: every public method is safe to call concurrently; follower
 // callbacks registered through acquire() run on the thread that calls
 // publish()/abandon(), while holding no cache-internal locks.
 #pragma once
 
 #include <cstdint>
+#include <filesystem>
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,6 +79,29 @@ struct CachedEntry {
   std::vector<std::pair<std::int32_t, double>> sizes;
 };
 
+/// Budget for completed entries (in-flight owner/follower registrations are
+/// never evicted — they hold no completed entry and always run to their
+/// publish/abandon). 0 for either knob disables completed-entry storage
+/// entirely: every store is rejected (counted as an eviction), lookups
+/// miss, but in-flight dedupe keeps working.
+struct CacheLimits {
+  static constexpr std::size_t kUnlimited = static_cast<std::size_t>(-1);
+  /// Max completed entries held (memory; mirrored on disk when backed).
+  std::size_t max_entries = kUnlimited;
+  /// Max Σ accounted entry bytes (key + serialized job JSON + 16 bytes per
+  /// size pair — the dominant cost of an entry on both memory and disk).
+  std::size_t max_bytes = kUnlimited;
+};
+
+/// Point-in-time cache counters (see the accessors below for semantics).
+struct CacheStats {
+  std::size_t entries = 0;    ///< completed entries currently held
+  std::size_t bytes = 0;      ///< Σ accounted bytes of those entries
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;  ///< entries removed (or rejected) for budget
+};
+
 class ResultCache {
  public:
   /// Memory-only cache. With a non-empty `disk_dir`, completed entries are
@@ -79,7 +109,16 @@ class ResultCache {
   /// `lrsizer-cache-v1`) and misses fall back to disk, so the cache
   /// survives across processes. The directory is created on first store;
   /// unreadable/corrupt files are treated as misses.
-  explicit ResultCache(std::string disk_dir = "");
+  ///
+  /// `limits` bounds the completed entries this instance holds, LRU-evicted
+  /// (least recently stored/looked-up first). When disk-backed, evicting an
+  /// entry also unlinks its file — unlink is atomic, so a crash mid-evict
+  /// leaves either the old file or no file, never a torn one — and a
+  /// restart therefore sees evicted entries as misses. Reads never delete
+  /// files: a disk entry promoted into a full memory cache evicts *other*
+  /// entries, and one that does not fit the budget at all is served without
+  /// being cached.
+  explicit ResultCache(std::string disk_dir = "", CacheLimits limits = {});
 
   /// Completed-entry lookup (memory first, then disk). nullptr on miss.
   std::shared_ptr<const CachedEntry> lookup(const std::string& key);
@@ -124,20 +163,47 @@ class ResultCache {
 
   std::size_t hits() const;    ///< lookup/acquire answered from a completed entry
   std::size_t misses() const;  ///< lookups that found nothing completed
+  std::size_t entries() const;    ///< completed entries currently held
+  std::size_t bytes() const;      ///< Σ accounted bytes of those entries
+  std::size_t evictions() const;  ///< entries evicted/rejected for budget
+  CacheStats stats() const;       ///< all of the above, one lock
 
  private:
+  /// One completed entry plus its LRU bookkeeping.
+  struct Slot {
+    std::shared_ptr<const CachedEntry> entry;
+    std::size_t bytes = 0;
+    std::string warm_prefix;
+    std::list<std::string>::iterator lru;  ///< position in lru_
+  };
+
   std::shared_ptr<const CachedEntry> lookup_locked(const std::string& key);
   std::shared_ptr<const CachedEntry> load_from_disk(const std::string& key);
+  /// Insert/overwrite a completed entry and evict down to the budget;
+  /// returns false when the entry alone exceeds it (nothing stored). Disk
+  /// files of evicted entries are appended to *unlink for removal after the
+  /// lock is released.
+  bool insert_locked(const std::string& key, const std::string& warm_prefix,
+                     std::shared_ptr<const CachedEntry> entry,
+                     std::vector<std::filesystem::path>* unlink);
+  void erase_locked(const std::string& key);
+  void touch_locked(Slot& slot);
   void persist(const std::string& key, const CachedEntry& entry);
+  void unlink_files(const std::vector<std::filesystem::path>& paths);
 
   mutable std::mutex mutex_;
   std::string disk_dir_;
-  std::unordered_map<std::string, std::shared_ptr<const CachedEntry>> entries_;
+  CacheLimits limits_;
+  std::unordered_map<std::string, Slot> entries_;
+  /// Completed keys, most recently used at the front.
+  std::list<std::string> lru_;
   /// warm_prefix -> full key of the most recently completed entry.
   std::unordered_map<std::string, std::string> warm_index_;
   std::unordered_map<std::string, std::vector<FollowerFn>> in_flight_;
+  std::size_t bytes_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t evictions_ = 0;
 };
 
 }  // namespace lrsizer::runtime

@@ -141,6 +141,13 @@ std::string Json::dump(int indent) const {
 
 namespace {
 
+/// Nesting cap for parse: the parser recurses once per container level, so
+/// an attacker-supplied "[[[[…" line would otherwise overflow the stack
+/// (the serve loop parses untrusted network input). 192 levels is far
+/// beyond any schema this project speaks while keeping worst-case stack
+/// use a few hundred KB.
+constexpr int kMaxParseDepth = 192;
+
 class Parser {
  public:
   explicit Parser(const std::string& text) : text_(text) {}
@@ -189,6 +196,7 @@ class Parser {
   }
 
   Json parse_value() {
+    if (depth_ >= kMaxParseDepth) fail("nesting too deep");
     skip_space();
     switch (peek()) {
       case 'n': expect_word("null"); return Json();
@@ -277,22 +285,33 @@ class Parser {
 
   Json parse_array() {
     expect('[');
+    ++depth_;
     Json array = Json::array();
     skip_space();
-    if (consume(']')) return array;
+    if (consume(']')) {
+      --depth_;
+      return array;
+    }
     for (;;) {
       array.push_back(parse_value());
       skip_space();
-      if (consume(']')) return array;
+      if (consume(']')) {
+        --depth_;
+        return array;
+      }
       expect(',');
     }
   }
 
   Json parse_object() {
     expect('{');
+    ++depth_;
     Json object = Json::object();
     skip_space();
-    if (consume('}')) return object;
+    if (consume('}')) {
+      --depth_;
+      return object;
+    }
     for (;;) {
       skip_space();
       std::string key = parse_string();
@@ -300,13 +319,17 @@ class Parser {
       expect(':');
       object.set(key, parse_value());
       skip_space();
-      if (consume('}')) return object;
+      if (consume('}')) {
+        --depth_;
+        return object;
+      }
       expect(',');
     }
   }
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

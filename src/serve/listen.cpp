@@ -1,5 +1,6 @@
 #include "serve/listen.hpp"
 
+#include <cstdio>
 #include <iostream>
 
 #include "util/logging.hpp"
@@ -15,6 +16,7 @@
 #include <cerrno>
 #include <cstring>
 #include <string>
+#include <vector>
 #endif
 
 namespace lrsizer::serve {
@@ -23,17 +25,34 @@ namespace lrsizer::serve {
 
 namespace {
 
-/// Read lines from / write response lines to one connected socket. Reads
-/// are poll-gated so a stop request (Ctrl-C) is noticed within ~500 ms even
-/// while the client is idle; writes happen from worker threads through the
-/// Server's serialized sink.
-class Connection {
- public:
-  explicit Connection(int fd, bool close_on_destroy = true)
-      : fd_(fd), close_on_destroy_(close_on_destroy) {}
-  ~Connection() {
-    if (close_on_destroy_) ::close(fd_);
+/// Write one response line (plus newline) to a socket, whole or not at all
+/// from the caller's perspective: EINTR is retried, any other short write
+/// means the client is gone and the read side of the event loop will reap
+/// the connection. MSG_NOSIGNAL because a disconnected client must surface
+/// as a write error, not a process-killing SIGPIPE — this is a long-lived
+/// server (per-fd SO_NOSIGPIPE covers platforms without the flag).
+void write_line_fd(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  std::size_t off = 0;
+  while (off < out.size()) {
+#if defined(MSG_NOSIGNAL)
+    const ssize_t n = ::send(fd, out.data() + off, out.size() - off, MSG_NOSIGNAL);
+#else
+    const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
+#endif
+    if (n < 0 && errno == EINTR) continue;  // retry, or the line tears
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
   }
+}
+
+/// Read lines from one connected fd (the stdin transport). Reads are
+/// poll-gated so a stop request (Ctrl-C) is noticed within ~500 ms even
+/// while the peer is idle.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
 
   /// False on EOF, error, or stop request; strips the trailing newline
   /// like std::getline.
@@ -57,25 +76,6 @@ class Connection {
     }
   }
 
-  void write_line(const std::string& line) {
-    std::string out = line;
-    out.push_back('\n');
-    std::size_t off = 0;
-    while (off < out.size()) {
-      // MSG_NOSIGNAL: a disconnected client must surface as a write error,
-      // not a process-killing SIGPIPE — this is a long-lived server.
-#if defined(MSG_NOSIGNAL)
-      const ssize_t n =
-          ::send(fd_, out.data() + off, out.size() - off, MSG_NOSIGNAL);
-#else
-      const ssize_t n = ::write(fd_, out.data() + off, out.size() - off);
-#endif
-      if (n < 0 && errno == EINTR) continue;  // retry, or the line tears
-      if (n <= 0) return;  // client went away; the read loop will notice
-      off += static_cast<std::size_t>(n);
-    }
-  }
-
  private:
   /// Append at least one byte to the buffer; false on EOF/error/stop.
   bool fill(const std::stop_token& stop) {
@@ -94,9 +94,19 @@ class Connection {
   }
 
   int fd_;
-  bool close_on_destroy_;
   std::string buffer_;
   std::size_t pos_ = 0;
+};
+
+/// One accepted connection in the event loop: its fd, its Server client
+/// handle, and the bytes received that do not yet form a complete line.
+struct Conn {
+  int fd = -1;
+  Server::ClientId client = 0;
+  std::string buffer;
+  /// An over-budget line was rejected; drop bytes until its newline.
+  bool discarding = false;
+  bool dead = false;
 };
 
 }  // namespace
@@ -105,7 +115,7 @@ bool listen_available() { return true; }
 
 void serve_stdin(Server& server, const std::stop_token& stop) {
   server.hello();
-  Connection input(0, /*close_on_destroy=*/false);
+  LineReader input(0);
   std::string line;
   while (!stop.stop_requested() && input.read_line(line, stop)) {
     if (!server.handle_line(line)) break;
@@ -113,7 +123,11 @@ void serve_stdin(Server& server, const std::stop_token& stop) {
   server.drain();
 }
 
-int listen_and_serve(std::uint16_t port, const ServerOptions& options) {
+int listen_and_serve(std::uint16_t port, Server& server,
+                     std::atomic<std::uint16_t>* bound_port) {
+  const std::stop_token stop = server.options().stop;
+  const std::size_t max_line = server.options().max_line_bytes;
+
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
     util::log_error() << "serve: socket(): " << std::strerror(errno);
@@ -126,43 +140,132 @@ int listen_and_serve(std::uint16_t port, const ServerOptions& options) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 4) < 0) {
+      ::listen(listener, 16) < 0) {
     util::log_error() << "serve: cannot listen on 127.0.0.1:" << port << ": "
                       << std::strerror(errno);
     ::close(listener);
     return 1;
   }
-  util::log_info() << "serve: listening on 127.0.0.1:" << port;
+  std::uint16_t actual_port = port;
+  if (port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      actual_port = ntohs(bound.sin_port);
+    }
+  }
+  if (bound_port) bound_port->store(actual_port);
+  // Announced unconditionally (not through the leveled logger): tooling
+  // that launches `serve --listen 0` parses this line for the actual port.
+  std::fprintf(stderr, "lrsizer serve: listening on 127.0.0.1:%u\n",
+               static_cast<unsigned>(actual_port));
+  std::fflush(stderr);
 
+  std::vector<Conn> conns;
   bool shutdown_requested = false;
-  while (!shutdown_requested && !options.stop.stop_requested()) {
-    // Poll with a timeout so a stop request (Ctrl-C) is noticed between
-    // connections, not only at the next accept.
-    pollfd pfd{listener, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 500);
+  while (!shutdown_requested && !stop.stop_requested()) {
+    // One pollfd per connection plus the listener in slot 0. The 500 ms
+    // timeout bounds how long a stop request (Ctrl-C) can go unnoticed
+    // while every fd is idle.
+    std::vector<pollfd> pfds;
+    pfds.reserve(conns.size() + 1);
+    pfds.push_back({listener, POLLIN, 0});
+    for (const Conn& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
+    const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 500);
+    if (stop.stop_requested()) break;
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
-    const int fd = ::accept(listener, nullptr, nullptr);
-    if (fd < 0) continue;
-#if defined(SO_NOSIGPIPE)
-    // BSD/macOS counterpart of MSG_NOSIGNAL above.
-    ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
-#endif
-    Connection connection(fd);
-    Server server(options,
-                  [&connection](const std::string& line) {
-                    connection.write_line(line);
-                  });
-    server.hello();
-    std::string line;
-    while (!options.stop.stop_requested() &&
-           connection.read_line(line, options.stop)) {
-      if (!server.handle_line(line)) {
-        shutdown_requested = true;
-        break;
+
+    // Serve existing clients before accepting new ones, so a full house
+    // cannot starve connected clients of reads.
+    for (std::size_t i = 0; i < conns.size() && !shutdown_requested; ++i) {
+      Conn& conn = conns[i];
+      const short revents = pfds[i + 1].revents;
+      if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[65536];
+      const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        // EOF (or error): a final unterminated line still counts, matching
+        // the stdin transport.
+        if (!conn.buffer.empty() && !conn.discarding) {
+          if (!server.handle_line(conn.client, conn.buffer)) {
+            shutdown_requested = true;
+          }
+        }
+        conn.dead = true;
+        continue;
+      }
+      conn.buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t start = 0;
+      for (;;) {
+        const std::size_t newline = conn.buffer.find('\n', start);
+        if (newline == std::string::npos) break;
+        std::string line = conn.buffer.substr(start, newline - start);
+        start = newline + 1;
+        if (conn.discarding) {
+          // The tail of an already-rejected oversized line.
+          conn.discarding = false;
+          continue;
+        }
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (!server.handle_line(conn.client, line)) {
+          shutdown_requested = true;
+          break;
+        }
+      }
+      conn.buffer.erase(0, start);
+      if (conn.buffer.size() > max_line) {
+        // Reject once, then drop bytes until the line finally ends —
+        // bounding per-connection memory against a peer that never sends
+        // a newline.
+        if (!conn.discarding) {
+          server.reject(conn.client,
+                        "request line exceeds " + std::to_string(max_line) +
+                            " bytes");
+          conn.discarding = true;
+        }
+        conn.buffer.clear();
       }
     }
-    server.drain();
+
+    // Accept new connections.
+    if (!shutdown_requested && (pfds[0].revents & POLLIN) != 0) {
+      const int fd = ::accept(listener, nullptr, nullptr);
+      if (fd >= 0) {
+#if defined(SO_NOSIGPIPE)
+        // BSD/macOS counterpart of MSG_NOSIGNAL in write_line_fd.
+        ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+        Conn conn;
+        conn.fd = fd;
+        conn.client = server.add_client(
+            [fd](const std::string& line) { write_line_fd(fd, line); });
+        server.hello(conn.client);
+        conns.push_back(std::move(conn));
+      }
+    }
+
+    // Reap disconnected clients: cancel their jobs and drop their pending
+    // responses before the fd closes, so no write ever hits a closed fd.
+    for (std::size_t i = 0; i < conns.size();) {
+      if (!conns[i].dead) {
+        ++i;
+        continue;
+      }
+      server.remove_client(conns[i].client);
+      ::close(conns[i].fd);
+      conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+  }
+
+  // Drain before detaching sinks: in-flight jobs (cancelled by the stop
+  // token on Ctrl-C, or running to completion on client shutdown) flush
+  // their terminal responses to clients that are still connected.
+  server.drain();
+  for (const Conn& conn : conns) {
+    server.remove_client(conn.client);
+    ::close(conn.fd);
   }
   ::close(listener);
   return 0;
@@ -172,7 +275,7 @@ int listen_and_serve(std::uint16_t port, const ServerOptions& options) {
 
 bool listen_available() { return false; }
 
-int listen_and_serve(std::uint16_t, const ServerOptions&) {
+int listen_and_serve(std::uint16_t, Server&, std::atomic<std::uint16_t>*) {
   util::log_error() << "serve: --listen is unavailable on this platform "
                        "(no BSD sockets); use stdin-jsonl mode";
   return 1;

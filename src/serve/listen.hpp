@@ -1,16 +1,23 @@
 // TCP front-end for the serve loop (`lrsizer serve --listen <port>`).
 //
-// Accepts connections on 127.0.0.1:<port> and speaks lrsizer-serve-v1 over
-// each, one client at a time (the next connection is accepted after the
-// current one disconnects or sends shutdown) — the simple single-tenant
-// shape docs/SERVING.md specifies; multi-client fan-in belongs to a fronting
-// proxy. The shared ServerOptions (including its cache pointer) carries
-// across connections, so a reconnecting client still hits the cache.
+// A single poll(2) event loop on 127.0.0.1:<port> fans any number of
+// concurrent clients into one shared Server: per-connection line buffers on
+// the read side, per-client serialized sinks on the write side (the Server
+// guarantees whole-line writes per client). All clients share the server's
+// ThreadPool, ResultCache, and backpressure budget; job ids are scoped per
+// client. One client sending `shutdown` stops the whole service — it is an
+// operator verb, not a disconnect (docs/SERVING.md §Transports).
+//
+// The loop itself is single-threaded: it only moves bytes and feeds
+// complete lines to Server::handle_line; all sizing work happens on the
+// pool. A connection that disconnects mid-job has its jobs cancelled and
+// its remaining responses dropped (Server::remove_client).
 //
 // POSIX-only: on platforms without BSD sockets, listen_available() is false
 // and listen_and_serve fails immediately.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "serve/server.hpp"
@@ -20,10 +27,14 @@ namespace lrsizer::serve {
 /// True when this build can open TCP listen sockets.
 bool listen_available();
 
-/// Serve until `options.stop` is requested or a client sends shutdown.
-/// Returns 0 on clean shutdown, 1 when the socket could not be opened (the
-/// reason is logged).
-int listen_and_serve(std::uint16_t port, const ServerOptions& options);
+/// Serve `server` until `server.options().stop` is requested or a client
+/// sends shutdown. `port` 0 binds an ephemeral port; the actual port is
+/// written to *bound_port (when non-null) once the socket is listening and
+/// always announced on stderr as "listening on 127.0.0.1:<port>". Returns
+/// 0 on clean shutdown, 1 when the socket could not be opened (the reason
+/// is logged). The caller owns the Server and can read stats after return.
+int listen_and_serve(std::uint16_t port, Server& server,
+                     std::atomic<std::uint16_t>* bound_port = nullptr);
 
 /// The stdin counterpart of the TCP loop: hello + read request lines from
 /// fd 0 + drain, with POSIX poll-gated reads so a stop request (Ctrl-C) is

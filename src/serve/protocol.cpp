@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "api/options.hpp"
@@ -26,6 +27,7 @@ bool checked_integer(const Json& value, double lo, double hi,
                      std::int64_t* out) {
   const double d = value.as_number();
   if (!(d >= lo && d <= hi)) return false;  // also rejects NaN
+  if (d != std::floor(d)) return false;     // 0.5 must not truncate to 0
   *out = static_cast<std::int64_t>(d);
   return true;
 }
@@ -154,6 +156,19 @@ Status parse_request(const std::string& line, const core::FlowOptions& base,
     *out = std::move(request);
     return Status::Ok();
   }
+  if (type->as_string() == "stats") {
+    // The id is optional here: stats is a fire-and-forget poll, and a
+    // client with nothing else in flight has no correlation to do.
+    request.kind = Request::Kind::kStats;
+    if (const Json* id = doc.find("id")) {
+      if (!id->is_string()) {
+        return Status::InvalidArgument("\"id\" must be a string");
+      }
+      request.stats_id = id->as_string();
+    }
+    *out = std::move(request);
+    return Status::Ok();
+  }
 
   const Json* id = doc.find("id");
   if (const Status st =
@@ -249,7 +264,7 @@ Status parse_request(const std::string& line, const core::FlowOptions& base,
 Json hello_json(const std::string& version, int jobs,
                 const std::string& cache_mode) {
   Json j = Json::object();
-  j.set("schema", "lrsizer-serve-v1");
+  j.set("schema", "lrsizer-serve-v2");
   j.set("type", "hello");
   j.set("version", version);
   j.set("jobs", static_cast<std::int64_t>(jobs));
@@ -302,6 +317,45 @@ Json cancelled_json(const std::string& id, const Json* partial_job) {
   j.set("type", "cancelled");
   j.set("id", id);
   if (partial_job) j.set("job", *partial_job);
+  return j;
+}
+
+Json stats_json(const std::string& id, const StatsSnapshot& s) {
+  const auto count = [](std::size_t n) {
+    return static_cast<std::int64_t>(n);
+  };
+  Json jobs = Json::object();
+  jobs.set("accepted", count(s.accepted));
+  jobs.set("completed", count(s.completed));
+  jobs.set("cache_hits", count(s.cache_hits));
+  jobs.set("cancelled", count(s.cancelled));
+  jobs.set("errors", count(s.errors));
+  jobs.set("queue_depth", count(s.queue_depth));
+
+  Json clients = Json::object();
+  clients.set("active", count(s.active_clients));
+
+  Json cache = Json::object();
+  cache.set("entries", count(s.cache_entries));
+  cache.set("bytes", count(s.cache_bytes));
+  cache.set("hits", count(s.cache_lookup_hits));
+  cache.set("misses", count(s.cache_lookup_misses));
+  cache.set("hit_rate", cache_hit_rate(s));
+  cache.set("evictions", count(s.cache_evictions));
+  cache.set("mode", s.cache_disk ? "disk" : "memory");
+
+  Json latency = Json::object();
+  latency.set("count", count(s.latency_count));
+  latency.set("p50_ms", s.latency_p50_s * 1e3);
+  latency.set("p99_ms", s.latency_p99_s * 1e3);
+
+  Json j = Json::object();
+  j.set("type", "stats");
+  if (!id.empty()) j.set("id", id);
+  j.set("jobs", jobs);
+  j.set("clients", clients);
+  j.set("cache", cache);
+  j.set("latency", latency);
   return j;
 }
 

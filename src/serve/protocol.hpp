@@ -1,11 +1,15 @@
-// The lrsizer-serve-v1 wire protocol: newline-delimited JSON messages, one
+// The lrsizer-serve-v2 wire protocol: newline-delimited JSON messages, one
 // object per line in both directions. This header is the single in-code
 // mirror of the spec in docs/SERVING.md — request parsing and response
 // building live here, free of any threading, so the protocol round-trips
 // under test without a running server.
 //
-// Requests:  size | cancel | shutdown
-// Responses: hello | accepted | progress | result | cancelled | error
+// v2 adds the stats request/response pair (fleet observability) on top of
+// v1; every v1 message is unchanged, so v1 clients keep working against a
+// v2 server apart from the schema string in hello.
+//
+// Requests:  size | cancel | stats | shutdown
+// Responses: hello | accepted | progress | result | cancelled | stats | error
 #pragma once
 
 #include <cstdint>
@@ -17,6 +21,7 @@
 #include "core/ogws.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/json.hpp"
+#include "serve/stats.hpp"
 
 namespace lrsizer::serve {
 
@@ -34,10 +39,11 @@ struct SizeRequest {
 };
 
 struct Request {
-  enum class Kind { kSize, kCancel, kShutdown };
+  enum class Kind { kSize, kCancel, kStats, kShutdown };
   Kind kind = Kind::kShutdown;
   SizeRequest size;       ///< kSize
   std::string cancel_id;  ///< kCancel
+  std::string stats_id;   ///< kStats (optional correlation id, may be empty)
 };
 
 /// Parse one request line against the server's default options. On failure
@@ -84,6 +90,11 @@ runtime::Json result_json(
 /// result when the cancel landed mid-OGWS.
 runtime::Json cancelled_json(const std::string& id,
                              const runtime::Json* partial_job);
+
+/// Answer to a stats request: job counters, client/queue gauges, cache
+/// counters + hit rate, and recent-window p50/p99 job latency. `id` (may be
+/// empty) echoes the request's optional correlation id.
+runtime::Json stats_json(const std::string& id, const StatsSnapshot& snapshot);
 
 /// Malformed request or failed job. `id` is empty when the line never
 /// parsed far enough to have one.

@@ -2,6 +2,7 @@
 
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "util/logging.hpp"
 
@@ -11,39 +12,124 @@ using runtime::CachedEntry;
 using runtime::Json;
 using runtime::ResultCache;
 
-Server::Server(ServerOptions options, Sink sink)
+Server::Server(ServerOptions options)
     : options_(std::move(options)),
-      sink_(std::move(sink)),
       pool_(options_.jobs >= 1 ? options_.jobs : 1) {
   if (options_.cache) {
     cache_ = options_.cache;
   } else {
-    owned_cache_ = std::make_unique<ResultCache>();
+    owned_cache_ = std::make_unique<ResultCache>("", options_.cache_limits);
     cache_ = owned_cache_.get();
   }
 }
 
+Server::Server(ServerOptions options, Sink sink)
+    : Server(std::move(options)) {
+  default_client_ = add_client(std::move(sink));
+}
+
 Server::~Server() { drain(); }
 
-void Server::emit(const Json& response) {
-  const std::string line = response.dump();
-  const std::lock_guard<std::mutex> lock(sink_mutex_);
-  sink_(line);
+Server::ClientId Server::add_client(Sink sink) {
+  auto client = std::make_shared<Client>();
+  client->sink = std::move(sink);
+  const std::lock_guard<std::mutex> lock(clients_mutex_);
+  const ClientId id = next_client_++;
+  clients_.emplace(id, std::move(client));
+  return id;
 }
 
-void Server::hello() {
-  emit(hello_json(options_.version, pool_.num_workers(),
-                  cache_->disk_backed() ? "disk" : "memory"));
+void Server::remove_client(ClientId client) {
+  std::shared_ptr<Client> victim;
+  {
+    const std::lock_guard<std::mutex> lock(clients_mutex_);
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) return;
+    victim = std::move(it->second);
+    clients_.erase(it);
+  }
+  {
+    // Clear the sink under its mutex: any emit already holding a reference
+    // finds no sink and drops the line; once we hold the mutex here, no
+    // emit is mid-write, so the sink is never called after this returns.
+    const std::lock_guard<std::mutex> lock(victim->mutex);
+    victim->sink = nullptr;
+  }
+  // Cancel the client's in-flight jobs — nobody is listening for their
+  // results. Deduped twins from other clients are unaffected: a follower
+  // cancellation only detaches that follower, and an owner abandoning
+  // makes its followers re-run (ResultCache contract).
+  std::vector<std::shared_ptr<Pending>> orphans;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [scoped_id, pending] : active_) {
+      if (pending->client == client) orphans.push_back(pending);
+    }
+  }
+  for (const auto& pending : orphans) pending->stop.request_stop();
 }
+
+std::size_t Server::active_clients() const {
+  const std::lock_guard<std::mutex> lock(clients_mutex_);
+  return clients_.size();
+}
+
+void Server::emit(ClientId client, const Json& response) {
+  std::shared_ptr<Client> target;
+  {
+    const std::lock_guard<std::mutex> lock(clients_mutex_);
+    const auto it = clients_.find(client);
+    if (it == clients_.end()) return;  // client gone; drop the line
+    target = it->second;
+  }
+  const std::string line = response.dump();
+  const std::lock_guard<std::mutex> lock(target->mutex);
+  if (target->sink) target->sink(line);
+}
+
+void Server::hello(ClientId client) {
+  emit(client, hello_json(options_.version, pool_.num_workers(),
+                          cache_->disk_backed() ? "disk" : "memory"));
+}
+
+void Server::hello() { hello(default_client_); }
 
 Server::Stats Server::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
 }
 
+StatsSnapshot Server::stats_snapshot() const {
+  StatsSnapshot s;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    s.accepted = stats_.accepted;
+    s.completed = stats_.completed;
+    s.cache_hits = stats_.cache_hits;
+    s.cancelled = stats_.cancelled;
+    s.errors = stats_.errors;
+    s.queue_depth = in_flight_;
+    s.latency_count = latency_.count();
+    s.latency_p50_s = latency_.percentile(50.0);
+    s.latency_p99_s = latency_.percentile(99.0);
+  }
+  s.active_clients = active_clients();
+  const runtime::CacheStats cache = cache_->stats();
+  s.cache_entries = cache.entries;
+  s.cache_bytes = cache.bytes;
+  s.cache_lookup_hits = cache.hits;
+  s.cache_lookup_misses = cache.misses;
+  s.cache_evictions = cache.evictions;
+  s.cache_disk = cache_->disk_backed();
+  return s;
+}
+
 void Server::finish(const std::shared_ptr<Pending>& pending) {
+  const auto now = std::chrono::steady_clock::now();
   const std::lock_guard<std::mutex> lock(mutex_);
-  active_.erase(pending->request.id);
+  latency_.record(std::chrono::duration<double>(now - pending->accepted_at)
+                      .count());
+  active_.erase(pending->scoped_id);
   --in_flight_;
   if (in_flight_ == 0) idle_cv_.notify_all();
 }
@@ -64,6 +150,16 @@ int Server::serve_stream(std::istream& in) {
 }
 
 bool Server::handle_line(const std::string& line) {
+  return handle_line(default_client_, line);
+}
+
+void Server::reject(ClientId client, const std::string& message) {
+  emit(client, error_json("", message));
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.errors;
+}
+
+bool Server::handle_line(ClientId client, const std::string& line) {
   if (line.find_first_not_of(" \t\r\n") == std::string::npos) return true;
   Request request;
   // `id` echoes back on rejection whenever the line parsed far enough to
@@ -73,7 +169,7 @@ bool Server::handle_line(const std::string& line) {
   if (const api::Status st =
           parse_request(line, options_.base_options, &request, &id);
       !st.ok()) {
-    emit(error_json(id, st.message()));
+    emit(client, error_json(id, st.message()));
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.errors;
     return true;
@@ -82,24 +178,29 @@ bool Server::handle_line(const std::string& line) {
     case Request::Kind::kShutdown:
       return false;
     case Request::Kind::kCancel:
-      handle_cancel(request.cancel_id);
+      handle_cancel(client, request.cancel_id);
+      return true;
+    case Request::Kind::kStats:
+      emit(client, stats_json(request.stats_id, stats_snapshot()));
       return true;
     case Request::Kind::kSize:
-      handle_size(std::move(request.size));
+      handle_size(client, std::move(request.size));
       return true;
   }
   return true;
 }
 
-void Server::handle_cancel(const std::string& id) {
+void Server::handle_cancel(ClientId client, const std::string& id) {
+  // Scoped lookup: a cancel only ever reaches the canceller's own jobs.
+  const std::string scoped_id = std::to_string(client) + ':' + id;
   std::shared_ptr<Pending> pending;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = active_.find(id);
+    const auto it = active_.find(scoped_id);
     if (it != active_.end()) pending = it->second;
   }
   if (!pending) {
-    emit(error_json(id, "cancel: no active job with this id"));
+    emit(client, error_json(id, "cancel: no active job with this id"));
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.errors;
     return;
@@ -109,16 +210,19 @@ void Server::handle_cancel(const std::string& id) {
   pending->stop.request_stop();
 }
 
-void Server::handle_size(SizeRequest request) {
+void Server::handle_size(ClientId client, SizeRequest request) {
   auto pending = std::make_shared<Pending>();
+  pending->client = client;
   pending->request = std::move(request);
+  pending->accepted_at = std::chrono::steady_clock::now();
   const std::string id = pending->request.id;
+  pending->scoped_id = std::to_string(client) + ':' + id;
 
   enum class Admit { kOk, kDuplicateId, kBackpressure };
   Admit admit = Admit::kOk;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (active_.count(id) != 0) {
+    if (active_.count(pending->scoped_id) != 0) {
       admit = Admit::kDuplicateId;
       ++stats_.errors;
     } else if (options_.max_pending > 0 &&
@@ -126,17 +230,18 @@ void Server::handle_size(SizeRequest request) {
       admit = Admit::kBackpressure;
       ++stats_.errors;
     } else {
-      active_[id] = pending;
+      active_[pending->scoped_id] = pending;
       ++in_flight_;
       ++stats_.accepted;
     }
   }
   if (admit == Admit::kDuplicateId) {
-    emit(error_json(id, "a job with this id is already active"));
+    emit(client, error_json(id, "a job with this id is already active"));
     return;
   }
   if (admit == Admit::kBackpressure) {
-    emit(error_json(id, "backpressure: " + std::to_string(options_.max_pending) +
+    emit(client,
+         error_json(id, "backpressure: " + std::to_string(options_.max_pending) +
                             " jobs already pending — retry later"));
     return;
   }
@@ -147,7 +252,7 @@ void Server::handle_size(SizeRequest request) {
     pending->key = runtime::cache_key(pending->request.job.netlist,
                                       pending->request.job.options);
   }
-  emit(accepted_json(id, pending->cacheable ? pending->key.key : ""));
+  emit(client, accepted_json(id, pending->cacheable ? pending->key.key : ""));
   schedule(std::move(pending));
 }
 
@@ -158,7 +263,7 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
     // this job attaches as a follower of an identical in-flight run.
     auto on_done = [this, pending](std::shared_ptr<const CachedEntry> entry) {
       if (pending->stop.get_token().stop_requested()) {
-        emit(cancelled_json(pending->request.id, nullptr));
+        emit(pending->client, cancelled_json(pending->request.id, nullptr));
         {
           const std::lock_guard<std::mutex> lock(mutex_);
           ++stats_.cancelled;
@@ -167,7 +272,8 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
         return;
       }
       if (entry) {
-        emit(result_json(pending->request.id, true, entry->job,
+        emit(pending->client,
+             result_json(pending->request.id, true, entry->job,
                          pending->request.want_sizes ? &entry->sizes : nullptr));
         {
           const std::lock_guard<std::mutex> lock(mutex_);
@@ -183,7 +289,8 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
     };
     switch (cache_->acquire(pending->key, &hit, on_done)) {
       case ResultCache::Acquire::kHit:
-        emit(result_json(pending->request.id, true, hit->job,
+        emit(pending->client,
+             result_json(pending->request.id, true, hit->job,
                          pending->request.want_sizes ? &hit->sizes : nullptr));
         {
           const std::lock_guard<std::mutex> lock(mutex_);
@@ -216,7 +323,9 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
   if (every > 0) {
     controls.observer = [this, pending, every](const std::string&,
                                                const core::OgwsIterate& it) {
-      if (it.k % every == 0) emit(progress_json(pending->request.id, it));
+      if (it.k % every == 0) {
+        emit(pending->client, progress_json(pending->request.id, it));
+      }
     };
   }
 
@@ -226,7 +335,8 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
   if (outcome.ok && !outcome.cancelled) {
     CachedEntry entry{runtime::job_json(outcome),
                       runtime::sparse_sizes(*outcome.flow)};
-    emit(result_json(pending->request.id, false, entry.job,
+    emit(pending->client,
+         result_json(pending->request.id, false, entry.job,
                      pending->request.want_sizes ? &entry.sizes : nullptr));
     {
       const std::lock_guard<std::mutex> lock(mutex_);
@@ -237,12 +347,13 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
     if (pending->cacheable) cache_->abandon(pending->key);
     std::optional<Json> partial;
     if (outcome.ok) partial = runtime::job_json(outcome);
-    emit(cancelled_json(pending->request.id, partial ? &*partial : nullptr));
+    emit(pending->client,
+         cancelled_json(pending->request.id, partial ? &*partial : nullptr));
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.cancelled;
   } else {
     if (pending->cacheable) cache_->abandon(pending->key);
-    emit(error_json(pending->request.id, outcome.error));
+    emit(pending->client, error_json(pending->request.id, outcome.error));
     const std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.errors;
   }

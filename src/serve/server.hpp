@@ -1,29 +1,38 @@
 // The long-lived sizing service behind `lrsizer serve`.
 //
-// A Server reads lrsizer-serve-v1 request lines (serve/protocol.hpp),
+// A Server reads lrsizer-serve-v2 request lines (serve/protocol.hpp),
 // schedules each size job as one api::SizingSession on a
 // runtime::ThreadPool, and streams responses — accepted, periodic progress
 // (from the session's IterationObserver), then exactly one terminal
-// result / cancelled / error per job — through a caller-supplied line sink.
+// result / cancelled / error per job — through per-client line sinks.
 // Responses for different jobs interleave; per job the order is always
 // accepted → progress* → terminal.
+//
+// Clients: a Server fans in any number of clients (add_client/remove_client),
+// each with its own sink. Job ids are scoped per client — two clients may
+// both run a job named "a" — and a cancel only reaches the canceller's own
+// jobs. Removing a client cancels its in-flight jobs and drops any response
+// still heading its way; the cache entries its jobs produced stay shared.
 //
 // Every job is deduped through a runtime::ResultCache: completed identical
 // jobs answer instantly with the stored report (byte-identical payload),
 // and an identical job arriving while its twin is still running attaches
-// as a follower and shares the result when it lands (in-flight dedupe). A
-// caller-supplied cache can be disk-backed and shared across restarts; by
-// default the server owns a memory-only cache for its lifetime.
+// as a follower and shares the result when it lands (in-flight dedupe) —
+// including across clients. A caller-supplied cache can be disk-backed and
+// shared across restarts; by default the server owns a memory-only cache.
 //
-// Threading: handle_line() must be called from one thread (the read loop).
-// The sink is invoked from the read thread and from pool workers, one
-// complete line per call, serialized by an internal mutex — it only needs
-// to write and flush. drain() blocks until every accepted job has emitted
-// its terminal response.
+// Threading: calls for one client must be serialized (lines have an order),
+// but different clients' handle_line calls may run concurrently. Each sink
+// is invoked from read threads and pool workers, one complete line per
+// call, serialized per client by an internal mutex — it only needs to
+// write and flush. drain() blocks until every accepted job has emitted its
+// terminal response.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <istream>
 #include <memory>
@@ -36,6 +45,7 @@
 #include "runtime/cache.hpp"
 #include "runtime/pool.hpp"
 #include "serve/protocol.hpp"
+#include "serve/stats.hpp"
 
 namespace lrsizer::serve {
 
@@ -48,6 +58,9 @@ struct ServerOptions {
   /// run_batch or other servers). nullptr: the server owns a memory-only
   /// cache.
   runtime::ResultCache* cache = nullptr;
+  /// Budget for the owned cache (ignored when `cache` is supplied — a
+  /// borrowed cache brings its own limits).
+  runtime::CacheLimits cache_limits;
   /// On a cache miss, warm-start from a cached result with the same
   /// netlist + elaboration but different solver/bound options (see
   /// BatchOptions::cache_warm for the determinism trade-off).
@@ -56,6 +69,10 @@ struct ServerOptions {
   /// are already accepted-but-unfinished is rejected with an error
   /// response (the client retries later). 0 = unbounded queue.
   int max_pending = 0;
+  /// A request line longer than this is rejected with an error response
+  /// instead of being buffered without bound (enforced by the TCP
+  /// front-end, which is the one reading from untrusted peers).
+  std::size_t max_line_bytes = 8u << 20;
   /// Server-wide cooperative shutdown (e.g. SIGINT): running jobs are
   /// cancelled mid-OGWS and answer `cancelled`.
   std::stop_token stop;
@@ -68,7 +85,13 @@ class Server {
   /// `sink` receives every response as one complete line (no trailing
   /// newline); it must write-and-flush so clients see responses promptly.
   using Sink = std::function<void(const std::string& line)>;
+  /// Handle for one attached client; scopes job ids and owns one sink.
+  using ClientId = std::uint64_t;
 
+  /// Multi-client server: attach clients with add_client().
+  explicit Server(ServerOptions options);
+  /// Single-client convenience: `sink` becomes the default client that the
+  /// id-less hello()/handle_line() overloads talk to.
   Server(ServerOptions options, Sink sink);
   /// Drains in-flight jobs (equivalent to drain()).
   ~Server();
@@ -76,19 +99,35 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Emit the hello line (schema, version, workers, cache mode).
-  void hello();
+  /// Attach a client. Its sink may be called until remove_client returns.
+  ClientId add_client(Sink sink);
+  /// Detach: cancels the client's in-flight jobs, drops pending responses
+  /// to it, and guarantees its sink is never called again after return.
+  void remove_client(ClientId client);
+  std::size_t active_clients() const;
 
-  /// Handle one request line (empty/blank lines are ignored). Returns
-  /// false when the line was a shutdown request — the caller should stop
-  /// reading and drain().
-  bool handle_line(const std::string& line);
+  /// Emit the hello line (schema, version, workers, cache mode).
+  void hello(ClientId client);
+  void hello();  ///< default client
+
+  /// Handle one request line for this client (empty/blank lines are
+  /// ignored). Returns false when the line was a shutdown request — the
+  /// caller should stop reading and drain().
+  bool handle_line(ClientId client, const std::string& line);
+  bool handle_line(const std::string& line);  ///< default client
+
+  /// Emit an error response to this client without parsing anything — the
+  /// TCP front-end's path for lines it refuses to buffer (oversized).
+  void reject(ClientId client, const std::string& message);
 
   /// Block until every accepted job has emitted its terminal response.
   void drain();
 
-  /// hello + read lines until EOF or shutdown + drain. Returns 0.
+  /// hello + read lines until EOF or shutdown + drain (default client).
+  /// Returns 0.
   int serve_stream(std::istream& in);
+
+  const ServerOptions& options() const { return options_; }
 
   struct Stats {
     std::size_t accepted = 0;   ///< size requests admitted
@@ -99,39 +138,61 @@ class Server {
   };
   Stats stats() const;
 
+  /// Everything the stats response carries: job counters, queue depth,
+  /// client count, cache counters, and p50/p99 job latency.
+  StatsSnapshot stats_snapshot() const;
+
  private:
   /// One accepted job from admission to its terminal response. Kept whole
   /// (including the netlist) so a follower whose owner aborted can re-run.
   struct Pending {
+    ClientId client = 0;
     SizeRequest request;
+    std::string scoped_id;  ///< "<client>:<id>" — the active_ key
     runtime::CacheKey key;
     bool cacheable = false;
     std::stop_source stop;
+    std::chrono::steady_clock::time_point accepted_at;
   };
 
-  void emit(const runtime::Json& response);
+  /// One attached client. The mutex serializes its sink; a removed client
+  /// keeps its (empty) slot alive through shared_ptrs held by in-flight
+  /// emitters, which then find no sink and drop the line.
+  struct Client {
+    std::mutex mutex;
+    Sink sink;
+  };
+
+  void emit(ClientId client, const runtime::Json& response);
   /// Route through the cache (hit / follower / owner) or straight to the
-  /// pool. Safe to call from the read thread and from follower callbacks.
+  /// pool. Safe to call from read threads and from follower callbacks.
   void schedule(std::shared_ptr<Pending> pending);
   /// Run the job on the current (worker) thread and emit its terminal
   /// response; publishes/abandons the cache key for owners.
   void execute(const std::shared_ptr<Pending>& pending);
   void finish(const std::shared_ptr<Pending>& pending);
-  void handle_size(SizeRequest request);
-  void handle_cancel(const std::string& id);
+  void handle_size(ClientId client, SizeRequest request);
+  void handle_cancel(ClientId client, const std::string& id);
 
   ServerOptions options_;
-  Sink sink_;
   std::unique_ptr<runtime::ResultCache> owned_cache_;
   runtime::ResultCache* cache_ = nullptr;
 
-  std::mutex sink_mutex_;
+  /// Guards clients_/next_client_ only — never held while mutex_ or a
+  /// Client::mutex is taken by the same thread's caller (emit locks them
+  /// strictly in sequence, not nested).
+  mutable std::mutex clients_mutex_;
+  std::unordered_map<ClientId, std::shared_ptr<Client>> clients_;
+  ClientId next_client_ = 1;
+  ClientId default_client_ = 0;  ///< 0 = none (multi-client ctor)
 
-  mutable std::mutex mutex_;  ///< guards active_, in_flight_, stats_
+  mutable std::mutex mutex_;  ///< guards active_, in_flight_, stats_, latency_
   std::condition_variable idle_cv_;
+  /// scoped_id -> job; ids live in per-client namespaces.
   std::unordered_map<std::string, std::shared_ptr<Pending>> active_;
   std::size_t in_flight_ = 0;
   Stats stats_;
+  LatencyRing latency_;
 
   runtime::ThreadPool pool_;  ///< last member: workers die before the rest
 };

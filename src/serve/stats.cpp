@@ -1,0 +1,67 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lrsizer::serve {
+
+LatencyRing::LatencyRing(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void LatencyRing::record(double seconds) {
+  ring_[next_] = seconds;
+  next_ = (next_ + 1) % ring_.size();
+  filled_ = std::min(filled_ + 1, ring_.size());
+  ++count_;
+}
+
+double LatencyRing::percentile(double p) const {
+  if (filled_ == 0) return 0.0;
+  std::vector<double> window(ring_.begin(),
+                             ring_.begin() + static_cast<std::ptrdiff_t>(filled_));
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: ceil(p/100 * n), 1-based; p=0 maps to the minimum.
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(clamped / 100.0 * static_cast<double>(filled_)));
+  if (rank == 0) rank = 1;
+  auto nth = window.begin() + static_cast<std::ptrdiff_t>(rank - 1);
+  std::nth_element(window.begin(), nth, window.end());
+  return *nth;
+}
+
+double cache_hit_rate(const StatsSnapshot& snapshot) {
+  const std::size_t lookups =
+      snapshot.cache_lookup_hits + snapshot.cache_lookup_misses;
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(snapshot.cache_lookup_hits) /
+         static_cast<double>(lookups);
+}
+
+std::string format_stats_text(const StatsSnapshot& s) {
+  char buf[256];
+  std::string out;
+  out += "serve stats\n";
+  std::snprintf(buf, sizeof(buf),
+                "  jobs: accepted=%zu completed=%zu cache_hits=%zu "
+                "cancelled=%zu errors=%zu queue_depth=%zu\n",
+                s.accepted, s.completed, s.cache_hits, s.cancelled, s.errors,
+                s.queue_depth);
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "  clients: active=%zu\n", s.active_clients);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  cache: entries=%zu bytes=%zu hits=%zu misses=%zu "
+                "hit_rate=%.3f evictions=%zu mode=%s\n",
+                s.cache_entries, s.cache_bytes, s.cache_lookup_hits,
+                s.cache_lookup_misses, cache_hit_rate(s), s.cache_evictions,
+                s.cache_disk ? "disk" : "memory");
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "  latency: count=%zu p50_ms=%.3f p99_ms=%.3f\n",
+                s.latency_count, s.latency_p50_s * 1e3, s.latency_p99_s * 1e3);
+  out += buf;
+  return out;
+}
+
+}  // namespace lrsizer::serve

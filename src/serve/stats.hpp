@@ -1,0 +1,73 @@
+// Fleet-observability surface of the serve loop: the counters and latency
+// distribution behind the `{"type":"stats"}` request (lrsizer-serve-v2,
+// docs/SERVING.md) and `lrsizer serve --stats-dump`.
+//
+// LatencyRing keeps the most recent job latencies in a fixed ring so the
+// p50/p99 estimates track current behavior instead of averaging over the
+// server's whole life; memory stays O(capacity) no matter how many jobs
+// run. Neither type locks — the Server records and snapshots under its own
+// mutex.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace lrsizer::serve {
+
+/// Fixed-capacity ring of recent job latencies (seconds, accepted →
+/// terminal response). Percentiles are nearest-rank over the retained
+/// window.
+class LatencyRing {
+ public:
+  explicit LatencyRing(std::size_t capacity = 4096);
+
+  void record(double seconds);
+
+  /// Total latencies ever recorded (not capped by the window).
+  std::size_t count() const { return count_; }
+
+  /// Nearest-rank percentile over the retained window, p in [0, 100];
+  /// 0.0 when nothing was recorded yet.
+  double percentile(double p) const;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;    ///< write cursor
+  std::size_t filled_ = 0;  ///< valid slots (== capacity once wrapped)
+  std::size_t count_ = 0;
+};
+
+/// One coherent picture of a Server (job counters, queue, clients, cache,
+/// latency) — what the stats response and --stats-dump serialize.
+struct StatsSnapshot {
+  // Job counters (monotonic since server start).
+  std::size_t accepted = 0;    ///< size requests admitted
+  std::size_t completed = 0;   ///< result responses (hit or cold)
+  std::size_t cache_hits = 0;  ///< results answered without running
+  std::size_t cancelled = 0;   ///< cancelled responses
+  std::size_t errors = 0;      ///< error responses (parse + job failures)
+  // Point-in-time gauges.
+  std::size_t queue_depth = 0;     ///< jobs accepted but not yet terminal
+  std::size_t active_clients = 0;  ///< connected clients
+  // Result-cache counters (runtime::ResultCache::stats()).
+  std::size_t cache_entries = 0;
+  std::size_t cache_bytes = 0;
+  std::size_t cache_lookup_hits = 0;
+  std::size_t cache_lookup_misses = 0;
+  std::size_t cache_evictions = 0;
+  bool cache_disk = false;
+  // Job latency (seconds, accepted → terminal), recent-window percentiles.
+  std::size_t latency_count = 0;
+  double latency_p50_s = 0.0;
+  double latency_p99_s = 0.0;
+};
+
+/// Cache hit rate over completed lookups, in [0, 1] (0 when none yet).
+double cache_hit_rate(const StatsSnapshot& snapshot);
+
+/// Human-readable multi-line rendering — what `--stats-dump` prints on
+/// shutdown.
+std::string format_stats_text(const StatsSnapshot& snapshot);
+
+}  // namespace lrsizer::serve

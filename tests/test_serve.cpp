@@ -1,18 +1,35 @@
 // Tests for the serving stack: netlist hashing, the result cache (including
-// in-flight dedupe), the lrsizer-serve-v1 protocol, the Server loop, and
-// shard-report merging. Every message type docs/SERVING.md specifies is
-// exercised here (hello, accepted, progress, result, cancelled, error;
-// size, cancel, shutdown).
+// in-flight dedupe and LRU eviction), the lrsizer-serve-v2 protocol, the
+// multi-client Server, the TCP event loop, and shard-report merging. Every
+// message type docs/SERVING.md specifies is exercised here (hello, accepted,
+// progress, result, cancelled, stats, error; size, cancel, stats, shutdown),
+// and the concurrent-client stress test pins the determinism contract: every
+// result payload byte-identical to a serial run. This suite carries the
+// `parallel` ctest label so the TSan CI job covers the event loop.
 #include <gtest/gtest.h>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
+#include <stop_token>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/flow.hpp"
@@ -22,8 +39,10 @@
 #include "runtime/batch.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/json.hpp"
+#include "serve/listen.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/stats.hpp"
 
 namespace lrsizer {
 namespace {
@@ -191,6 +210,172 @@ TEST(ResultCache, DiskEntriesSurviveAcrossInstances) {
   std::filesystem::remove_all(dir);
 }
 
+// ---- cache eviction ---------------------------------------------------------
+
+TEST(CacheEviction, LruEvictsOldestFirstAndLookupRefreshes) {
+  runtime::CacheLimits limits;
+  limits.max_entries = 2;
+  runtime::ResultCache cache("", limits);
+  runtime::CacheKey k1{"nA-eA-o1", "nA-eA"};
+  runtime::CacheKey k2{"nB-eB-o1", "nB-eB"};
+  runtime::CacheKey k3{"nC-eC-o1", "nC-eC"};
+  cache.store(k1, make_entry("one"));
+  cache.store(k2, make_entry("two"));
+  EXPECT_EQ(cache.entries(), 2u);
+  // Touch k1: it becomes most-recent, so the third store evicts k2.
+  ASSERT_NE(cache.lookup(k1.key), nullptr);
+  cache.store(k3, make_entry("three"));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.lookup(k1.key), nullptr);
+  EXPECT_EQ(cache.lookup(k2.key), nullptr) << "LRU entry must be the one evicted";
+  EXPECT_NE(cache.lookup(k3.key), nullptr);
+}
+
+TEST(CacheEviction, MaxEntriesZeroStoresNothingButStillDedupes) {
+  runtime::CacheLimits limits;
+  limits.max_entries = 0;
+  runtime::ResultCache cache("", limits);
+  runtime::CacheKey key{"nA-eA-o1", "nA-eA"};
+  cache.store(key, make_entry("rejected"));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(key.key), nullptr);
+
+  // In-flight dedupe is storage-free and must keep working at budget 0.
+  std::shared_ptr<const runtime::CachedEntry> hit;
+  EXPECT_EQ(cache.acquire(key, &hit, nullptr),
+            runtime::ResultCache::Acquire::kOwner);
+  std::shared_ptr<const runtime::CachedEntry> shared;
+  EXPECT_EQ(cache.acquire(
+                key, &hit,
+                [&shared](std::shared_ptr<const runtime::CachedEntry> e) {
+                  shared = std::move(e);
+                }),
+            runtime::ResultCache::Acquire::kFollower);
+  cache.publish(key, make_entry("published"));
+  // The follower shares the owner's result even though nothing was stored.
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->job.at("name").as_string(), "published");
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.acquire(key, &hit, nullptr),
+            runtime::ResultCache::Acquire::kOwner)
+      << "nothing completed may linger at max_entries=0";
+  cache.abandon(key);
+}
+
+TEST(CacheEviction, MaxEntriesOneKeepsOnlyTheNewest) {
+  runtime::CacheLimits limits;
+  limits.max_entries = 1;
+  runtime::ResultCache cache("", limits);
+  runtime::CacheKey k1{"nA-eA-o1", "nA-eA"};
+  runtime::CacheKey k2{"nB-eB-o1", "nB-eB"};
+  cache.store(k1, make_entry("one"));
+  cache.store(k2, make_entry("two"));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.lookup(k1.key), nullptr);
+  ASSERT_NE(cache.lookup(k2.key), nullptr);
+}
+
+TEST(CacheEviction, ByteBudgetEvictsOldestFirstAndRejectsOversized) {
+  // Calibrate one entry's accounted bytes with an unlimited cache (the
+  // accounting covers key + serialized job + size pairs, so it is the same
+  // for the equal-length keys below).
+  runtime::CacheKey k1{"nA-eA-o1", "nA-eA"};
+  runtime::CacheKey k2{"nB-eB-o1", "nB-eB"};
+  runtime::CacheKey k3{"nC-eC-o1", "nC-eC"};
+  std::size_t per_entry = 0;
+  {
+    runtime::ResultCache probe;
+    probe.store(k1, make_entry("x"));
+    per_entry = probe.bytes();
+    ASSERT_GT(per_entry, 0u);
+  }
+
+  runtime::CacheLimits limits;
+  limits.max_bytes = per_entry * 2;  // room for two entries, not three
+  runtime::ResultCache cache("", limits);
+  cache.store(k1, make_entry("x"));
+  cache.store(k2, make_entry("x"));
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.store(k3, make_entry("x"));
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_LE(cache.bytes(), limits.max_bytes);
+  EXPECT_EQ(cache.lookup(k1.key), nullptr) << "oldest entry pays for the third";
+  EXPECT_NE(cache.lookup(k2.key), nullptr);
+  EXPECT_NE(cache.lookup(k3.key), nullptr);
+
+  // An entry that alone exceeds the budget is rejected outright and does
+  // not wipe what is already cached.
+  runtime::CacheLimits tiny;
+  tiny.max_bytes = per_entry - 1;
+  runtime::ResultCache small("", tiny);
+  small.store(k1, make_entry("x"));
+  EXPECT_EQ(small.entries(), 0u);
+  EXPECT_EQ(small.evictions(), 1u);
+  EXPECT_EQ(small.lookup(k1.key), nullptr);
+}
+
+TEST(CacheEviction, InFlightRegistrationsSurviveEvictionPressure) {
+  runtime::CacheLimits limits;
+  limits.max_entries = 1;
+  runtime::ResultCache cache("", limits);
+  runtime::CacheKey inflight{"nA-eA-o1", "nA-eA"};
+  runtime::CacheKey k2{"nB-eB-o1", "nB-eB"};
+  runtime::CacheKey k3{"nC-eC-o1", "nC-eC"};
+
+  std::shared_ptr<const runtime::CachedEntry> hit;
+  ASSERT_EQ(cache.acquire(inflight, &hit, nullptr),
+            runtime::ResultCache::Acquire::kOwner);
+  std::shared_ptr<const runtime::CachedEntry> shared;
+  ASSERT_EQ(cache.acquire(
+                inflight, &hit,
+                [&shared](std::shared_ptr<const runtime::CachedEntry> e) {
+                  shared = std::move(e);
+                }),
+            runtime::ResultCache::Acquire::kFollower);
+
+  // Hammer the completed side hard enough to evict everything evictable.
+  cache.store(k2, make_entry("two"));
+  cache.store(k3, make_entry("three"));
+  EXPECT_GE(cache.evictions(), 1u);
+
+  // The in-flight owner/follower pair is untouched: publishing still fires
+  // the follower with the shared entry.
+  cache.publish(inflight, make_entry("landed"));
+  ASSERT_NE(shared, nullptr);
+  EXPECT_EQ(shared->job.at("name").as_string(), "landed");
+  ASSERT_NE(cache.lookup(inflight.key), nullptr)
+      << "publish counts as most-recent, so it must survive the store";
+}
+
+TEST(CacheEviction, DiskEvictionRemovesFilesAndARestartSeesAMiss) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "lrsizer_cache_evict_test";
+  std::filesystem::remove_all(dir);
+  runtime::CacheKey k1{"nA-eA-o1", "nA-eA"};
+  runtime::CacheKey k2{"nB-eB-o1", "nB-eB"};
+  {
+    runtime::CacheLimits limits;
+    limits.max_entries = 1;
+    runtime::ResultCache cache(dir.string(), limits);
+    cache.store(k1, make_entry("one"));
+    EXPECT_TRUE(std::filesystem::exists(dir / (k1.key + ".json")));
+    cache.store(k2, make_entry("two"));
+    // Eviction unlinks the evicted entry's file, not just its memory slot.
+    EXPECT_FALSE(std::filesystem::exists(dir / (k1.key + ".json")));
+    EXPECT_TRUE(std::filesystem::exists(dir / (k2.key + ".json")));
+  }
+  // A fresh (unlimited) instance over the same directory: the evicted key
+  // is gone for good, the survivor still answers.
+  runtime::ResultCache fresh(dir.string());
+  EXPECT_EQ(fresh.lookup(k1.key), nullptr);
+  ASSERT_NE(fresh.lookup(k2.key), nullptr);
+  std::filesystem::remove_all(dir);
+}
+
 // ---- run_batch + cache ------------------------------------------------------
 
 TEST(BatchCache, DuplicateJobsDedupeBitIdentically) {
@@ -345,6 +530,18 @@ TEST(Protocol, RejectsMalformedRequests) {
                    R"("options":{"vectors":1e300}})",
                    base, &request)
                    .ok());
+  // Fractional values must be rejected, not silently truncated: the fuzz
+  // battery caught "seed":0.5 slipping through checked_integer as seed 0.
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("seed":0.5})",
+                   base, &request)
+                   .ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("options":{"vectors":1.5}})",
+                   base, &request)
+                   .ok());
   EXPECT_FALSE(serve::parse_request(
                    R"({"type":"size","id":"a","input":{"profile":"c17"},)"
                    R"("progress":1e12})",
@@ -362,6 +559,62 @@ TEST(Protocol, RejectsMalformedRequests) {
   EXPECT_EQ(request.cancel_id, "a");
   ASSERT_TRUE(serve::parse_request(R"({"type":"shutdown"})", base, &request).ok());
   EXPECT_EQ(request.kind, serve::Request::Kind::kShutdown);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+TEST(Stats, LatencyRingNearestRankPercentilesOverTheWindow) {
+  serve::LatencyRing ring(100);
+  EXPECT_EQ(ring.percentile(50.0), 0.0) << "empty ring reports 0";
+  for (int i = 1; i <= 100; ++i) ring.record(i);
+  EXPECT_EQ(ring.count(), 100u);
+  EXPECT_DOUBLE_EQ(ring.percentile(50.0), 50.0);
+  EXPECT_DOUBLE_EQ(ring.percentile(99.0), 99.0);
+  EXPECT_DOUBLE_EQ(ring.percentile(100.0), 100.0);
+  EXPECT_DOUBLE_EQ(ring.percentile(0.0), 1.0);
+
+  // The ring is a recent window: a small capacity retains only the last
+  // records (count keeps the lifetime total).
+  serve::LatencyRing small(4);
+  for (int i = 1; i <= 8; ++i) small.record(i);
+  EXPECT_EQ(small.count(), 8u);
+  EXPECT_DOUBLE_EQ(small.percentile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(small.percentile(100.0), 8.0);
+}
+
+TEST(Stats, StatsRequestParsesWithOptionalIdAndResponseRoundTrips) {
+  serve::Request request;
+  const core::FlowOptions base;
+  ASSERT_TRUE(serve::parse_request(R"({"type":"stats"})", base, &request).ok());
+  EXPECT_EQ(request.kind, serve::Request::Kind::kStats);
+  EXPECT_TRUE(request.stats_id.empty());
+  ASSERT_TRUE(
+      serve::parse_request(R"({"type":"stats","id":"q"})", base, &request).ok());
+  EXPECT_EQ(request.stats_id, "q");
+  EXPECT_FALSE(
+      serve::parse_request(R"({"type":"stats","id":7})", base, &request).ok());
+
+  serve::StatsSnapshot snapshot;
+  snapshot.accepted = 3;
+  snapshot.cache_lookup_hits = 1;
+  snapshot.cache_lookup_misses = 1;
+  snapshot.latency_p50_s = 0.25;
+  EXPECT_DOUBLE_EQ(serve::cache_hit_rate(snapshot), 0.5);
+  const Json j = serve::stats_json("q", snapshot);
+  EXPECT_EQ(j.at("type").as_string(), "stats");
+  EXPECT_EQ(j.at("id").as_string(), "q");
+  EXPECT_EQ(j.at("jobs").at("accepted").as_number(), 3.0);
+  EXPECT_DOUBLE_EQ(j.at("cache").at("hit_rate").as_number(), 0.5);
+  EXPECT_DOUBLE_EQ(j.at("latency").at("p50_ms").as_number(), 250.0);
+  EXPECT_EQ(j.at("cache").at("mode").as_string(), "memory");
+  // Without an id the field is omitted, not emitted empty.
+  EXPECT_EQ(serve::stats_json("", snapshot).find("id"), nullptr);
+
+  // The --stats-dump text renders the same counters.
+  const std::string text = serve::format_stats_text(snapshot);
+  EXPECT_NE(text.find("accepted=3"), std::string::npos);
+  EXPECT_NE(text.find("hit_rate=0.500"), std::string::npos);
+  EXPECT_NE(text.find("p50_ms=250.000"), std::string::npos);
 }
 
 // ---- server -----------------------------------------------------------------
@@ -421,7 +674,7 @@ TEST(Server, JsonlRoundTripMatchesADirectRun) {
   }
   ASSERT_EQ(collector.of_type("hello").size(), 1u);
   EXPECT_EQ(collector.of_type("hello")[0].at("schema").as_string(),
-            "lrsizer-serve-v1");
+            "lrsizer-serve-v2");
   ASSERT_EQ(collector.of_type("accepted").size(), 1u);
   const auto results = collector.of_type("result");
   ASSERT_EQ(results.size(), 1u);
@@ -557,6 +810,435 @@ TEST(Server, BackpressureRejectsBeyondMaxPending) {
   ASSERT_TRUE(server.handle_line(R"({"type":"cancel","id":"a"})"));
   server.drain();
 }
+
+TEST(Server, StatsRequestReportsReconcilableCountersAndLatency) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.version = "test";
+  serve::Server server(options, collector.sink());
+  server.hello();
+  // Two identical jobs: one runs, its twin answers from the cache (as a
+  // direct hit or an in-flight follower, depending on timing — either way
+  // it counts as a cache-served completion).
+  ASSERT_TRUE(server.handle_line(size_request("a", "c17")));
+  ASSERT_TRUE(server.handle_line(size_request("b", "c17")));
+  server.drain();
+  ASSERT_TRUE(server.handle_line(R"({"type":"stats","id":"s1"})"));
+
+  const auto stats = collector.of_type("stats");
+  ASSERT_EQ(stats.size(), 1u);
+  const Json& s = stats[0];
+  EXPECT_EQ(s.at("id").as_string(), "s1");
+  EXPECT_EQ(s.at("jobs").at("accepted").as_number(), 2.0);
+  EXPECT_EQ(s.at("jobs").at("completed").as_number(), 2.0);
+  EXPECT_EQ(s.at("jobs").at("cache_hits").as_number(), 1.0);
+  EXPECT_EQ(s.at("jobs").at("errors").as_number(), 0.0);
+  EXPECT_EQ(s.at("jobs").at("queue_depth").as_number(), 0.0);
+  EXPECT_EQ(s.at("clients").at("active").as_number(), 1.0);
+  EXPECT_EQ(s.at("cache").at("entries").as_number(), 1.0);
+  EXPECT_GT(s.at("cache").at("bytes").as_number(), 0.0);
+  EXPECT_EQ(s.at("cache").at("mode").as_string(), "memory");
+  // Both jobs finished, so both latencies are in the ring.
+  EXPECT_EQ(s.at("latency").at("count").as_number(), 2.0);
+  EXPECT_GE(s.at("latency").at("p99_ms").as_number(),
+            s.at("latency").at("p50_ms").as_number());
+  EXPECT_GT(s.at("latency").at("p99_ms").as_number(), 0.0);
+}
+
+// ---- multi-client server ----------------------------------------------------
+
+TEST(Server, ClientsHaveIndependentIdNamespaces) {
+  serve::ServerOptions options;
+  options.jobs = 2;
+  serve::Server server(options);
+  Collector a, b;
+  const auto ca = server.add_client(a.sink());
+  const auto cb = server.add_client(b.sink());
+  EXPECT_EQ(server.active_clients(), 2u);
+  server.hello(ca);
+  server.hello(cb);
+  // The same id on two clients is not a duplicate: both jobs run and each
+  // client receives exactly its own responses.
+  ASSERT_TRUE(server.handle_line(ca, size_request("x", "c17")));
+  ASSERT_TRUE(server.handle_line(cb, size_request("x", "c17")));
+  server.drain();
+  EXPECT_EQ(a.of_type("hello").size(), 1u);
+  EXPECT_EQ(a.of_type("result").size(), 1u);
+  EXPECT_EQ(b.of_type("result").size(), 1u);
+  EXPECT_TRUE(a.of_type("error").empty());
+  EXPECT_TRUE(b.of_type("error").empty());
+  // Same-client reuse of an id while active is still rejected.
+  ASSERT_TRUE(server.handle_line(ca, size_request("y", "c432")));
+  ASSERT_TRUE(server.handle_line(ca, size_request("y", "c17")));
+  ASSERT_TRUE(a.wait_for("error", 1));
+  ASSERT_TRUE(server.handle_line(ca, R"({"type":"cancel","id":"y"})"));
+  server.drain();
+  server.remove_client(ca);
+  server.remove_client(cb);
+  EXPECT_EQ(server.active_clients(), 0u);
+}
+
+TEST(Server, CancelIsScopedToTheRequestingClient) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  serve::Server server(options);
+  Collector a, b;
+  const auto ca = server.add_client(a.sink());
+  const auto cb = server.add_client(b.sink());
+  ASSERT_TRUE(
+      server.handle_line(ca, size_request("x", "c432", R"(,"progress":1)")));
+  ASSERT_TRUE(a.wait_for("progress", 1)) << "job never started";
+  // B cancelling "x" must not reach A's job: B just gets an error.
+  ASSERT_TRUE(server.handle_line(cb, R"({"type":"cancel","id":"x"})"));
+  ASSERT_TRUE(b.wait_for("error", 1));
+  EXPECT_TRUE(a.of_type("cancelled").empty());
+  // A cancelling its own job works as before.
+  ASSERT_TRUE(server.handle_line(ca, R"({"type":"cancel","id":"x"})"));
+  server.drain();
+  EXPECT_EQ(a.of_type("cancelled").size(), 1u);
+  EXPECT_TRUE(b.of_type("cancelled").empty());
+}
+
+TEST(Server, RemoveClientCancelsItsJobsAndDropsItsResponses) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  serve::Server server(options);
+  Collector a;
+  const auto ca = server.add_client(a.sink());
+  ASSERT_TRUE(
+      server.handle_line(ca, size_request("x", "c432", R"(,"progress":1)")));
+  ASSERT_TRUE(a.wait_for("progress", 1)) << "job never started";
+  server.remove_client(ca);
+  // The orphaned job was cancelled, so drain() returns promptly instead of
+  // waiting out hundreds of OGWS iterations.
+  server.drain();
+  EXPECT_EQ(server.active_clients(), 0u);
+  EXPECT_EQ(server.stats().cancelled, 1u);
+  // No response of any kind reached the removed client's sink.
+  EXPECT_TRUE(a.of_type("cancelled").empty());
+  EXPECT_TRUE(a.of_type("result").empty());
+}
+
+// ---- TCP event loop ---------------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+/// A listening server on an ephemeral port, its event loop on its own
+/// thread; the destructor requests stop and joins.
+struct TcpServer {
+  serve::ServerOptions options;
+  std::stop_source stop;
+  std::unique_ptr<serve::Server> server;
+  std::atomic<std::uint16_t> port{0};
+  std::atomic<bool> done{false};
+  std::thread thread;
+
+  explicit TcpServer(serve::ServerOptions opts) : options(std::move(opts)) {
+    options.stop = stop.get_token();
+    server = std::make_unique<serve::Server>(options);
+    thread = std::thread([this] {
+      serve::listen_and_serve(0, *server, &port);
+      done.store(true);
+    });
+    while (port.load() == 0 && !done.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ~TcpServer() {
+    stop.request_stop();
+    thread.join();
+  }
+};
+
+/// Blocking line-oriented test client (60 s receive timeout so a stalled
+/// server fails the test instead of hanging it).
+struct TcpClient {
+  int fd = -1;
+  std::string buffer;
+
+  explicit TcpClient(std::uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return;
+    timeval timeout{60, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  ~TcpClient() {
+    if (fd >= 0) ::close(fd);
+  }
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  bool ok() const { return fd >= 0; }
+
+  void send_raw(const std::string& bytes) {
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+#if defined(MSG_NOSIGNAL)
+      const ssize_t n =
+          ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+#else
+      const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+#endif
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  void send_line(const std::string& line) { send_raw(line + "\n"); }
+
+  std::optional<std::string> read_line() {
+    for (;;) {
+      const std::size_t newline = buffer.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer.substr(0, newline);
+        buffer.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return std::nullopt;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  /// Read responses until one of `type` arrives; nullopt on EOF/timeout.
+  std::optional<Json> read_until(const std::string& type) {
+    for (;;) {
+      const auto line = read_line();
+      if (!line) return std::nullopt;
+      Json j = Json::parse(*line);
+      if (j.at("type").as_string() == type) return j;
+    }
+  }
+};
+
+/// Everything nondeterministic (wall clock) or request-specific (name,
+/// cache routing) nulled out: what must be byte-identical between a served
+/// result and a direct serial run of the same job.
+std::string normalized_job(Json job) {
+  job.set("name", "x");
+  job.set("cache_hit", false);
+  job.set("seconds", 0);
+  job.set("stage1_seconds", 0);
+  job.set("stage2_seconds", 0);
+  return job.dump();
+}
+
+/// Direct serial run of the c17 job the TCP tests request (vectors 8,
+/// elaboration seed `seed`), normalized.
+std::string serial_baseline(std::uint64_t seed) {
+  runtime::BatchJob job;
+  job.name = "x";
+  job.seed = seed;
+  job.netlist = netlist::parse_bench_string(netlist::kIscas85C17);
+  job.options = fast_options();
+  job.options.elab.seed = seed;
+  const auto outcome = runtime::run_job(std::move(job));
+  EXPECT_TRUE(outcome.ok);
+  return normalized_job(runtime::job_json(outcome));
+}
+
+TEST(ServeTcp, MultiClientStressMatchesSerialRunsAndStatsReconcile) {
+  // Serial ground truth, one run per seed, before the server exists.
+  std::map<std::uint64_t, std::string> baseline;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    baseline[seed] = serial_baseline(seed);
+  }
+
+  serve::ServerOptions options;
+  options.jobs = 2;
+  options.version = "test";
+  // A deliberately tight cache: eviction churns underneath the concurrent
+  // clients, and results must still be byte-identical to serial runs.
+  options.cache_limits.max_entries = 2;
+  TcpServer ts(options);
+  ASSERT_NE(ts.port.load(), 0);
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      TcpClient client(ts.port.load());
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      const auto hello = client.read_until("hello");
+      if (!hello || hello->at("schema").as_string() != "lrsizer-serve-v2") {
+        ++failures;
+        return;
+      }
+      // Ids deliberately collide across clients ("j0".."j5" everywhere):
+      // per-client namespaces must keep them apart. Interleave a bogus
+      // cancel and a stats poll between the size requests.
+      for (int k = 0; k < kJobsPerClient; ++k) {
+        const std::uint64_t seed = static_cast<std::uint64_t>(k % 3) + 1;
+        client.send_line(size_request("j" + std::to_string(k), "c17",
+                                      ",\"seed\":" + std::to_string(seed)));
+        if (k == 2) client.send_line(R"({"type":"cancel","id":"ghost"})");
+        if (k == 4) client.send_line(R"({"type":"stats"})");
+      }
+      int results = 0, errors = 0, stats = 0;
+      while (results < kJobsPerClient || errors < 1 || stats < 1) {
+        const auto line = client.read_line();
+        if (!line) {
+          ++failures;  // EOF/timeout before all responses arrived
+          return;
+        }
+        const Json j = Json::parse(*line);
+        const std::string& type = j.at("type").as_string();
+        if (type == "result") {
+          ++results;
+          const std::string id = j.at("id").as_string();
+          const std::uint64_t seed =
+              static_cast<std::uint64_t>((id[1] - '0') % 3) + 1;
+          if (normalized_job(j.at("job")) != baseline[seed]) ++failures;
+        } else if (type == "error") {
+          ++errors;  // exactly the ghost cancel
+          if (j.at("id").as_string() != "ghost") ++failures;
+        } else if (type == "stats") {
+          ++stats;
+        } else if (type != "accepted" && type != "hello") {
+          ++failures;  // no cancelled/progress was requested
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Fleet-level reconciliation from a fresh client: every counter adds up
+  // across all four clients, and the budget was never exceeded.
+  TcpClient auditor(ts.port.load());
+  ASSERT_TRUE(auditor.ok());
+  ASSERT_TRUE(auditor.read_until("hello").has_value());
+  auditor.send_line(R"({"type":"stats","id":"audit"})");
+  const auto reply = auditor.read_until("stats");
+  ASSERT_TRUE(reply.has_value());
+  const Json& s = *reply;
+  EXPECT_EQ(s.at("jobs").at("accepted").as_number(), 1.0 * kClients * kJobsPerClient);
+  EXPECT_EQ(s.at("jobs").at("completed").as_number(), 1.0 * kClients * kJobsPerClient);
+  EXPECT_EQ(s.at("jobs").at("errors").as_number(), 1.0 * kClients);
+  EXPECT_EQ(s.at("jobs").at("cancelled").as_number(), 0.0);
+  EXPECT_EQ(s.at("jobs").at("queue_depth").as_number(), 0.0);
+  EXPECT_EQ(s.at("clients").at("active").as_number(), 1.0);
+  EXPECT_LE(s.at("cache").at("entries").as_number(), 2.0);
+  EXPECT_GT(s.at("cache").at("evictions").as_number(), 0.0);
+  EXPECT_EQ(s.at("latency").at("count").as_number(), 1.0 * kClients * kJobsPerClient);
+  EXPECT_GT(s.at("latency").at("p99_ms").as_number(), 0.0);
+}
+
+TEST(ServeTcp, PartialLinesFromASlowWriterAssembleIntoOneRequest) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  TcpServer ts(options);
+  TcpClient client(ts.port.load());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.read_until("hello").has_value());
+  // Dribble one request across several writes with pauses: the per-client
+  // buffer must assemble it, not treat each fragment as a line.
+  const std::string request = size_request("slow", "c17");
+  for (std::size_t off = 0; off < request.size(); off += 11) {
+    client.send_raw(request.substr(off, 11));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  client.send_raw("\n");
+  const auto result = client.read_until("result");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->at("id").as_string(), "slow");
+}
+
+TEST(ServeTcp, OversizedLineIsRejectedWithoutBufferingOrDisconnect) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.max_line_bytes = 256;
+  TcpServer ts(options);
+  TcpClient client(ts.port.load());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.read_until("hello").has_value());
+  // 8 KB with no newline: rejected once the buffer passes 256 bytes, the
+  // rest discarded, the connection kept.
+  client.send_raw(std::string(8192, 'x'));
+  const auto error = client.read_until("error");
+  ASSERT_TRUE(error.has_value());
+  EXPECT_NE(error->at("message").as_string().find("exceeds"),
+            std::string::npos);
+  // Terminate the oversized line; the same connection then works normally.
+  client.send_raw("\n");
+  client.send_line(size_request("after", "c17"));
+  const auto result = client.read_until("result");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->at("id").as_string(), "after");
+}
+
+TEST(ServeTcp, MidJobDisconnectCancelsTheJobAndServesOtherClients) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  TcpServer ts(options);
+  {
+    TcpClient doomed(ts.port.load());
+    ASSERT_TRUE(doomed.ok());
+    ASSERT_TRUE(doomed.read_until("hello").has_value());
+    // c6288 at 64 vectors runs for many seconds: the abrupt close below
+    // reliably lands mid-job (a c17-sized job would finish before the
+    // server could even notice the EOF).
+    doomed.send_line(
+        R"({"type":"size","id":"x","input":{"profile":"c6288"},)"
+        R"("options":{"vectors":64},"progress":1})");
+    // The job is mid-OGWS (progress is flowing) when the client vanishes:
+    // pending responses hit a closed socket — the server must survive (no
+    // SIGPIPE) and cancel the orphaned job.
+    ASSERT_TRUE(doomed.read_until("progress").has_value());
+  }
+  TcpClient survivor(ts.port.load());
+  ASSERT_TRUE(survivor.ok());
+  ASSERT_TRUE(survivor.read_until("hello").has_value());
+  survivor.send_line(size_request("y", "c17"));
+  const auto result = survivor.read_until("result");
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->at("id").as_string(), "y");
+  // The orphan was reaped: poll stats until the cancel lands (the reap is
+  // asynchronous with the survivor's connect).
+  bool cancelled = false;
+  for (int i = 0; i < 600 && !cancelled; ++i) {
+    survivor.send_line(R"({"type":"stats"})");
+    const auto stats = survivor.read_until("stats");
+    ASSERT_TRUE(stats.has_value());
+    cancelled = stats->at("jobs").at("cancelled").as_number() >= 1.0;
+    if (!cancelled) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(cancelled);
+}
+
+TEST(ServeTcp, ShutdownFromOneClientStopsTheWholeService) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  TcpServer ts(options);
+  TcpClient client(ts.port.load());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.read_until("hello").has_value());
+  client.send_line(R"({"type":"shutdown"})");
+  // The event loop exits on its own — no stop token involved.
+  for (int i = 0; i < 600 && !ts.done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(ts.done.load());
+}
+
+#endif  // sockets
 
 // ---- merge ------------------------------------------------------------------
 

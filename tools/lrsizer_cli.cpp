@@ -95,10 +95,18 @@ options:
   --cache-warm      on a cache miss, warm-start from a cached result with
                     the same circuit but different bounds/solver options
                     (faster, but not bit-identical to a cold run)
-  --listen PORT     (serve) accept lrsizer-serve-v1 over TCP on
-                    127.0.0.1:PORT instead of stdin/stdout
+  --cache-max-entries N  keep at most N completed results in the cache,
+                    LRU-evicted (and unlinked from --cache-dir); 0 disables
+                    result storage (default: unlimited)
+  --cache-max-bytes N    cap the cache's accounted result bytes likewise
+  --listen PORT     (serve) accept lrsizer-serve-v2 over TCP on
+                    127.0.0.1:PORT instead of stdin/stdout; any number of
+                    clients may connect concurrently (0 = pick an ephemeral
+                    port, announced on stderr)
   --max-pending N   (serve) reject size requests beyond N unfinished jobs
                     with an error response (backpressure; default: unbounded)
+  --stats-dump      (serve) print the final stats (jobs, cache, latency
+                    percentiles — the stats response's content) on shutdown
   --progress        per-OGWS-iteration progress lines on stderr
   --out FILE        (run) write the sized .bench here
   --out-dir DIR     (batch/sweep) write one sized .bench per job into DIR
@@ -108,8 +116,9 @@ options:
   --verbose         per-job progress on stderr
 
 serve reads newline-delimited JSON requests (docs/SERVING.md) and streams
-accepted / progress / result / cancelled / error responses; identical jobs
-are answered from the result cache byte-identically without re-running.
+accepted / progress / result / cancelled / stats / error responses;
+identical jobs are answered from the result cache byte-identically
+without re-running.
 
 Ctrl-C cancels cooperatively: running jobs return their best partial
 solution, reports are still written, and the exit code is 130.
@@ -131,10 +140,13 @@ struct CliOptions {
   int jobs = 0;
   int threads = 1;
   int shard_index = 0;
-  int shard_count = 0;  ///< 0 = unsharded
-  int listen_port = 0;  ///< 0 = stdin/stdout
+  int shard_count = 0;   ///< 0 = unsharded
+  int listen_port = -1;  ///< -1 = stdin/stdout; 0 = ephemeral TCP port
   int max_pending = 0;
   bool cache_warm = false;
+  bool stats_dump = false;
+  std::size_t cache_max_entries = runtime::CacheLimits::kUnlimited;
+  std::size_t cache_max_bytes = runtime::CacheLimits::kUnlimited;
   std::string cache_dir;
   std::string warm_start_path;
   std::string out_path;
@@ -220,10 +232,21 @@ CliOptions parse_args(int argc, char** argv) {
     }
     else if (arg == "--cache-dir") cli.cache_dir = next_value(i);
     else if (arg == "--cache-warm") cli.cache_warm = true;
+    else if (arg == "--cache-max-entries") {
+      const long v = parse_long(arg, next_value(i));
+      if (v < 0) fail("--cache-max-entries must be >= 0");
+      cli.cache_max_entries = static_cast<std::size_t>(v);
+    }
+    else if (arg == "--cache-max-bytes") {
+      const long v = parse_long(arg, next_value(i));
+      if (v < 0) fail("--cache-max-bytes must be >= 0");
+      cli.cache_max_bytes = static_cast<std::size_t>(v);
+    }
+    else if (arg == "--stats-dump") cli.stats_dump = true;
     else if (arg == "--listen") {
       cli.listen_port = static_cast<int>(parse_long(arg, next_value(i)));
-      if (cli.listen_port < 1 || cli.listen_port > 65535) {
-        fail("--listen expects a port in 1..65535");
+      if (cli.listen_port < 0 || cli.listen_port > 65535) {
+        fail("--listen expects a port in 0..65535 (0 = ephemeral)");
       }
     }
     else if (arg == "--max-pending") {
@@ -248,6 +271,13 @@ CliOptions parse_args(int argc, char** argv) {
     else cli.inputs.push_back(arg);
   }
   return cli;
+}
+
+runtime::CacheLimits cache_limits(const CliOptions& cli) {
+  runtime::CacheLimits limits;
+  limits.max_entries = cli.cache_max_entries;
+  limits.max_bytes = cli.cache_max_bytes;
+  return limits;
 }
 
 core::FlowOptions flow_options(const CliOptions& cli) {
@@ -487,7 +517,7 @@ int cmd_run(const CliOptions& cli) {
   }
   // A single run only benefits from the cache when it persists across
   // processes; without --cache-dir the run stays cache-free.
-  runtime::ResultCache cache(cli.cache_dir);
+  runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
   const auto batch = runtime::run_batch(
       std::move(jobs),
       make_batch_options(cli, 1, cli.cache_dir.empty() ? nullptr : &cache));
@@ -566,7 +596,7 @@ int cmd_batch(const CliOptions& cli) {
   // Batches always dedupe through a cache (memory-only without --cache-dir):
   // byte-identical jobs in one sweep run once (satisfying `cache_hits` in
   // the rollup) and identical jobs across runs hit the disk cache.
-  runtime::ResultCache cache(cli.cache_dir);
+  runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
   auto batch = runtime::run_batch(std::move(jobs),
                                   make_batch_options(cli, cli.jobs, &cache));
   batch.shard_index = cli.shard_index;
@@ -608,7 +638,7 @@ int cmd_sweep(const CliOptions& cli) {
   }
   jobs = apply_shard(std::move(jobs), cli);
 
-  runtime::ResultCache cache(cli.cache_dir);
+  runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
   auto batch = runtime::run_batch(std::move(jobs),
                                   make_batch_options(cli, cli.jobs, &cache));
   batch.shard_index = cli.shard_index;
@@ -618,7 +648,7 @@ int cmd_sweep(const CliOptions& cli) {
 }
 
 int cmd_serve(const CliOptions& cli) {
-  runtime::ResultCache cache(cli.cache_dir);
+  runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
   serve::ServerOptions options;
   // Worker default mirrors run_batch's jobs × threads split.
   const int hw =
@@ -652,10 +682,19 @@ int cmd_serve(const CliOptions& cli) {
     watcher.join();
   };
 
-  if (cli.listen_port > 0) {
+  const auto dump_stats = [&cli](const serve::Server& server) {
+    if (!cli.stats_dump) return;
+    const std::string text = serve::format_stats_text(server.stats_snapshot());
+    std::fwrite(text.data(), 1, text.size(), stderr);
+    std::fflush(stderr);
+  };
+
+  if (cli.listen_port >= 0) {
+    serve::Server server(options);
     const int rc = serve::listen_and_serve(
-        static_cast<std::uint16_t>(cli.listen_port), options);
+        static_cast<std::uint16_t>(cli.listen_port), server);
     stop_watcher();
+    dump_stats(server);
     return g_stop.stop_requested() ? 130 : rc;
   }
 
@@ -672,6 +711,7 @@ int cmd_serve(const CliOptions& cli) {
                "%zu cancelled, %zu errors\n",
                stats.accepted, stats.completed, stats.cache_hits,
                stats.cancelled, stats.errors);
+  dump_stats(server);
   return g_stop.stop_requested() ? 130 : 0;
 }
 

@@ -1,0 +1,193 @@
+#!/usr/bin/env python3
+"""Multi-client soak for `lrsizer serve --listen` (CI smoke).
+
+Launches the server on an ephemeral port with a deliberately tight LRU
+cache, drives N concurrent TCP clients through M sizing jobs each (with a
+bogus cancel and a stats poll interleaved), then reconciles the server's
+`stats` counters against the client-side tallies:
+
+  * every client received exactly M results and 1 error, all well-formed;
+  * results for the same (profile, seed) are byte-identical across clients
+    modulo request-scoped fields (name/cache_hit) and wall-clock timings;
+  * server stats: accepted == completed == N*M, errors == N,
+    queue_depth == 0, latency.count == N*M, cache entries within budget;
+  * the final stats snapshot is saved (CI uploads it as an artifact).
+
+Usage: serve_soak.py /path/to/lrsizer [--clients N] [--jobs M] [--out FILE]
+"""
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+
+
+def parse_port(stream):
+    """The server announces `listening on 127.0.0.1:<port>` on stderr."""
+    while True:
+        raw = stream.readline()
+        if not raw:
+            raise RuntimeError("server exited before announcing its port")
+        line = raw.decode("utf-8", "replace")
+        sys.stderr.write(line)
+        m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        if m:
+            return int(m.group(1))
+
+
+def drain(stream):
+    while True:
+        raw = stream.readline()
+        if not raw:
+            return
+        sys.stderr.write(raw.decode("utf-8", "replace"))
+
+
+def normalized(job):
+    job = dict(job)
+    job["name"] = None
+    job["cache_hit"] = None
+    for key in ("seconds", "stage1_seconds", "stage2_seconds"):
+        job[key] = None
+    return job
+
+
+def run_client(index, port, jobs, failures, payloads, lock):
+    try:
+        sock = socket.create_connection(("127.0.0.1", port), timeout=120)
+        sock.settimeout(120)
+        reader = sock.makefile("rb")
+        hello = json.loads(reader.readline())
+        assert hello["type"] == "hello", hello
+        assert hello["schema"] == "lrsizer-serve-v2", hello
+        # Job ids collide across clients on purpose: the per-client id
+        # namespace must keep them independent.
+        for k in range(jobs):
+            seed = (k % 3) + 1
+            request = {
+                "type": "size",
+                "id": "j%d" % k,
+                "seed": seed,
+                "input": {"profile": "c17"},
+                "options": {"vectors": 8},
+            }
+            sock.sendall((json.dumps(request) + "\n").encode())
+            if k == 1:
+                sock.sendall(b'{"type":"cancel","id":"ghost"}\n')
+            if k == 2:
+                sock.sendall(b'{"type":"stats"}\n')
+        results, errors, stats = {}, 0, 0
+        while len(results) < jobs or errors < 1 or stats < 1:
+            line = reader.readline()
+            if not line:
+                raise RuntimeError("client %d: EOF before all responses" % index)
+            response = json.loads(line)
+            rtype = response["type"]
+            if rtype == "result":
+                results[response["id"]] = response["job"]
+            elif rtype == "error":
+                assert response.get("id") == "ghost", response
+                errors += 1
+            elif rtype == "stats":
+                stats += 1
+            elif rtype not in ("accepted",):
+                raise RuntimeError("client %d: unexpected %r" % (index, rtype))
+        with lock:
+            for job_id, job in results.items():
+                seed = (int(job_id[1:]) % 3) + 1
+                payloads.setdefault(seed, []).append(normalized(job))
+        reader.close()
+        sock.close()
+    except Exception as exc:  # noqa: BLE001 - report, don't hang the soak
+        failures.append("client %d: %s" % (index, exc))
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("lrsizer")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--jobs", type=int, default=25)
+    parser.add_argument("--out", default="serve_soak_stats.json")
+    args = parser.parse_args()
+
+    server = subprocess.Popen(
+        [
+            args.lrsizer, "serve", "--listen", "0", "--jobs", "2",
+            "--cache-max-entries", "2", "--stats-dump", "--quiet",
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        port = parse_port(server.stderr)
+        stderr_drain = threading.Thread(
+            target=drain, args=(server.stderr,), daemon=True)
+        stderr_drain.start()
+
+        failures, payloads, lock = [], {}, threading.Lock()
+        clients = [
+            threading.Thread(
+                target=run_client,
+                args=(i, port, args.jobs, failures, payloads, lock))
+            for i in range(args.clients)
+        ]
+        for c in clients:
+            c.start()
+        for c in clients:
+            c.join(timeout=600)
+        assert not failures, failures
+
+        # Determinism across clients and cache/eviction churn: every payload
+        # for a given seed is identical.
+        for seed, jobs in sorted(payloads.items()):
+            assert len(jobs) == args.clients * (args.jobs // 3 +
+                                                (seed - 1 < args.jobs % 3)), (
+                seed, len(jobs))
+            assert all(j == jobs[0] for j in jobs), (
+                "seed %d payloads differ across clients" % seed)
+
+        # Fleet reconciliation from a final auditor connection.
+        sock = socket.create_connection(("127.0.0.1", port), timeout=120)
+        sock.settimeout(120)
+        reader = sock.makefile("rb")
+        json.loads(reader.readline())  # hello
+        sock.sendall(b'{"type":"stats","id":"audit"}\n')
+        stats = json.loads(reader.readline())
+        assert stats["type"] == "stats", stats
+        total = args.clients * args.jobs
+        jobs = stats["jobs"]
+        assert jobs["accepted"] == total, jobs
+        assert jobs["completed"] == total, jobs
+        assert jobs["errors"] == args.clients, jobs
+        assert jobs["cancelled"] == 0, jobs
+        assert jobs["queue_depth"] == 0, jobs
+        assert jobs["cache_hits"] >= 1, jobs
+        assert stats["clients"]["active"] == 1, stats["clients"]
+        cache = stats["cache"]
+        assert cache["entries"] <= 2, cache
+        assert cache["evictions"] >= 1, cache
+        latency = stats["latency"]
+        assert latency["count"] == total, latency
+        assert latency["p99_ms"] >= latency["p50_ms"] > 0, latency
+
+        with open(args.out, "w") as f:
+            json.dump(stats, f, indent=2, sort_keys=True)
+        print("serve soak: %d clients x %d jobs OK; stats saved to %s"
+              % (args.clients, args.jobs, args.out))
+
+        sock.sendall(b'{"type":"shutdown"}\n')
+        reader.close()
+        sock.close()
+        server.wait(timeout=120)
+        assert server.returncode == 0, server.returncode
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.wait()
+
+
+if __name__ == "__main__":
+    main()
