@@ -7,6 +7,7 @@
 
 #include "api/options.hpp"
 #include "layout/ordering.hpp"
+#include "obs/trace.hpp"
 #include "runtime/pool.hpp"
 #include "sim/patterns.hpp"
 #include "sim/similarity.hpp"
@@ -92,7 +93,10 @@ Status SizingSession::elaborate() {
         "netlist is not finalized — call LogicNetlist::finalize() (or parse a "
         "complete .bench) before sizing");
   }
+  obs::ScopedSpan span(trace_, "elaborate", "session");
   elab_ = netlist::elaborate(netlist_, options_.tech, options_.elab);
+  span.arg("nodes", static_cast<double>(elab_->circuit.num_nodes()));
+  span.arg("edges", static_cast<double>(elab_->circuit.num_edges()));
   next_ = Stage::kSimulateAndOrder;
   return Status::Ok();
 }
@@ -104,6 +108,7 @@ Status SizingSession::simulate_and_order() {
   }
   const netlist::Circuit& circuit = elab_->circuit;
   util::WallTimer stage1_timer;
+  obs::ScopedSpan span(trace_, "simulate_and_order", "session");
 
   const auto vectors = sim::random_vectors(
       static_cast<std::int32_t>(netlist_.primary_inputs().size()),
@@ -168,6 +173,8 @@ Status SizingSession::simulate_and_order() {
   ordering_cost_initial_ = cost_initial;
   ordering_cost_woss_ = cost_final;
   stage1_seconds_ = stage1_timer.seconds();
+  span.arg("channels", static_cast<double>(channels.channels.size()));
+  span.arg("pairs", static_cast<double>(coupling_->pairs().size()));
   next_ = Stage::kDeriveBounds;
   return Status::Ok();
 }
@@ -178,6 +185,7 @@ Status SizingSession::derive_bounds() {
   }
   netlist::Circuit& circuit = elab_->circuit;
   util::WallTimer timer;
+  obs::ScopedSpan span(trace_, "derive_bounds", "session");
   circuit.set_uniform_size(options_.initial_size);
   init_metrics_ = timing::compute_metrics(circuit, *coupling_, circuit.sizes(),
                                           options_.ogws.lrs.mode);
@@ -244,10 +252,12 @@ Status SizingSession::size() {
     }
   }
 
+  obs::ScopedSpan span(trace_, "size", "session");
   core::OgwsControl control;
   control.observer = observer_;
   control.stop = stop_;
   control.capture_warm_start = capture_warm_start_;
+  control.trace = trace_;
   if (warm_.has_value()) control.warm_start = &*warm_;
 
   // Intra-job parallelism: a caller-supplied executor wins; otherwise the
@@ -264,6 +274,8 @@ Status SizingSession::size() {
   util::WallTimer stage2_timer;
   core::OgwsResult ogws =
       core::run_ogws(circuit, *coupling_, bounds_, options_.ogws, control);
+  span.arg("iterations", static_cast<double>(ogws.iterations));
+  span.arg("converged", ogws.converged ? 1.0 : 0.0);
   circuit.mutable_sizes() = ogws.sizes;
   const timing::Metrics final_metrics = timing::compute_metrics(
       circuit, *coupling_, circuit.sizes(), options_.ogws.lrs.mode);

@@ -48,6 +48,10 @@ namespace lrsizer::util {
 class Executor;
 }
 
+namespace lrsizer::obs {
+class TraceSession;
+}
+
 namespace lrsizer::api {
 
 /// Per-iteration progress callback; receives OGWS's iteration summary
@@ -84,6 +88,14 @@ class SizingSession {
   /// size() spins up a runtime::KernelTeam of options.threads when
   /// options.threads != 1. Results are bit-identical with any executor.
   void set_executor(util::Executor* executor) { external_executor_ = executor; }
+
+  /// Flow tracing (borrowed; must outlive the last stage call): each stage
+  /// records one span, and size() additionally records one span per OGWS
+  /// iteration (dual, max KKT violation, nodes moved) and per LRS pass —
+  /// Chrome trace-event JSON via obs::TraceSession::dump_json(). nullptr
+  /// (the default) disables tracing; the FlowResult is bit-identical either
+  /// way (the hooks only read optimizer state).
+  void set_trace(obs::TraceSession* trace) { trace_ = trace; }
 
   /// Record the warm-start snapshot (`result().ogws.warm`) so this run can
   /// seed warm_start_from() later. On by default — session results are
@@ -158,6 +170,7 @@ class SizingSession {
   IterationObserver observer_;
   std::stop_token stop_;
   util::Executor* external_executor_ = nullptr;
+  obs::TraceSession* trace_ = nullptr;
   bool capture_warm_start_ = true;
   std::optional<core::OgwsWarmStart> warm_;
   std::vector<std::pair<std::int32_t, double>> warm_entries_;

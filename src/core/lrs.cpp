@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "layout/coloring.hpp"
+#include "obs/trace.hpp"
 #include "timing/upstream.hpp"
 #include "util/assert.hpp"
 
@@ -164,6 +165,8 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
 
   LrsStats stats;
   for (int pass = 0; pass < options.max_passes; ++pass) {
+    obs::ScopedSpan span(runtime.trace, "lrs_pass", "lrs");
+
     // S3: μ-weighted upstream resistances at the current sizes.
     timing::compute_weighted_upstream(circuit, x, mu, workspace.r_up, exec);
 
@@ -175,6 +178,8 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
 
     stats.passes = pass + 1;
     stats.max_rel_change = max_rel_change;
+    span.arg("pass", pass + 1);
+    span.arg("max_rel_change", max_rel_change);
     // S5: "repeat until no improvement".
     if (max_rel_change < options.tol) break;
   }

@@ -27,6 +27,10 @@
 #include "timing/loads.hpp"
 #include "util/parallel.hpp"
 
+namespace lrsizer::obs {
+class TraceSession;
+}
+
 namespace lrsizer::core {
 
 /// Crosstalk-constraint multipliers. The paper's base formulation uses one
@@ -94,6 +98,9 @@ struct LrsRuntime {
   /// needed and none is supplied, so hot callers (run_ogws) should pass the
   /// schedule they built once.
   const netlist::LevelSchedule* colors = nullptr;
+  /// Flow tracing: one span per LRS pass (sweep) when set. nullptr (the
+  /// default) costs a single pointer test per pass — see obs/trace.hpp.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Minimize L_{λ,β,γ}(x) over the size box; x is in/out (indexed by NodeId).

@@ -7,6 +7,7 @@
 
 #include "core/lagrangian.hpp"
 #include "layout/coloring.hpp"
+#include "obs/trace.hpp"
 #include "timing/arrival.hpp"
 #include "timing/metrics.hpp"
 #include "util/assert.hpp"
@@ -83,6 +84,7 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
   // coupling graph, which is fixed here.
   util::Executor* exec = util::serial(control.executor) ? nullptr : control.executor;
   LrsRuntime lrs_runtime;
+  lrs_runtime.trace = control.trace;
   std::optional<netlist::LevelSchedule> colors;
   if (exec != nullptr) {
     lrs_runtime.executor = exec;
@@ -133,6 +135,31 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
   double best_violation = std::numeric_limits<double>::infinity();
   bool evaluated_initial = false;
 
+  // Traced runs snapshot x before each LRS call so the iteration span can
+  // report how many nodes the sweep moved. The buffer lives outside the loop
+  // (assignment reuses its capacity) and is never touched when tracing is
+  // off — the disabled path stays a pointer test.
+  std::vector<double> x_traced;
+  std::uint64_t span_begin_us = 0;
+  // One span per iteration, closing at the same points the observer fires.
+  // The iteration metadata mirrors the observer's iterate plus the traced
+  // nodes-moved count (x vs. the pre-LRS snapshot).
+  auto record_iteration_span = [&](const OgwsIterate& it) {
+    if (control.trace == nullptr) return;
+    std::size_t moved = 0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      if (x[i] != x_traced[i]) ++moved;
+    }
+    control.trace->record("ogws_iteration", "ogws", span_begin_us,
+                          control.trace->now_us(),
+                          {{"k", static_cast<double>(it.k)},
+                           {"dual", it.dual},
+                           {"max_kkt_violation", it.max_violation},
+                           {"nodes_moved", static_cast<double>(moved)},
+                           {"lrs_passes", static_cast<double>(it.lrs_passes)},
+                           {"rel_gap", it.rel_gap}});
+  };
+
   if (warm != nullptr && !warm->sizes.empty()) {
     // Evaluate the warm iterate as the incumbent primal candidate. Nothing
     // is trusted from the snapshot: area and violations are recomputed under
@@ -167,6 +194,10 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
       break;
     }
     util::WallTimer iter_timer;
+    if (control.trace != nullptr) {
+      span_begin_us = control.trace->now_us();
+      x_traced = x;
+    }
 
     // A2: node weights from edge multipliers.
     multipliers.compute_mu(circuit, mu);
@@ -241,6 +272,7 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
       result.converged = true;
       iterate.seconds = iter_timer.seconds();
       if (options.record_history) result.history.back().seconds = iterate.seconds;
+      record_iteration_span(iterate);
       if (control.observer) control.observer(iterate);
       break;
     }
@@ -336,6 +368,7 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
 
     iterate.seconds = iter_timer.seconds();
     if (options.record_history) result.history.back().seconds = iterate.seconds;
+    record_iteration_span(iterate);
     if (control.observer) control.observer(iterate);
     util::log_debug() << "ogws k=" << k << " area=" << area << " gap=" << cert_gap
                       << " viol=" << max_violation;

@@ -123,6 +123,12 @@ struct OgwsControl {
   /// which is why this lives in the out-of-band control block and not the
   /// options.
   util::Executor* executor = nullptr;
+  /// Flow tracing (obs/trace.hpp): one span per OGWS iteration — with dual
+  /// value, max KKT violation and nodes-moved metadata — and per LRS pass,
+  /// recorded into this session. nullptr (the default) disables tracing at
+  /// the cost of one pointer test per iteration; the optimization trajectory
+  /// is bit-identical either way (tracing only reads iterate state).
+  obs::TraceSession* trace = nullptr;
 };
 
 struct OgwsResult {

@@ -1,0 +1,140 @@
+#include "obs/prometheus.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace lrsizer::obs {
+
+namespace {
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+/// Append `{a="x",b="y"}` (or nothing when empty). `extra` appends one more
+/// pair after the sample's own labels — the histogram renderer's le=.
+void append_labels(std::string& out, const Labels& labels,
+                   const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return;
+  out.push_back('{');
+  bool first = true;
+  auto emit = [&](const std::string& name, const std::string& value) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += name;
+    out += "=\"";
+    out += escape_label_value(value);
+    out.push_back('"');
+  };
+  for (const auto& [name, value] : labels) emit(name, value);
+  if (extra != nullptr) emit(extra->first, extra->second);
+  out.push_back('}');
+}
+
+void append_sample(std::string& out, const std::string& name,
+                   const Labels& labels,
+                   const std::pair<std::string, std::string>* extra,
+                   double value) {
+  out += name;
+  append_labels(out, labels, extra);
+  out.push_back(' ');
+  out += format_value(value);
+  out.push_back('\n');
+}
+
+}  // namespace
+
+std::string escape_help(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string escape_label_value(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string format_value(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  // Counters and most gauges are whole numbers; render them without the
+  // scientific notation to_chars picks for large magnitudes.
+  if (value == std::floor(value) && std::fabs(value) < 9.007199254740992e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    return buf;
+  }
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), value);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, ptr);
+}
+
+std::string render_prometheus(const std::vector<MetricFamily>& families) {
+  std::string out;
+  for (const MetricFamily& family : families) {
+    out += "# HELP ";
+    out += family.name;
+    out.push_back(' ');
+    out += escape_help(family.help);
+    out.push_back('\n');
+    out += "# TYPE ";
+    out += family.name;
+    out.push_back(' ');
+    out += type_name(family.type);
+    out.push_back('\n');
+    for (const Sample& sample : family.samples) {
+      if (!sample.histogram.has_value()) {
+        append_sample(out, family.name, sample.labels, nullptr, sample.value);
+        continue;
+      }
+      const HistogramValue& h = *sample.histogram;
+      std::uint64_t cumulative = 0;
+      for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+        cumulative += h.counts[i];
+        const std::pair<std::string, std::string> le{"le",
+                                                     format_value(h.bounds[i])};
+        append_sample(out, family.name + "_bucket", sample.labels, &le,
+                      static_cast<double>(cumulative));
+      }
+      const std::pair<std::string, std::string> inf{"le", "+Inf"};
+      append_sample(out, family.name + "_bucket", sample.labels, &inf,
+                    static_cast<double>(h.count));
+      append_sample(out, family.name + "_sum", sample.labels, nullptr, h.sum);
+      append_sample(out, family.name + "_count", sample.labels, nullptr,
+                    static_cast<double>(h.count));
+    }
+  }
+  return out;
+}
+
+}  // namespace lrsizer::obs

@@ -1,0 +1,32 @@
+// Prometheus text exposition format 0.0.4 renderer for Registry snapshots —
+// what GET /metrics returns.
+//
+// Escaping rules follow the format spec exactly: HELP text escapes backslash
+// and newline; label values escape backslash, double-quote and newline.
+// Histograms render the cumulative _bucket{le=...} series (the +Inf bucket
+// always equals _count), then _sum and _count. Families arrive sorted by
+// name from Registry::snapshot(), so the rendering is deterministic for a
+// fixed registry state — the golden-file test relies on that.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace lrsizer::obs {
+
+/// `\` → `\\`, newline → `\n` (HELP lines).
+std::string escape_help(const std::string& text);
+
+/// `\` → `\\`, `"` → `\"`, newline → `\n` (label values).
+std::string escape_label_value(const std::string& text);
+
+/// Shortest-round-trip sample value: integral values render without an
+/// exponent or fraction, everything else through std::to_chars.
+std::string format_value(double value);
+
+/// Render one snapshot as text/plain; version=0.0.4 content.
+std::string render_prometheus(const std::vector<MetricFamily>& families);
+
+}  // namespace lrsizer::obs

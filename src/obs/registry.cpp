@@ -1,0 +1,259 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lrsizer::obs {
+
+namespace {
+
+/// Portable relaxed add for atomic<double> (fetch_add on floating atomics is
+/// C++20 but not universally lowered; the CAS loop costs the same here).
+void atomic_add(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+Labels sorted_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {}
+
+void Histogram::observe(double v) {
+  // Prometheus bucket semantics: bucket le=b counts observations <= b, so
+  // the slot is the first bound >= v (the +Inf overflow slot otherwise).
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool Registry::valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool Registry::valid_label_name(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+Registry::Instrument* Registry::find_or_create(const std::string& name,
+                                               const std::string& help,
+                                               MetricType type, Labels labels,
+                                               bool* created) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("obs: invalid metric name '" + name + "'");
+  }
+  for (const auto& [key, value] : labels) {
+    if (!valid_label_name(key)) {
+      throw std::invalid_argument("obs: invalid label name '" + key +
+                                  "' on metric '" + name + "'");
+    }
+    if (key == "le") {
+      // Reserved: the renderer synthesizes le= for histogram buckets.
+      throw std::invalid_argument(
+          "obs: label name 'le' is reserved for histogram buckets (metric '" +
+          name + "')");
+    }
+  }
+  labels = sorted_labels(std::move(labels));
+  auto [family_it, family_created] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (family_created) {
+    family.help = help;
+    family.type = type;
+  } else {
+    if (family.type != type) {
+      throw std::invalid_argument("obs: metric '" + name +
+                                  "' re-registered with a different type");
+    }
+    if (family.help != help) {
+      throw std::invalid_argument("obs: metric '" + name +
+                                  "' re-registered with different help text");
+    }
+  }
+  for (Instrument& instrument : family.instruments) {
+    if (instrument.labels == labels) {
+      *created = false;
+      return &instrument;
+    }
+  }
+  Instrument instrument;
+  instrument.labels = std::move(labels);
+  family.instruments.push_back(std::move(instrument));
+  *created = true;
+  return &family.instruments.back();
+}
+
+Counter* Registry::counter(const std::string& name, const std::string& help,
+                           Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool created = false;
+  Instrument* instrument =
+      find_or_create(name, help, MetricType::kCounter, std::move(labels), &created);
+  if (!created) {
+    if (!instrument->counter) {
+      throw std::invalid_argument("obs: counter '" + name +
+                                  "' already registered as a callback metric");
+    }
+    return instrument->counter.get();
+  }
+  instrument->counter = std::make_unique<Counter>();
+  return instrument->counter.get();
+}
+
+Gauge* Registry::gauge(const std::string& name, const std::string& help,
+                       Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool created = false;
+  Instrument* instrument =
+      find_or_create(name, help, MetricType::kGauge, std::move(labels), &created);
+  if (!created) {
+    if (!instrument->gauge) {
+      throw std::invalid_argument("obs: gauge '" + name +
+                                  "' already registered as a callback metric");
+    }
+    return instrument->gauge.get();
+  }
+  instrument->gauge = std::make_unique<Gauge>();
+  return instrument->gauge.get();
+}
+
+Histogram* Registry::histogram(const std::string& name, const std::string& help,
+                               std::vector<double> bounds, Labels labels) {
+  if (bounds.empty()) {
+    throw std::invalid_argument("obs: histogram '" + name +
+                                "' needs at least one bucket bound");
+  }
+  for (std::size_t i = 0; i < bounds.size(); ++i) {
+    if (!std::isfinite(bounds[i]) || (i > 0 && bounds[i] <= bounds[i - 1])) {
+      throw std::invalid_argument(
+          "obs: histogram '" + name +
+          "' bucket bounds must be finite and strictly ascending");
+    }
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool created = false;
+  Instrument* instrument = find_or_create(name, help, MetricType::kHistogram,
+                                          std::move(labels), &created);
+  Family& family = families_.at(name);
+  if (family.bounds.empty()) {
+    family.bounds = bounds;
+  } else if (family.bounds != bounds) {
+    throw std::invalid_argument("obs: histogram '" + name +
+                                "' re-registered with different bucket bounds");
+  }
+  if (!created) return instrument->histogram.get();
+  instrument->histogram = std::make_unique<Histogram>(std::move(bounds));
+  return instrument->histogram.get();
+}
+
+void Registry::counter_fn(const std::string& name, const std::string& help,
+                          Labels labels, std::function<double()> fn,
+                          const void* owner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool created = false;
+  Instrument* instrument =
+      find_or_create(name, help, MetricType::kCounter, std::move(labels), &created);
+  if (!created && instrument->counter) {
+    throw std::invalid_argument("obs: counter '" + name +
+                                "' already registered as an owned instrument");
+  }
+  instrument->fn = std::move(fn);
+  instrument->owner = owner;
+}
+
+void Registry::gauge_fn(const std::string& name, const std::string& help,
+                        Labels labels, std::function<double()> fn,
+                        const void* owner) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  bool created = false;
+  Instrument* instrument =
+      find_or_create(name, help, MetricType::kGauge, std::move(labels), &created);
+  if (!created && instrument->gauge) {
+    throw std::invalid_argument("obs: gauge '" + name +
+                                "' already registered as an owned instrument");
+  }
+  instrument->fn = std::move(fn);
+  instrument->owner = owner;
+}
+
+void Registry::remove_owner(const void* owner) {
+  if (owner == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = families_.begin(); it != families_.end();) {
+    auto& instruments = it->second.instruments;
+    std::erase_if(instruments, [owner](const Instrument& instrument) {
+      return instrument.fn && instrument.owner == owner;
+    });
+    if (instruments.empty()) {
+      it = families_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::vector<MetricFamily> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricFamily> out;
+  out.reserve(families_.size());
+  for (const auto& [name, family] : families_) {
+    MetricFamily rendered;
+    rendered.name = name;
+    rendered.help = family.help;
+    rendered.type = family.type;
+    rendered.samples.reserve(family.instruments.size());
+    for (const Instrument& instrument : family.instruments) {
+      Sample sample;
+      sample.labels = instrument.labels;
+      if (instrument.histogram) {
+        const Histogram& h = *instrument.histogram;
+        HistogramValue value;
+        value.bounds = h.bounds();
+        value.counts.resize(h.bounds().size() + 1);
+        for (std::size_t i = 0; i < value.counts.size(); ++i) {
+          value.counts[i] = h.bucket_count(i);
+        }
+        value.sum = h.sum();
+        value.count = h.count();
+        sample.histogram = std::move(value);
+      } else if (instrument.counter) {
+        sample.value = static_cast<double>(instrument.counter->value());
+      } else if (instrument.gauge) {
+        sample.value = instrument.gauge->value();
+      } else if (instrument.fn) {
+        sample.value = instrument.fn();
+      }
+      rendered.samples.push_back(std::move(sample));
+    }
+    out.push_back(std::move(rendered));
+  }
+  return out;
+}
+
+}  // namespace lrsizer::obs

@@ -1,0 +1,83 @@
+#include "obs/trace.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "runtime/json.hpp"
+
+namespace lrsizer::obs {
+
+void TraceSession::record(std::string name, std::string category,
+                          std::uint64_t begin_us, std::uint64_t end_us,
+                          Args args) {
+  Span span;
+  span.name = std::move(name);
+  span.category = std::move(category);
+  span.ts_us = begin_us;
+  span.dur_us = end_us >= begin_us ? end_us - begin_us : 0;
+  span.args = std::move(args);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto [it, inserted] =
+      tid_of_.emplace(std::this_thread::get_id(),
+                      static_cast<int>(tid_of_.size()) + 1);
+  span.tid = it->second;
+  spans_.push_back(std::move(span));
+}
+
+std::size_t TraceSession::span_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_.size();
+}
+
+std::vector<TraceSession::Span> TraceSession::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+std::string TraceSession::dump_json() const {
+  runtime::Json events = runtime::Json::array();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const Span& span : spans_) {
+      runtime::Json event = runtime::Json::object();
+      event.set("name", span.name);
+      event.set("cat", span.category);
+      event.set("ph", "X");
+      event.set("ts", static_cast<std::uint64_t>(span.ts_us));
+      event.set("dur", static_cast<std::uint64_t>(span.dur_us));
+      event.set("pid", 1);
+      event.set("tid", span.tid);
+      if (!span.args.empty()) {
+        runtime::Json args = runtime::Json::object();
+        for (const auto& [key, value] : span.args) args.set(key, value);
+        event.set("args", std::move(args));
+      }
+      events.push_back(std::move(event));
+    }
+  }
+  runtime::Json doc = runtime::Json::object();
+  // The schema marker comes first; Chrome/Perfetto ignore unknown top-level
+  // keys and load the "traceEvents" array.
+  doc.set("schema", "lrsizer-trace-v1");
+  doc.set("displayTimeUnit", "ms");
+  doc.set("traceEvents", std::move(events));
+  return doc.dump();
+}
+
+bool TraceSession::write_file(const std::string& path, std::string* error) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "': " + std::strerror(errno);
+    }
+    return false;
+  }
+  const std::string text = dump_json() + "\n";
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok && error != nullptr) *error = "short write to '" + path + "'";
+  return ok;
+}
+
+}  // namespace lrsizer::obs

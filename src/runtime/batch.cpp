@@ -15,6 +15,7 @@
 
 #include "api/session.hpp"
 #include "netlist/generator.hpp"
+#include "obs/registry.hpp"
 #include "util/logging.hpp"
 #include "util/timer.hpp"
 
@@ -64,6 +65,7 @@ JobOutcome run_job(BatchJob job, const JobControls& controls) {
   api::SizingSession session(std::move(job.netlist), job.options);
   try {
     session.set_stop_token(controls.stop);
+    session.set_trace(controls.trace);
     if (controls.observer) {
       session.set_observer(
           [&observer = controls.observer, &name = outcome.name](
@@ -117,8 +119,8 @@ namespace {
 
 JobOutcome run_one(BatchJob&& job, const BatchOptions& options,
                    const CacheKey* key) {
-  JobOutcome outcome =
-      run_job(std::move(job), JobControls{options.stop, options.observer});
+  JobOutcome outcome = run_job(
+      std::move(job), JobControls{options.stop, options.observer, options.trace});
   // Publish completed cold runs; cancelled/failed outcomes never enter the
   // cache (their bits depend on where the interrupt landed).
   if (key && outcome.ok && !outcome.cancelled && outcome.flow) {
@@ -231,6 +233,21 @@ BatchResult run_batch(std::vector<BatchJob> jobs, ThreadPool& pool,
         result.peak_memory_bytes = outcome.summary.memory_bytes;
       }
     }
+  }
+  if (options.registry) {
+    obs::Registry& reg = *options.registry;
+    const char* help = "Batch jobs finished, by outcome.";
+    const std::size_t cancelled = result.num_cancelled();
+    const std::size_t failed = result.num_failed();
+    reg.counter("lrsizer_batch_jobs_total", help, {{"outcome", "ok"}})
+        ->inc(result.jobs.size() - cancelled - failed);
+    reg.counter("lrsizer_batch_jobs_total", help, {{"outcome", "cancelled"}})
+        ->inc(cancelled);
+    reg.counter("lrsizer_batch_jobs_total", help, {{"outcome", "failed"}})
+        ->inc(failed);
+    reg.counter("lrsizer_batch_cache_hits_total",
+                "Batch jobs answered from the result cache or in-batch dedupe.")
+        ->inc(result.num_cache_hits());
   }
   return result;
 }

@@ -23,6 +23,11 @@
 #include "runtime/json.hpp"
 #include "runtime/pool.hpp"
 
+namespace lrsizer::obs {
+class Registry;
+class TraceSession;
+}
+
 namespace lrsizer::runtime {
 
 struct BatchJob {
@@ -73,6 +78,10 @@ using BatchObserver =
 struct JobControls {
   std::stop_token stop;
   BatchObserver observer;
+  /// Flow tracing (borrowed; must outlive the run): stage, OGWS-iteration
+  /// and LRS-pass spans recorded via api::SizingSession::set_trace. The
+  /// sizing trajectory is bit-identical either way. nullptr: no tracing.
+  obs::TraceSession* trace = nullptr;
 };
 
 /// Run one job through its own api::SizingSession on the calling thread.
@@ -119,6 +128,15 @@ struct BatchOptions {
   /// warm-started runs converge to an equally valid but not bit-identical
   /// trajectory, so this trades reproducibility-vs-cold for speed.
   bool cache_warm = false;
+  /// Flow tracing shared by every job in the batch (borrowed; must outlive
+  /// run_batch). TraceSession::record is thread-safe and spans carry dense
+  /// per-thread tids, so concurrent jobs interleave cleanly in one trace.
+  /// nullptr: no tracing.
+  obs::TraceSession* trace = nullptr;
+  /// Telemetry registry (borrowed). When set, run_batch publishes
+  /// lrsizer_batch_jobs_total{outcome="ok"|"cancelled"|"failed"} and
+  /// lrsizer_batch_cache_hits_total at rollup. nullptr: no telemetry.
+  obs::Registry* registry = nullptr;
 };
 
 struct BatchResult {

@@ -19,7 +19,15 @@ inline void cpu_pause() {
 #endif
 }
 
+/// Backing store of kernel_rounds_total(); relaxed — a diagnostic counter,
+/// never a synchronization point.
+std::atomic<std::uint64_t> g_kernel_rounds{0};
+
 }  // namespace
+
+std::uint64_t kernel_rounds_total() {
+  return g_kernel_rounds.load(std::memory_order_relaxed);
+}
 
 ThreadPool::ThreadPool(int num_workers) {
   if (num_workers <= 0) {
@@ -207,6 +215,7 @@ void KernelTeam::run_chunks(std::int32_t n, std::int32_t grain, util::ChunkFn fn
     fn(0, n);
     return;
   }
+  g_kernel_rounds.fetch_add(1, std::memory_order_relaxed);
 
   // Publish the round: descriptor first, then the packed
   // (round, next = 0, chunks) word (release) that workers acquire.

@@ -34,6 +34,12 @@
 
 namespace lrsizer::runtime {
 
+/// Process-wide count of KernelTeam chunk rounds dispatched to helpers
+/// (serial/inline rounds are not counted). Relaxed monotonic counter shared
+/// by every team in the process — the source of the lrsizer_kernel_rounds_total
+/// metric (obs/registry.hpp counter_fn).
+std::uint64_t kernel_rounds_total();
+
 class ThreadPool {
  public:
   /// Start `num_workers` threads (0 means std::thread::hardware_concurrency,

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "obs/http.hpp"
+#include "obs/prometheus.hpp"
 #include "util/logging.hpp"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -31,9 +33,7 @@ namespace {
 /// the connection. MSG_NOSIGNAL because a disconnected client must surface
 /// as a write error, not a process-killing SIGPIPE — this is a long-lived
 /// server (per-fd SO_NOSIGPIPE covers platforms without the flag).
-void write_line_fd(int fd, const std::string& line) {
-  std::string out = line;
-  out.push_back('\n');
+void write_all_fd(int fd, const std::string& out) {
   std::size_t off = 0;
   while (off < out.size()) {
 #if defined(MSG_NOSIGNAL)
@@ -45,6 +45,12 @@ void write_line_fd(int fd, const std::string& line) {
     if (n <= 0) return;
     off += static_cast<std::size_t>(n);
   }
+}
+
+void write_line_fd(int fd, const std::string& line) {
+  std::string out = line;
+  out.push_back('\n');
+  write_all_fd(fd, out);
 }
 
 /// Read lines from one connected fd (the stdin transport). Reads are
@@ -102,12 +108,84 @@ class LineReader {
 /// handle, and the bytes received that do not yet form a complete line.
 struct Conn {
   int fd = -1;
-  Server::ClientId client = 0;
+  Server::ClientId client = 0;  ///< jsonl connections only (0 = none)
   std::string buffer;
   /// An over-budget line was rejected; drop bytes until its newline.
   bool discarding = false;
   bool dead = false;
+  /// Accepted on the metrics listener: bytes go through `parser` and the
+  /// connection answers exactly one HTTP request (Connection: close).
+  bool http = false;
+  obs::HttpRequestParser parser;
 };
+
+/// Open a loopback TCP listener (`port` 0 = ephemeral). Returns the fd, or
+/// -1 with the reason logged. `*actual` receives the bound port.
+int open_listener(std::uint16_t port, const char* what, std::uint16_t* actual) {
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    util::log_error() << "serve: socket() for " << what << ": "
+                      << std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    util::log_error() << "serve: cannot listen (" << what << ") on 127.0.0.1:"
+                      << port << ": " << std::strerror(errno);
+    ::close(listener);
+    return -1;
+  }
+  *actual = port;
+  if (port == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      *actual = ntohs(bound.sin_port);
+    }
+  }
+  return listener;
+}
+
+const char* reason_phrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Error";
+  }
+}
+
+/// Answer one complete HTTP request on a metrics connection and close it.
+void respond_http(Conn& conn, Server& server) {
+  const obs::HttpRequest& req = conn.parser.request();
+  std::string response;
+  if (req.method != "GET") {
+    response = obs::http_response(405, reason_phrase(405),
+                                  "text/plain; charset=utf-8",
+                                  "method not allowed\n");
+  } else if (req.target == "/metrics") {
+    response = obs::http_response(
+        200, reason_phrase(200), "text/plain; version=0.0.4; charset=utf-8",
+        obs::render_prometheus(server.registry().snapshot()));
+  } else if (req.target == "/healthz") {
+    // 200 while the event loop is alive to answer at all — liveness, not a
+    // job-level health judgement.
+    response = obs::http_response(200, reason_phrase(200),
+                                  "text/plain; charset=utf-8", "ok\n");
+  } else {
+    response = obs::http_response(404, reason_phrase(404),
+                                  "text/plain; charset=utf-8", "not found\n");
+  }
+  write_all_fd(conn.fd, response);
+  conn.dead = true;  // Connection: close
+}
 
 }  // namespace
 
@@ -125,51 +203,59 @@ void serve_stdin(Server& server, const std::stop_token& stop) {
 
 int listen_and_serve(std::uint16_t port, Server& server,
                      std::atomic<std::uint16_t>* bound_port) {
+  ListenOptions options;
+  options.port = port;
+  options.bound_port = bound_port;
+  return listen_and_serve(options, server);
+}
+
+int listen_and_serve(const ListenOptions& listen_options, Server& server) {
   const std::stop_token stop = server.options().stop;
   const std::size_t max_line = server.options().max_line_bytes;
 
-  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listener < 0) {
-    util::log_error() << "serve: socket(): " << std::strerror(errno);
-    return 1;
-  }
-  const int one = 1;
-  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listener, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0 ||
-      ::listen(listener, 16) < 0) {
-    util::log_error() << "serve: cannot listen on 127.0.0.1:" << port << ": "
-                      << std::strerror(errno);
-    ::close(listener);
-    return 1;
-  }
-  std::uint16_t actual_port = port;
-  if (port == 0) {
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    if (::getsockname(listener, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
-      actual_port = ntohs(bound.sin_port);
+  std::uint16_t actual_port = 0;
+  const int listener = open_listener(listen_options.port, "jsonl", &actual_port);
+  if (listener < 0) return 1;
+  int metrics_listener = -1;
+  std::uint16_t metrics_port = 0;
+  if (listen_options.metrics_port >= 0) {
+    metrics_listener =
+        open_listener(static_cast<std::uint16_t>(listen_options.metrics_port),
+                      "metrics", &metrics_port);
+    if (metrics_listener < 0) {
+      ::close(listener);
+      return 1;
     }
   }
-  if (bound_port) bound_port->store(actual_port);
+  if (listen_options.bound_port) listen_options.bound_port->store(actual_port);
+  if (listen_options.metrics_bound_port) {
+    listen_options.metrics_bound_port->store(metrics_port);
+  }
   // Announced unconditionally (not through the leveled logger): tooling
-  // that launches `serve --listen 0` parses this line for the actual port.
+  // that launches `serve --listen 0` parses these lines for the actual
+  // ports.
   std::fprintf(stderr, "lrsizer serve: listening on 127.0.0.1:%u\n",
                static_cast<unsigned>(actual_port));
+  if (metrics_listener >= 0) {
+    std::fprintf(stderr, "lrsizer serve: metrics on 127.0.0.1:%u\n",
+                 static_cast<unsigned>(metrics_port));
+  }
   std::fflush(stderr);
 
+  const int one = 1;
+  (void)one;  // only used under SO_NOSIGPIPE below
+  // pfds layout: jsonl listener, then the metrics listener (when enabled),
+  // then one slot per connection.
+  const std::size_t conn_base = metrics_listener >= 0 ? 2 : 1;
   std::vector<Conn> conns;
   bool shutdown_requested = false;
   while (!shutdown_requested && !stop.stop_requested()) {
-    // One pollfd per connection plus the listener in slot 0. The 500 ms
-    // timeout bounds how long a stop request (Ctrl-C) can go unnoticed
-    // while every fd is idle.
+    // The 500 ms timeout bounds how long a stop request (Ctrl-C) can go
+    // unnoticed while every fd is idle.
     std::vector<pollfd> pfds;
-    pfds.reserve(conns.size() + 1);
+    pfds.reserve(conns.size() + conn_base);
     pfds.push_back({listener, POLLIN, 0});
+    if (metrics_listener >= 0) pfds.push_back({metrics_listener, POLLIN, 0});
     for (const Conn& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
     const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 500);
     if (stop.stop_requested()) break;
@@ -180,8 +266,38 @@ int listen_and_serve(std::uint16_t port, Server& server,
     // cannot starve connected clients of reads.
     for (std::size_t i = 0; i < conns.size() && !shutdown_requested; ++i) {
       Conn& conn = conns[i];
-      const short revents = pfds[i + 1].revents;
+      const short revents = pfds[i + conn_base].revents;
       if ((revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      if (conn.http) {
+        // Metrics connection: feed the parser; answer (or reject) once it
+        // settles. A peer that dribbles partial headers and stops
+        // (slowloris) holds only its own fd + a capped parser buffer, and
+        // EOF simply closes — the jsonl side never blocks on it.
+        char chunk[4096];
+        const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
+        if (n <= 0) {
+          if (n < 0 && errno == EINTR) continue;
+          conn.dead = true;
+          continue;
+        }
+        switch (conn.parser.feed(chunk, static_cast<std::size_t>(n))) {
+          case obs::HttpRequestParser::State::kIncomplete:
+            break;
+          case obs::HttpRequestParser::State::kComplete:
+            respond_http(conn, server);
+            break;
+          case obs::HttpRequestParser::State::kBad: {
+            const int status = conn.parser.error_status();
+            write_all_fd(conn.fd,
+                         obs::http_response(status, reason_phrase(status),
+                                            "text/plain; charset=utf-8",
+                                            conn.parser.error_reason() + "\n"));
+            conn.dead = true;
+            break;
+          }
+        }
+        continue;
+      }
       char chunk[65536];
       const ssize_t n = ::read(conn.fd, chunk, sizeof(chunk));
       if (n <= 0) {
@@ -245,6 +361,20 @@ int listen_and_serve(std::uint16_t port, Server& server,
         conns.push_back(std::move(conn));
       }
     }
+    if (!shutdown_requested && metrics_listener >= 0 &&
+        (pfds[1].revents & POLLIN) != 0) {
+      const int fd = ::accept(metrics_listener, nullptr, nullptr);
+      if (fd >= 0) {
+#if defined(SO_NOSIGPIPE)
+        ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+#endif
+        Conn conn;
+        conn.fd = fd;
+        conn.http = true;  // no Server client: scrapes never enter the
+                           // jsonl protocol or the job loop
+        conns.push_back(std::move(conn));
+      }
+    }
 
     // Reap disconnected clients: cancel their jobs and drop their pending
     // responses before the fd closes, so no write ever hits a closed fd.
@@ -253,7 +383,7 @@ int listen_and_serve(std::uint16_t port, Server& server,
         ++i;
         continue;
       }
-      server.remove_client(conns[i].client);
+      if (conns[i].client != 0) server.remove_client(conns[i].client);
       ::close(conns[i].fd);
       conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
     }
@@ -264,10 +394,11 @@ int listen_and_serve(std::uint16_t port, Server& server,
   // their terminal responses to clients that are still connected.
   server.drain();
   for (const Conn& conn : conns) {
-    server.remove_client(conn.client);
+    if (conn.client != 0) server.remove_client(conn.client);
     ::close(conn.fd);
   }
   ::close(listener);
+  if (metrics_listener >= 0) ::close(metrics_listener);
   return 0;
 }
 
@@ -279,6 +410,10 @@ int listen_and_serve(std::uint16_t, Server&, std::atomic<std::uint16_t>*) {
   util::log_error() << "serve: --listen is unavailable on this platform "
                        "(no BSD sockets); use stdin-jsonl mode";
   return 1;
+}
+
+int listen_and_serve(const ListenOptions&, Server& server) {
+  return listen_and_serve(0, server, nullptr);
 }
 
 void serve_stdin(Server& server, const std::stop_token&) {

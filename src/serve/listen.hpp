@@ -27,12 +27,31 @@ namespace lrsizer::serve {
 /// True when this build can open TCP listen sockets.
 bool listen_available();
 
+/// Front-end configuration for listen_and_serve.
+struct ListenOptions {
+  /// jsonl port on 127.0.0.1; 0 binds an ephemeral port.
+  std::uint16_t port = 0;
+  /// HTTP observability port on 127.0.0.1 (GET /metrics in Prometheus text
+  /// format, GET /healthz), multiplexed into the same poll loop as the
+  /// jsonl port. 0 binds an ephemeral port; -1 (default) disables the
+  /// endpoint entirely.
+  int metrics_port = -1;
+  /// Actual bound ports, written once each socket is listening (for
+  /// launch-tooling that passes port 0). May be null.
+  std::atomic<std::uint16_t>* bound_port = nullptr;
+  std::atomic<std::uint16_t>* metrics_bound_port = nullptr;
+};
+
 /// Serve `server` until `server.options().stop` is requested or a client
-/// sends shutdown. `port` 0 binds an ephemeral port; the actual port is
-/// written to *bound_port (when non-null) once the socket is listening and
-/// always announced on stderr as "listening on 127.0.0.1:<port>". Returns
-/// 0 on clean shutdown, 1 when the socket could not be opened (the reason
-/// is logged). The caller owns the Server and can read stats after return.
+/// sends shutdown. Ports 0 bind ephemeral ports; the actual ports are
+/// written to the ListenOptions out-pointers once each socket is listening
+/// and always announced on stderr ("listening on 127.0.0.1:<port>" /
+/// "metrics on 127.0.0.1:<port>"). Returns 0 on clean shutdown, 1 when a
+/// socket could not be opened (the reason is logged). The caller owns the
+/// Server and can read stats after return.
+int listen_and_serve(const ListenOptions& options, Server& server);
+
+/// jsonl-only convenience overload (no metrics endpoint).
 int listen_and_serve(std::uint16_t port, Server& server,
                      std::atomic<std::uint16_t>* bound_port = nullptr);
 

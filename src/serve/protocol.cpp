@@ -236,6 +236,12 @@ Status parse_request(const std::string& line, const core::FlowOptions& base,
     }
     request.size.want_sizes = sizes->as_bool();
   }
+  if (const Json* trace = doc.find("trace")) {
+    if (!trace->is_bool()) {
+      return Status::InvalidArgument("\"trace\" must be a bool");
+    }
+    request.size.trace = trace->as_bool();
+  }
   if (const Json* warm = doc.find("warm_start")) {
     if (!warm->is_array()) {
       return Status::InvalidArgument(
@@ -293,7 +299,8 @@ Json progress_json(const std::string& id, const core::OgwsIterate& iterate) {
 }
 
 Json result_json(const std::string& id, bool cache_hit, const Json& job,
-                 const std::vector<std::pair<std::int32_t, double>>* sizes) {
+                 const std::vector<std::pair<std::int32_t, double>>* sizes,
+                 const Json* trace) {
   Json j = Json::object();
   j.set("type", "result");
   j.set("id", id);
@@ -309,6 +316,7 @@ Json result_json(const std::string& id, bool cache_hit, const Json& job,
     }
     j.set("sizes", array);
   }
+  if (trace) j.set("trace", *trace);
   return j;
 }
 
@@ -349,9 +357,15 @@ Json stats_json(const std::string& id, const StatsSnapshot& s) {
   latency.set("p50_ms", s.latency_p50_s * 1e3);
   latency.set("p99_ms", s.latency_p99_s * 1e3);
 
+  Json server = Json::object();
+  server.set("version", s.version);
+  server.set("start_time_unix_s", s.start_time_unix_s);
+  server.set("uptime_s", s.uptime_s);
+
   Json j = Json::object();
   j.set("type", "stats");
   if (!id.empty()) j.set("id", id);
+  j.set("server", server);
   j.set("jobs", jobs);
   j.set("clients", clients);
   j.set("cache", cache);

@@ -36,6 +36,11 @@ struct SizeRequest {
   int progress_every = 0;
   /// Include the final sparse size vector in the result response.
   bool want_sizes = false;
+  /// Record a per-job flow trace (obs::TraceSession) and attach it to the
+  /// result response as a "trace" object (lrsizer-trace-v1). Only cold runs
+  /// carry one — cache hits and deduped followers answer from the stored
+  /// report, which has no trace.
+  bool trace = false;
 };
 
 struct Request {
@@ -81,10 +86,13 @@ runtime::Json progress_json(const std::string& id,
 
 /// Terminal success. `job` is the lrsizer-batch-v1 job object — served
 /// verbatim from the cache on a hit, so duplicate jobs get byte-identical
-/// payloads. `sizes` (optional) is the final sparse size vector.
+/// payloads. `sizes` (optional) is the final sparse size vector; `trace`
+/// (optional) the job's lrsizer-trace-v1 document (requested via "trace",
+/// cold runs only).
 runtime::Json result_json(
     const std::string& id, bool cache_hit, const runtime::Json& job,
-    const std::vector<std::pair<std::int32_t, double>>* sizes);
+    const std::vector<std::pair<std::int32_t, double>>* sizes,
+    const runtime::Json* trace = nullptr);
 
 /// Terminal cancellation. `partial_job` (optional) carries the best partial
 /// result when the cancel landed mid-OGWS.

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/logging.hpp"
 
 namespace lrsizer::serve {
@@ -14,6 +15,10 @@ using runtime::ResultCache;
 
 Server::Server(ServerOptions options)
     : options_(std::move(options)),
+      start_steady_(std::chrono::steady_clock::now()),
+      start_unix_s_(std::chrono::duration<double>(
+                        std::chrono::system_clock::now().time_since_epoch())
+                        .count()),
       pool_(options_.jobs >= 1 ? options_.jobs : 1) {
   if (options_.cache) {
     cache_ = options_.cache;
@@ -21,6 +26,13 @@ Server::Server(ServerOptions options)
     owned_cache_ = std::make_unique<ResultCache>("", options_.cache_limits);
     cache_ = owned_cache_.get();
   }
+  if (options_.registry) {
+    registry_ = options_.registry;
+  } else {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  register_metrics();
 }
 
 Server::Server(ServerOptions options, Sink sink)
@@ -28,7 +40,96 @@ Server::Server(ServerOptions options, Sink sink)
   default_client_ = add_client(std::move(sink));
 }
 
-Server::~Server() { drain(); }
+Server::~Server() {
+  drain();
+  // Callback metrics read through `this` (cache_, pool_, in_flight_); drop
+  // them before any member dies. Owned counters stay — on a borrowed
+  // registry they simply stop moving, which is the right scrape semantics.
+  registry_->remove_owner(this);
+}
+
+void Server::register_metrics() {
+  obs::Registry& reg = *registry_;
+  const char* responses_help =
+      "Terminal responses emitted, by type (result, cancelled, error).";
+  accepted_total_ =
+      reg.counter("lrsizer_serve_accepted_total", "Size requests admitted.");
+  results_total_ = reg.counter("lrsizer_serve_responses_total", responses_help,
+                               {{"type", "result"}});
+  cancelled_total_ = reg.counter("lrsizer_serve_responses_total",
+                                 responses_help, {{"type", "cancelled"}});
+  errors_total_ = reg.counter("lrsizer_serve_responses_total", responses_help,
+                              {{"type", "error"}});
+  cache_hits_total_ = reg.counter(
+      "lrsizer_serve_cache_hits_total",
+      "Result responses answered without running the flow (cache or dedupe).");
+  latency_seconds_ = reg.histogram(
+      "lrsizer_serve_job_latency_seconds",
+      "Job latency from admission to terminal response, in seconds.",
+      {0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+       60.0});
+  reg.gauge("lrsizer_build_info",
+            "Build metadata carried in labels; the value is always 1.",
+            {{"version", options_.version}})
+      ->set(1.0);
+  reg.gauge("lrsizer_serve_start_time_seconds",
+            "Unix time the server started, in seconds.")
+      ->set(start_unix_s_);
+  reg.gauge("lrsizer_pool_workers", "Job-level worker threads in the pool.")
+      ->set(static_cast<double>(pool_.num_workers()));
+  reg.gauge("lrsizer_cache_disk_backed",
+            "1 when the result cache persists to disk, 0 for memory-only.")
+      ->set(cache_->disk_backed() ? 1.0 : 0.0);
+
+  // Callback metrics: the source of truth lives in another subsystem and is
+  // read at scrape time. All tagged with `this` for the destructor.
+  reg.gauge_fn("lrsizer_serve_uptime_seconds",
+               "Seconds since the server started (steady clock).", {},
+               [this] {
+                 return std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start_steady_)
+                     .count();
+               },
+               this);
+  reg.gauge_fn("lrsizer_serve_queue_depth",
+               "Jobs admitted but not yet answered with a terminal response.",
+               {},
+               [this] {
+                 const std::lock_guard<std::mutex> lock(mutex_);
+                 return static_cast<double>(in_flight_);
+               },
+               this);
+  reg.gauge_fn("lrsizer_serve_clients", "Attached clients.", {},
+               [this] { return static_cast<double>(active_clients()); }, this);
+  reg.gauge_fn("lrsizer_cache_entries", "Completed entries in the result cache.",
+               {}, [this] { return static_cast<double>(cache_->stats().entries); },
+               this);
+  reg.gauge_fn("lrsizer_cache_bytes",
+               "Estimated bytes held by the result cache.", {},
+               [this] { return static_cast<double>(cache_->stats().bytes); },
+               this);
+  reg.counter_fn("lrsizer_cache_hits_total",
+                 "Result-cache lookups answered from a completed entry.", {},
+                 [this] { return static_cast<double>(cache_->stats().hits); },
+                 this);
+  reg.counter_fn("lrsizer_cache_misses_total", "Result-cache lookup misses.",
+                 {},
+                 [this] { return static_cast<double>(cache_->stats().misses); },
+                 this);
+  reg.counter_fn(
+      "lrsizer_cache_evictions_total",
+      "Entries evicted from the result cache by the LRU budget.", {},
+      [this] { return static_cast<double>(cache_->stats().evictions); }, this);
+  reg.counter_fn(
+      "lrsizer_pool_steals_total",
+      "Tasks a pool worker stole from a sibling's deque.", {},
+      [this] { return static_cast<double>(pool_.steal_count()); }, this);
+  reg.counter_fn(
+      "lrsizer_kernel_rounds_total",
+      "KernelTeam chunk rounds dispatched to helper threads (process-wide).",
+      {}, [] { return static_cast<double>(runtime::kernel_rounds_total()); },
+      this);
+}
 
 Server::ClientId Server::add_client(Sink sink) {
   auto client = std::make_shared<Client>();
@@ -95,19 +196,31 @@ void Server::hello(ClientId client) {
 void Server::hello() { hello(default_client_); }
 
 Server::Stats Server::stats() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  Stats s;
+  s.accepted = accepted_total_->value();
+  s.completed = results_total_->value();
+  s.cache_hits = cache_hits_total_->value();
+  s.cancelled = cancelled_total_->value();
+  s.errors = errors_total_->value();
+  return s;
 }
 
 StatsSnapshot Server::stats_snapshot() const {
   StatsSnapshot s;
+  s.version = options_.version;
+  s.start_time_unix_s = start_unix_s_;
+  s.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start_steady_)
+                   .count();
+  // Job counters come from the registry instruments — the same storage a
+  // /metrics scrape renders, so the two surfaces cannot disagree.
+  s.accepted = accepted_total_->value();
+  s.completed = results_total_->value();
+  s.cache_hits = cache_hits_total_->value();
+  s.cancelled = cancelled_total_->value();
+  s.errors = errors_total_->value();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    s.accepted = stats_.accepted;
-    s.completed = stats_.completed;
-    s.cache_hits = stats_.cache_hits;
-    s.cancelled = stats_.cancelled;
-    s.errors = stats_.errors;
     s.queue_depth = in_flight_;
     s.latency_count = latency_.count();
     s.latency_p50_s = latency_.percentile(50.0);
@@ -126,9 +239,11 @@ StatsSnapshot Server::stats_snapshot() const {
 
 void Server::finish(const std::shared_ptr<Pending>& pending) {
   const auto now = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(now - pending->accepted_at).count();
+  latency_seconds_->observe(seconds);
   const std::lock_guard<std::mutex> lock(mutex_);
-  latency_.record(std::chrono::duration<double>(now - pending->accepted_at)
-                      .count());
+  latency_.record(seconds);
   active_.erase(pending->scoped_id);
   --in_flight_;
   if (in_flight_ == 0) idle_cv_.notify_all();
@@ -155,8 +270,7 @@ bool Server::handle_line(const std::string& line) {
 
 void Server::reject(ClientId client, const std::string& message) {
   emit(client, error_json("", message));
-  const std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.errors;
+  errors_total_->inc();
 }
 
 bool Server::handle_line(ClientId client, const std::string& line) {
@@ -170,8 +284,7 @@ bool Server::handle_line(ClientId client, const std::string& line) {
           parse_request(line, options_.base_options, &request, &id);
       !st.ok()) {
     emit(client, error_json(id, st.message()));
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.errors;
+    errors_total_->inc();
     return true;
   }
   switch (request.kind) {
@@ -201,8 +314,7 @@ void Server::handle_cancel(ClientId client, const std::string& id) {
   }
   if (!pending) {
     emit(client, error_json(id, "cancel: no active job with this id"));
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.errors;
+    errors_total_->inc();
     return;
   }
   // Cooperative: a running session stops at its next OGWS iteration; a
@@ -224,16 +336,18 @@ void Server::handle_size(ClientId client, SizeRequest request) {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (active_.count(pending->scoped_id) != 0) {
       admit = Admit::kDuplicateId;
-      ++stats_.errors;
     } else if (options_.max_pending > 0 &&
                in_flight_ >= static_cast<std::size_t>(options_.max_pending)) {
       admit = Admit::kBackpressure;
-      ++stats_.errors;
     } else {
       active_[pending->scoped_id] = pending;
       ++in_flight_;
-      ++stats_.accepted;
     }
+  }
+  if (admit == Admit::kOk) {
+    accepted_total_->inc();
+  } else {
+    errors_total_->inc();
   }
   if (admit == Admit::kDuplicateId) {
     emit(client, error_json(id, "a job with this id is already active"));
@@ -264,10 +378,7 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
     auto on_done = [this, pending](std::shared_ptr<const CachedEntry> entry) {
       if (pending->stop.get_token().stop_requested()) {
         emit(pending->client, cancelled_json(pending->request.id, nullptr));
-        {
-          const std::lock_guard<std::mutex> lock(mutex_);
-          ++stats_.cancelled;
-        }
+        cancelled_total_->inc();
         finish(pending);
         return;
       }
@@ -275,11 +386,8 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
         emit(pending->client,
              result_json(pending->request.id, true, entry->job,
                          pending->request.want_sizes ? &entry->sizes : nullptr));
-        {
-          const std::lock_guard<std::mutex> lock(mutex_);
-          ++stats_.completed;
-          ++stats_.cache_hits;
-        }
+        results_total_->inc();
+        cache_hits_total_->inc();
         finish(pending);
       } else {
         // Owner failed or was cancelled — run this job on its own. It
@@ -292,11 +400,8 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
         emit(pending->client,
              result_json(pending->request.id, true, hit->job,
                          pending->request.want_sizes ? &hit->sizes : nullptr));
-        {
-          const std::lock_guard<std::mutex> lock(mutex_);
-          ++stats_.completed;
-          ++stats_.cache_hits;
-        }
+        results_total_->inc();
+        cache_hits_total_->inc();
         finish(pending);
         return;
       case ResultCache::Acquire::kFollower:
@@ -319,6 +424,14 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
                           [&stop = pending->stop] { stop.request_stop(); });
   runtime::JobControls controls;
   controls.stop = pending->stop.get_token();
+  // Per-job trace opt-in: a private TraceSession for this run, serialized
+  // into the result response. Only the cold run traces — the cached report a
+  // hit or follower answers with has no trace by construction.
+  std::unique_ptr<obs::TraceSession> trace;
+  if (pending->request.trace) {
+    trace = std::make_unique<obs::TraceSession>();
+    controls.trace = trace.get();
+  }
   const int every = pending->request.progress_every;
   if (every > 0) {
     controls.observer = [this, pending, every](const std::string&,
@@ -335,13 +448,13 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
   if (outcome.ok && !outcome.cancelled) {
     CachedEntry entry{runtime::job_json(outcome),
                       runtime::sparse_sizes(*outcome.flow)};
+    std::optional<Json> trace_doc;
+    if (trace) trace_doc = Json::parse(trace->dump_json());
     emit(pending->client,
          result_json(pending->request.id, false, entry.job,
-                     pending->request.want_sizes ? &entry.sizes : nullptr));
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.completed;
-    }
+                     pending->request.want_sizes ? &entry.sizes : nullptr,
+                     trace_doc ? &*trace_doc : nullptr));
+    results_total_->inc();
     if (pending->cacheable) cache_->publish(pending->key, std::move(entry));
   } else if (outcome.cancelled) {
     if (pending->cacheable) cache_->abandon(pending->key);
@@ -349,13 +462,11 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
     if (outcome.ok) partial = runtime::job_json(outcome);
     emit(pending->client,
          cancelled_json(pending->request.id, partial ? &*partial : nullptr));
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.cancelled;
+    cancelled_total_->inc();
   } else {
     if (pending->cacheable) cache_->abandon(pending->key);
     emit(pending->client, error_json(pending->request.id, outcome.error));
-    const std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.errors;
+    errors_total_->inc();
   }
   finish(pending);
 }

@@ -42,6 +42,7 @@
 #include <unordered_map>
 
 #include "core/flow.hpp"
+#include "obs/registry.hpp"
 #include "runtime/cache.hpp"
 #include "runtime/pool.hpp"
 #include "serve/protocol.hpp"
@@ -76,8 +77,18 @@ struct ServerOptions {
   /// Server-wide cooperative shutdown (e.g. SIGINT): running jobs are
   /// cancelled mid-OGWS and answer `cancelled`.
   std::stop_token stop;
-  /// Reported in the hello message.
+  /// Reported in the hello message, the stats response and the
+  /// lrsizer_build_info metric.
   std::string version;
+  /// Telemetry registry (borrowed, must outlive the server). The server
+  /// publishes every counter it keeps — job admissions, terminal responses,
+  /// cache traffic, queue depth, job latency — into it; stats_snapshot()
+  /// reads the same instruments back, so the jsonl stats response and a
+  /// /metrics scrape can never disagree. nullptr: the server owns a private
+  /// registry (reachable via registry()). Sharing one registry between
+  /// servers merges their series — intended for a registry shared with
+  /// run_batch, not for two servers.
+  obs::Registry* registry = nullptr;
 };
 
 class Server {
@@ -129,6 +140,13 @@ class Server {
 
   const ServerOptions& options() const { return options_; }
 
+  /// The telemetry registry this server publishes into — the caller's
+  /// (ServerOptions::registry) or the server-owned default. The HTTP
+  /// /metrics endpoint renders registry().snapshot().
+  obs::Registry& registry() const { return *registry_; }
+
+  /// Job counters, re-read from the registry instruments (the registry is
+  /// the single source of truth; this struct is the legacy in-process view).
   struct Stats {
     std::size_t accepted = 0;   ///< size requests admitted
     std::size_t completed = 0;  ///< result responses (hit or cold)
@@ -163,6 +181,9 @@ class Server {
     Sink sink;
   };
 
+  /// Wire every instrument and callback metric into registry_ (ctor tail;
+  /// callbacks are tagged with `this` and dropped again in the destructor).
+  void register_metrics();
   void emit(ClientId client, const runtime::Json& response);
   /// Route through the cache (hit / follower / owner) or straight to the
   /// pool. Safe to call from read threads and from follower callbacks.
@@ -177,6 +198,20 @@ class Server {
   ServerOptions options_;
   std::unique_ptr<runtime::ResultCache> owned_cache_;
   runtime::ResultCache* cache_ = nullptr;
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+
+  // Owned instruments (stable pointers into registry_). Counter writes are
+  // lock-free, so the job counters no longer live under mutex_.
+  obs::Counter* accepted_total_ = nullptr;
+  obs::Counter* results_total_ = nullptr;    ///< responses_total{type="result"}
+  obs::Counter* cancelled_total_ = nullptr;  ///< responses_total{type="cancelled"}
+  obs::Counter* errors_total_ = nullptr;     ///< responses_total{type="error"}
+  obs::Counter* cache_hits_total_ = nullptr;
+  obs::Histogram* latency_seconds_ = nullptr;
+
+  std::chrono::steady_clock::time_point start_steady_{};
+  double start_unix_s_ = 0.0;  ///< system clock at construction (Unix seconds)
 
   /// Guards clients_/next_client_ only — never held while mutex_ or a
   /// Client::mutex is taken by the same thread's caller (emit locks them
@@ -186,12 +221,11 @@ class Server {
   ClientId next_client_ = 1;
   ClientId default_client_ = 0;  ///< 0 = none (multi-client ctor)
 
-  mutable std::mutex mutex_;  ///< guards active_, in_flight_, stats_, latency_
+  mutable std::mutex mutex_;  ///< guards active_, in_flight_, latency_
   std::condition_variable idle_cv_;
   /// scoped_id -> job; ids live in per-client namespaces.
   std::unordered_map<std::string, std::shared_ptr<Pending>> active_;
   std::size_t in_flight_ = 0;
-  Stats stats_;
   LatencyRing latency_;
 
   runtime::ThreadPool pool_;  ///< last member: workers die before the rest

@@ -42,6 +42,9 @@ std::string format_stats_text(const StatsSnapshot& s) {
   char buf[256];
   std::string out;
   out += "serve stats\n";
+  std::snprintf(buf, sizeof(buf), "  server: version=%s uptime_s=%.1f\n",
+                s.version.empty() ? "?" : s.version.c_str(), s.uptime_s);
+  out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  jobs: accepted=%zu completed=%zu cache_hits=%zu "
                 "cancelled=%zu errors=%zu queue_depth=%zu\n",

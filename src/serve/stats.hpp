@@ -41,6 +41,10 @@ class LatencyRing {
 /// One coherent picture of a Server (job counters, queue, clients, cache,
 /// latency) — what the stats response and --stats-dump serialize.
 struct StatsSnapshot {
+  // Server identity (v2-additive: absent from pre-0.6 stats responses).
+  std::string version;          ///< build version (ServerOptions::version)
+  double start_time_unix_s = 0.0;  ///< Unix time the server started
+  double uptime_s = 0.0;           ///< seconds since start (steady clock)
   // Job counters (monotonic since server start).
   std::size_t accepted = 0;    ///< size requests admitted
   std::size_t completed = 0;   ///< result responses (hit or cold)

@@ -22,6 +22,7 @@
 #include <condition_variable>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -34,6 +35,7 @@
 
 #include "core/flow.hpp"
 #include "netlist/bench_parser.hpp"
+#include "obs/registry.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/hash.hpp"
 #include "runtime/batch.hpp"
@@ -846,6 +848,114 @@ TEST(Server, StatsRequestReportsReconcilableCountersAndLatency) {
   EXPECT_GT(s.at("latency").at("p99_ms").as_number(), 0.0);
 }
 
+/// Value of one series in a registry snapshot; NaN when absent. `labels`
+/// must match the sample's full (sorted) label set.
+double registry_value(const obs::Registry& registry, const std::string& name,
+                      const obs::Labels& labels = {}) {
+  for (const auto& family : registry.snapshot()) {
+    if (family.name != name) continue;
+    for (const auto& sample : family.samples) {
+      if (sample.labels == labels) return sample.value;
+    }
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+TEST(Server, StatsCarryServerIdentityAndDeriveFromTheRegistry) {
+  Collector collector;
+  obs::Registry registry;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.version = "test 1.2.3";
+  options.registry = &registry;
+  serve::Server server(options, collector.sink());
+  server.hello();
+  ASSERT_TRUE(server.handle_line(size_request("a", "c17")));
+  ASSERT_TRUE(server.handle_line(size_request("b", "c17")));
+  ASSERT_TRUE(server.handle_line("{not json"));  // one parse error
+  server.drain();
+  ASSERT_TRUE(server.handle_line(R"({"type":"stats","id":"s"})"));
+
+  const auto stats = collector.of_type("stats");
+  ASSERT_EQ(stats.size(), 1u);
+  const Json& s = stats[0];
+  // The v2-additive server block: identity plus clocks.
+  EXPECT_EQ(s.at("server").at("version").as_string(), "test 1.2.3");
+  EXPECT_GT(s.at("server").at("start_time_unix_s").as_number(), 0.0);
+  EXPECT_GE(s.at("server").at("uptime_s").as_number(), 0.0);
+
+  // The jsonl counters and the metrics registry are one source of truth:
+  // every number in the stats response is a registry read.
+  EXPECT_EQ(registry_value(registry, "lrsizer_serve_accepted_total"),
+            s.at("jobs").at("accepted").as_number());
+  EXPECT_EQ(registry_value(registry, "lrsizer_serve_responses_total",
+                           {{"type", "result"}}),
+            s.at("jobs").at("completed").as_number());
+  EXPECT_EQ(registry_value(registry, "lrsizer_serve_cache_hits_total"),
+            s.at("jobs").at("cache_hits").as_number());
+  EXPECT_EQ(registry_value(registry, "lrsizer_serve_responses_total",
+                           {{"type", "error"}}),
+            s.at("jobs").at("errors").as_number());
+  EXPECT_EQ(registry_value(registry, "lrsizer_serve_responses_total",
+                           {{"type", "cancelled"}}),
+            s.at("jobs").at("cancelled").as_number());
+  EXPECT_EQ(registry_value(registry, "lrsizer_cache_entries"),
+            s.at("cache").at("entries").as_number());
+  EXPECT_EQ(registry_value(registry, "lrsizer_build_info",
+                           {{"version", "test 1.2.3"}}),
+            1.0);
+  EXPECT_EQ(registry_value(registry, "lrsizer_serve_accepted_total"), 2.0);
+  EXPECT_EQ(registry_value(registry, "lrsizer_serve_responses_total",
+                           {{"type", "error"}}),
+            1.0);
+}
+
+TEST(Server, TraceOptInAttachesATraceToColdResultsOnly) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  {
+    serve::Server server(options, collector.sink());
+    // Two identical traced jobs: the first runs cold and carries a trace,
+    // the twin answers from the cache (stored report — no trace), and an
+    // untraced request never grows one.
+    ASSERT_TRUE(
+        server.handle_line(size_request("a", "c17", R"(,"trace":true)")));
+    ASSERT_TRUE(
+        server.handle_line(size_request("b", "c17", R"(,"trace":true)")));
+    ASSERT_TRUE(
+        server.handle_line(size_request("c", "c17", R"(,"seed":9)")));
+    server.drain();
+  }
+  const auto results = collector.of_type("result");
+  ASSERT_EQ(results.size(), 3u);
+  Json by_id[3];
+  for (const Json& r : results) by_id[r.at("id").as_string()[0] - 'a'] = r;
+
+  ASSERT_FALSE(by_id[0].at("cache_hit").as_bool());
+  const Json* trace = by_id[0].find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->at("schema").as_string(), "lrsizer-trace-v1");
+  const auto& events = trace->at("traceEvents").as_array();
+  EXPECT_FALSE(events.empty());
+  std::size_t stage_spans = 0, iteration_spans = 0;
+  for (const Json& event : events) {
+    const std::string& name = event.at("name").as_string();
+    if (name == "size" || name == "elaborate") ++stage_spans;
+    if (name == "ogws_iteration") ++iteration_spans;
+  }
+  EXPECT_EQ(stage_spans, 2u);
+  EXPECT_GT(iteration_spans, 0u);
+
+  EXPECT_TRUE(by_id[1].at("cache_hit").as_bool());
+  EXPECT_EQ(by_id[1].find("trace"), nullptr);
+  EXPECT_FALSE(by_id[2].at("cache_hit").as_bool());
+  EXPECT_EQ(by_id[2].find("trace"), nullptr);
+  // Tracing never perturbs the answer: traced and cached results agree byte
+  // for byte on the job payload.
+  EXPECT_EQ(by_id[0].at("job").dump(), by_id[1].at("job").dump());
+}
+
 // ---- multi-client server ----------------------------------------------------
 
 TEST(Server, ClientsHaveIndependentIdNamespaces) {
@@ -931,17 +1041,26 @@ struct TcpServer {
   std::stop_source stop;
   std::unique_ptr<serve::Server> server;
   std::atomic<std::uint16_t> port{0};
+  std::atomic<std::uint16_t> metrics_port{0};
   std::atomic<bool> done{false};
   std::thread thread;
 
-  explicit TcpServer(serve::ServerOptions opts) : options(std::move(opts)) {
+  explicit TcpServer(serve::ServerOptions opts, bool with_metrics = false)
+      : options(std::move(opts)) {
     options.stop = stop.get_token();
     server = std::make_unique<serve::Server>(options);
-    thread = std::thread([this] {
-      serve::listen_and_serve(0, *server, &port);
+    thread = std::thread([this, with_metrics] {
+      serve::ListenOptions listen;
+      listen.port = 0;
+      listen.metrics_port = with_metrics ? 0 : -1;
+      listen.bound_port = &port;
+      listen.metrics_bound_port = &metrics_port;
+      serve::listen_and_serve(listen, *server);
       done.store(true);
     });
-    while (port.load() == 0 && !done.load()) {
+    while ((port.load() == 0 ||
+            (with_metrics && metrics_port.load() == 0)) &&
+           !done.load()) {
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
@@ -1236,6 +1355,110 @@ TEST(ServeTcp, ShutdownFromOneClientStopsTheWholeService) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   EXPECT_TRUE(ts.done.load());
+}
+
+// ---- metrics endpoint -------------------------------------------------------
+
+/// One HTTP exchange against the metrics port: send `request` raw, read to
+/// EOF (the endpoint is Connection: close), return the whole response.
+std::string http_exchange(std::uint16_t port, const std::string& request) {
+  TcpClient client(port);
+  if (!client.ok()) return "";
+  client.send_raw(request);
+  std::string response = client.buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(client.fd, chunk, sizeof(chunk));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+/// Parse a Prometheus text body into {"name{labels}" or "name"} -> value.
+std::map<std::string, double> parse_exposition(const std::string& body) {
+  std::map<std::string, double> samples;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t eol = body.find('\n', pos);
+    const std::string line = body.substr(pos, eol - pos);
+    pos = (eol == std::string::npos) ? body.size() : eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    if (space == std::string::npos) continue;
+    samples[line.substr(0, space)] = std::stod(line.substr(space + 1));
+  }
+  return samples;
+}
+
+TEST(ServeTcp, MetricsEndpointMatchesJsonlStatsAndServesHealthz) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.version = "tcp-test";
+  TcpServer ts(options, /*with_metrics=*/true);
+  ASSERT_NE(ts.port.load(), 0);
+  ASSERT_NE(ts.metrics_port.load(), 0);
+
+  TcpClient client(ts.port.load());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.read_until("hello").has_value());
+  client.send_line(size_request("a", "c17"));
+  ASSERT_TRUE(client.read_until("result").has_value());
+  client.send_line(size_request("b", "c17"));
+  ASSERT_TRUE(client.read_until("result").has_value());
+
+  // Quiescent instant (no jobs in flight): the jsonl stats response and a
+  // /metrics scrape read the same registry and must agree exactly.
+  client.send_line(R"({"type":"stats","id":"s"})");
+  const auto stats = client.read_until("stats");
+  ASSERT_TRUE(stats.has_value());
+  const std::string response = http_exchange(
+      ts.metrics_port.load(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_EQ(response.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(
+      response.find("Content-Type: text/plain; version=0.0.4; charset=utf-8"),
+      std::string::npos);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  const auto samples = parse_exposition(response.substr(body_at + 4));
+
+  ASSERT_TRUE(samples.count("lrsizer_serve_accepted_total"));
+  EXPECT_EQ(samples.at("lrsizer_serve_accepted_total"),
+            stats->at("jobs").at("accepted").as_number());
+  EXPECT_EQ(samples.at("lrsizer_serve_responses_total{type=\"result\"}"),
+            stats->at("jobs").at("completed").as_number());
+  EXPECT_EQ(samples.at("lrsizer_serve_cache_hits_total"),
+            stats->at("jobs").at("cache_hits").as_number());
+  EXPECT_EQ(samples.at("lrsizer_cache_entries"),
+            stats->at("cache").at("entries").as_number());
+  EXPECT_EQ(samples.at("lrsizer_build_info{version=\"tcp-test\"}"), 1.0);
+  EXPECT_EQ(samples.at("lrsizer_serve_clients"), 1.0);
+  // Histogram invariants on the wire: +Inf bucket == count == completions.
+  EXPECT_EQ(
+      samples.at("lrsizer_serve_job_latency_seconds_bucket{le=\"+Inf\"}"),
+      samples.at("lrsizer_serve_job_latency_seconds_count"));
+  EXPECT_EQ(samples.at("lrsizer_serve_job_latency_seconds_count"), 2.0);
+
+  // Routing: health probe, unknown path, non-GET method.
+  const std::string health = http_exchange(
+      ts.metrics_port.load(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(health.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_EQ(health.substr(health.find("\r\n\r\n") + 4), "ok\n");
+  EXPECT_EQ(http_exchange(ts.metrics_port.load(),
+                          "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n")
+                .rfind("HTTP/1.1 404 Not Found\r\n", 0),
+            0u);
+  EXPECT_EQ(http_exchange(ts.metrics_port.load(),
+                          "POST /metrics HTTP/1.1\r\nHost: t\r\n\r\n")
+                .rfind("HTTP/1.1 405 Method Not Allowed\r\n", 0),
+            0u);
+
+  // The jsonl side is untouched by the scrapes: a job still round-trips.
+  client.send_line(size_request("c", "c17", R"(,"seed":5)"));
+  const auto after = client.read_until("result");
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->at("id").as_string(), "c");
 }
 
 #endif  // sockets

@@ -381,6 +381,112 @@ TEST(ServeFuzzTcp, RandomGarbageStreamsNeverKillTheEventLoop) {
   EXPECT_TRUE(done.load());
 }
 
+TEST(ServeFuzzHttp, MalformedScrapesNeverWedgeTheMetricsPortOrJobLoop) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.version = "fuzz";
+  std::stop_source stop;
+  options.stop = stop.get_token();
+  serve::Server server(options);
+  std::atomic<std::uint16_t> port{0};
+  std::atomic<std::uint16_t> metrics_port{0};
+  std::atomic<bool> done{false};
+  std::thread loop([&] {
+    serve::ListenOptions listen;
+    listen.port = 0;
+    listen.metrics_port = 0;
+    listen.bound_port = &port;
+    listen.metrics_bound_port = &metrics_port;
+    serve::listen_and_serve(listen, server);
+    done.store(true);
+  });
+  while ((port.load() == 0 || metrics_port.load() == 0) && !done.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_NE(port.load(), 0);
+  ASSERT_NE(metrics_port.load(), 0);
+
+  /// Send raw bytes to the metrics port, read to EOF, return the response
+  /// (empty when the peer just closes — the slowloris outcome).
+  auto http_raw = [&](const std::string& bytes) {
+    const int fd = connect_loopback(metrics_port.load());
+    EXPECT_GE(fd, 0);
+    if (fd < 0) return std::string();
+    send_all(fd, bytes);
+    std::string response;
+    char chunk[4096];
+    for (;;) {
+      const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      response.append(chunk, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+  };
+  auto status_of = [](const std::string& response) {
+    if (response.size() < 12 || response.compare(0, 5, "HTTP/") != 0) return 0;
+    return std::atoi(response.c_str() + 9);
+  };
+
+  // Each malformation answered (or just closed), none fatal to the loop.
+  EXPECT_EQ(status_of(http_raw("GET /" + std::string(9000, 'a') +
+                               " HTTP/1.1\r\n\r\n")),
+            400);  // oversized request line blows the 8 KiB cap
+  EXPECT_EQ(status_of(http_raw("GET /metrics HTTP/1.1\n\n")),
+            400);  // bare LF line endings
+  EXPECT_EQ(status_of(http_raw("G@T /metrics HTTP/1.1\r\n\r\n")),
+            400);  // non-token method byte
+  EXPECT_EQ(status_of(http_raw("GET /metrics\r\n\r\n")),
+            400);  // missing HTTP version
+  EXPECT_EQ(status_of(http_raw("BREW /metrics HTTP/1.1\r\n\r\n")),
+            405);  // parses fine; routing only answers GET
+  std::mt19937_64 rng(5ULL);
+  for (int round = 0; round < 4; ++round) {
+    std::string garbage(1024, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng());
+    (void)http_raw(garbage);  // any status (or close) is fine; no crash
+  }
+  {
+    // Slowloris: a header dribble that never completes, then EOF. The
+    // parser is mid-request; the loop must just close and move on.
+    const int fd = connect_loopback(metrics_port.load());
+    ASSERT_GE(fd, 0);
+    send_all(fd, "GET /metrics HTTP/1.1\r\nX-Slow: ");
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ::close(fd);
+  }
+  {
+    // A half-open scrape held idle while the jsonl side works (below):
+    // one stuck connection must not block the shared poll loop.
+    const int fd = connect_loopback(metrics_port.load());
+    ASSERT_GE(fd, 0);
+    send_all(fd, "GET /metr");
+
+    // The jsonl job loop never noticed any of it.
+    const int job = connect_loopback(port.load());
+    ASSERT_GE(job, 0);
+    EXPECT_TRUE(read_until_marker(job, "\"hello\""));
+    send_all(job,
+             "{\"type\":\"size\",\"id\":\"ok\",\"input\":{\"profile\":"
+             "\"c17\"},\"options\":{\"vectors\":8}}\n");
+    EXPECT_TRUE(read_until_marker(job, "\"result\""));
+    ::close(job);
+    ::close(fd);
+  }
+
+  // And a well-formed scrape still answers with the accepted job counted.
+  const std::string scrape = http_raw("GET /metrics HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(status_of(scrape), 200);
+  EXPECT_NE(scrape.find("lrsizer_serve_accepted_total 1"), std::string::npos);
+  const std::string health = http_raw("GET /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(status_of(health), 200);
+
+  stop.request_stop();
+  loop.join();
+  EXPECT_TRUE(done.load());
+}
+
 #endif  // sockets
 
 }  // namespace

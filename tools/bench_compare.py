@@ -10,6 +10,11 @@ exits 1 when any kernel regressed by more than --threshold percent (default
 kernels appear, old ones retire). The redundancy block is compared the same
 way via its fused ns.
 
+--metrics restricts the comparison to kernels matching any of the given
+comma-separated glob patterns (e.g. `--metrics ogws_iteration` or
+`--metrics 'lrs_*,timing_*'`) — the shape CI's trace-disabled bench guard
+uses to pin one hot loop without flaking on unrelated kernels.
+
 The lrsizer-bench-kernels-v1 schema this consumes (and the batch/cache
 schemas its sibling reports use) is documented in docs/SCHEMAS.md.
 
@@ -17,6 +22,7 @@ Stdlib-only so it runs anywhere CI has a python3.
 """
 
 import argparse
+import fnmatch
 import json
 import sys
 
@@ -41,10 +47,21 @@ def main():
     parser.add_argument("candidate")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="regression threshold in percent (default 10)")
+    parser.add_argument("--metrics", default=None,
+                        help="comma-separated kernel-name globs; only "
+                             "matching rows are compared (default: all)")
     args = parser.parse_args()
 
     base_doc, base = load_rows(args.baseline)
     cand_doc, cand = load_rows(args.candidate)
+    if args.metrics:
+        patterns = [p.strip() for p in args.metrics.split(",") if p.strip()]
+        selected = lambda kernel: any(  # noqa: E731
+            fnmatch.fnmatch(kernel, p) for p in patterns)
+        base = {k: v for k, v in base.items() if selected(k[0])}
+        cand = {k: v for k, v in cand.items() if selected(k[0])}
+        if not base and not cand:
+            sys.exit(f"--metrics {args.metrics!r} matched no kernels")
     print(f"baseline  {args.baseline} (git {base_doc.get('git_sha', '?')}, "
           f"profile {base_doc.get('profile', '?')})")
     print(f"candidate {args.candidate} (git {cand_doc.get('git_sha', '?')}, "

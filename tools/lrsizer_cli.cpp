@@ -27,6 +27,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <stdexcept>
 #include <stop_token>
@@ -40,6 +41,7 @@
 #include "netlist/bench_writer.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/iscas_profiles.hpp"
+#include "obs/trace.hpp"
 #include "runtime/batch.hpp"
 #include "runtime/cache.hpp"
 #include "serve/listen.hpp"
@@ -99,10 +101,19 @@ options:
                     LRU-evicted (and unlinked from --cache-dir); 0 disables
                     result storage (default: unlimited)
   --cache-max-bytes N    cap the cache's accounted result bytes likewise
+  --trace FILE      (run/batch/sweep) record a flow trace — one span per
+                    stage, OGWS iteration and LRS pass — and write it as
+                    Chrome trace-event JSON (lrsizer-trace-v1; open in
+                    Perfetto / chrome://tracing). Results are bit-identical
+                    with tracing on or off.
   --listen PORT     (serve) accept lrsizer-serve-v2 over TCP on
                     127.0.0.1:PORT instead of stdin/stdout; any number of
                     clients may connect concurrently (0 = pick an ephemeral
                     port, announced on stderr)
+  --metrics-port N  (serve, with --listen) also answer HTTP GET /metrics
+                    (Prometheus text format) and /healthz on 127.0.0.1:N
+                    from the same event loop (0 = ephemeral, announced on
+                    stderr)
   --max-pending N   (serve) reject size requests beyond N unfinished jobs
                     with an error response (backpressure; default: unbounded)
   --stats-dump      (serve) print the final stats (jobs, cache, latency
@@ -142,6 +153,7 @@ struct CliOptions {
   int shard_index = 0;
   int shard_count = 0;   ///< 0 = unsharded
   int listen_port = -1;  ///< -1 = stdin/stdout; 0 = ephemeral TCP port
+  int metrics_port = -1;  ///< -1 = no metrics endpoint; 0 = ephemeral
   int max_pending = 0;
   bool cache_warm = false;
   bool stats_dump = false;
@@ -149,6 +161,7 @@ struct CliOptions {
   std::size_t cache_max_bytes = runtime::CacheLimits::kUnlimited;
   std::string cache_dir;
   std::string warm_start_path;
+  std::string trace_path;
   std::string out_path;
   std::string out_dir;
   std::string json_path;
@@ -249,6 +262,13 @@ CliOptions parse_args(int argc, char** argv) {
         fail("--listen expects a port in 0..65535 (0 = ephemeral)");
       }
     }
+    else if (arg == "--metrics-port") {
+      cli.metrics_port = static_cast<int>(parse_long(arg, next_value(i)));
+      if (cli.metrics_port < 0 || cli.metrics_port > 65535) {
+        fail("--metrics-port expects a port in 0..65535 (0 = ephemeral)");
+      }
+    }
+    else if (arg == "--trace") cli.trace_path = next_value(i);
     else if (arg == "--max-pending") {
       cli.max_pending = static_cast<int>(parse_long(arg, next_value(i)));
       if (cli.max_pending < 0) fail("--max-pending must be >= 0");
@@ -355,12 +375,14 @@ std::vector<std::pair<std::int32_t, double>> load_warm_sizes(const std::string& 
 /// --progress observer (one line per OGWS iteration; a single fprintf per
 /// event keeps concurrent workers' lines whole).
 runtime::BatchOptions make_batch_options(const CliOptions& cli, int jobs,
-                                         runtime::ResultCache* cache) {
+                                         runtime::ResultCache* cache,
+                                         obs::TraceSession* trace = nullptr) {
   runtime::BatchOptions options;
   options.jobs = jobs;
   options.stop = g_stop.get_token();
   options.cache = cache;
   options.cache_warm = cli.cache_warm;
+  options.trace = trace;
   if (cli.progress) {
     options.observer = [](const std::string& job, const core::OgwsIterate& it) {
       std::fprintf(stderr,
@@ -370,6 +392,26 @@ runtime::BatchOptions make_batch_options(const CliOptions& cli, int jobs,
     };
   }
   return options;
+}
+
+/// --trace plumbing: a TraceSession when the flag was given, else null (the
+/// flow's tracing hooks are no-ops on null).
+std::unique_ptr<obs::TraceSession> make_trace(const CliOptions& cli) {
+  if (cli.trace_path.empty()) return nullptr;
+  return std::make_unique<obs::TraceSession>();
+}
+
+/// Write the collected trace next to the other reports; like them, a failed
+/// write is a hard error (the user asked for the artifact).
+void write_trace(const obs::TraceSession* trace, const CliOptions& cli) {
+  if (!trace) return;
+  std::string error;
+  if (!trace->write_file(cli.trace_path, &error)) {
+    std::cerr << "lrsizer: --trace: " << error << "\n";
+    std::exit(2);
+  }
+  std::fprintf(stderr, "lrsizer: wrote trace (%zu spans) to %s\n",
+               trace->span_count(), cli.trace_path.c_str());
 }
 
 /// Sized netlist as .bench text: the round-trippable netlist followed by
@@ -518,9 +560,12 @@ int cmd_run(const CliOptions& cli) {
   // A single run only benefits from the cache when it persists across
   // processes; without --cache-dir the run stays cache-free.
   runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
+  const auto trace = make_trace(cli);
   const auto batch = runtime::run_batch(
       std::move(jobs),
-      make_batch_options(cli, 1, cli.cache_dir.empty() ? nullptr : &cache));
+      make_batch_options(cli, 1, cli.cache_dir.empty() ? nullptr : &cache,
+                         trace.get()));
+  write_trace(trace.get(), cli);
   const auto& outcome = batch.jobs[0];
   if (!outcome.ok) {
     std::cerr << "lrsizer: job " << (outcome.cancelled ? "cancelled" : "failed")
@@ -597,8 +642,10 @@ int cmd_batch(const CliOptions& cli) {
   // byte-identical jobs in one sweep run once (satisfying `cache_hits` in
   // the rollup) and identical jobs across runs hit the disk cache.
   runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
-  auto batch = runtime::run_batch(std::move(jobs),
-                                  make_batch_options(cli, cli.jobs, &cache));
+  const auto trace = make_trace(cli);
+  auto batch = runtime::run_batch(
+      std::move(jobs), make_batch_options(cli, cli.jobs, &cache, trace.get()));
+  write_trace(trace.get(), cli);
   batch.shard_index = cli.shard_index;
   batch.shard_count = cli.shard_count;
   print_batch_table(batch);
@@ -639,8 +686,10 @@ int cmd_sweep(const CliOptions& cli) {
   jobs = apply_shard(std::move(jobs), cli);
 
   runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
-  auto batch = runtime::run_batch(std::move(jobs),
-                                  make_batch_options(cli, cli.jobs, &cache));
+  const auto trace = make_trace(cli);
+  auto batch = runtime::run_batch(
+      std::move(jobs), make_batch_options(cli, cli.jobs, &cache, trace.get()));
+  write_trace(trace.get(), cli);
   batch.shard_index = cli.shard_index;
   batch.shard_count = cli.shard_count;
   print_batch_table(batch);
@@ -648,6 +697,9 @@ int cmd_sweep(const CliOptions& cli) {
 }
 
 int cmd_serve(const CliOptions& cli) {
+  if (cli.metrics_port >= 0 && cli.listen_port < 0) {
+    fail("--metrics-port requires --listen");
+  }
   runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
   serve::ServerOptions options;
   // Worker default mirrors run_batch's jobs × threads split.
@@ -691,8 +743,10 @@ int cmd_serve(const CliOptions& cli) {
 
   if (cli.listen_port >= 0) {
     serve::Server server(options);
-    const int rc = serve::listen_and_serve(
-        static_cast<std::uint16_t>(cli.listen_port), server);
+    serve::ListenOptions listen;
+    listen.port = static_cast<std::uint16_t>(cli.listen_port);
+    listen.metrics_port = cli.metrics_port;
+    const int rc = serve::listen_and_serve(listen, server);
     stop_watcher();
     dump_stats(server);
     return g_stop.stop_requested() ? 130 : rc;

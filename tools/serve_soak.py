@@ -11,6 +11,10 @@ bogus cancel and a stats poll interleaved), then reconciles the server's
     modulo request-scoped fields (name/cache_hit) and wall-clock timings;
   * server stats: accepted == completed == N*M, errors == N,
     queue_depth == 0, latency.count == N*M, cache entries within budget;
+  * GET /metrics is scraped mid-soak (parses as Prometheus text, counters
+    monotone) and once more at the quiescent end, where every shared series
+    must equal the jsonl stats response exactly — the two surfaces read one
+    registry, and a divergence is a hard failure;
   * the final stats snapshot is saved (CI uploads it as an artifact).
 
 Usage: serve_soak.py /path/to/lrsizer [--clients N] [--jobs M] [--out FILE]
@@ -25,17 +29,118 @@ import sys
 import threading
 
 
-def parse_port(stream):
-    """The server announces `listening on 127.0.0.1:<port>` on stderr."""
-    while True:
+def parse_ports(stream):
+    """The server announces `listening on 127.0.0.1:<port>` and
+    `metrics on 127.0.0.1:<port>` on stderr (in that order)."""
+    port = metrics_port = None
+    while port is None or metrics_port is None:
         raw = stream.readline()
         if not raw:
-            raise RuntimeError("server exited before announcing its port")
+            raise RuntimeError("server exited before announcing its ports")
         line = raw.decode("utf-8", "replace")
         sys.stderr.write(line)
         m = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
         if m:
-            return int(m.group(1))
+            port = int(m.group(1))
+        m = re.search(r"metrics on 127\.0\.0\.1:(\d+)", line)
+        if m:
+            metrics_port = int(m.group(1))
+    return port, metrics_port
+
+
+def scrape_metrics(metrics_port):
+    """One GET /metrics exchange: returns {series: value} or raises."""
+    sock = socket.create_connection(("127.0.0.1", metrics_port), timeout=120)
+    sock.settimeout(120)
+    sock.sendall(b"GET /metrics HTTP/1.1\r\nHost: soak\r\n\r\n")
+    response = b""
+    while True:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        response += chunk
+    sock.close()
+    head, _, body = response.partition(b"\r\n\r\n")
+    status = head.split(b"\r\n", 1)[0].decode()
+    assert status == "HTTP/1.1 200 OK", status
+    assert b"text/plain; version=0.0.4" in head, head
+    samples = {}
+    for line in body.decode().splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        samples[series] = float(value)
+    assert samples, "empty exposition"
+    return samples
+
+
+def probe_healthz(metrics_port):
+    sock = socket.create_connection(("127.0.0.1", metrics_port), timeout=120)
+    sock.settimeout(120)
+    sock.sendall(b"GET /healthz HTTP/1.1\r\nHost: soak\r\n\r\n")
+    response = b""
+    while True:
+        chunk = sock.recv(4096)
+        if not chunk:
+            break
+        response += chunk
+    sock.close()
+    assert response.startswith(b"HTTP/1.1 200 OK\r\n"), response[:64]
+    assert response.endswith(b"\r\n\r\nok\n"), response[-32:]
+
+
+def scrape_during_soak(metrics_port, stop_event, observations, failures):
+    """Scrape /metrics in a loop while clients hammer the jsonl port: the
+    endpoint must answer from the shared poll loop mid-load, and counters
+    must be monotone scrape over scrape."""
+    last_accepted = -1.0
+    try:
+        while True:
+            samples = scrape_metrics(metrics_port)
+            accepted = samples.get("lrsizer_serve_accepted_total", 0.0)
+            assert accepted >= last_accepted, (
+                "accepted_total went backwards: %r -> %r"
+                % (last_accepted, accepted))
+            last_accepted = accepted
+            observations.append(samples)
+            if stop_event.wait(0.2):
+                return
+    except Exception as exc:  # noqa: BLE001 - report, don't hang the soak
+        failures.append("metrics scraper: %s" % exc)
+
+
+def reconcile_metrics(samples, stats, expected_accepted):
+    """Hard-fail unless every series shared between /metrics and the jsonl
+    stats response agrees exactly (both read the same registry, and the
+    server is quiescent when this runs)."""
+    jobs = stats["jobs"]
+    expectations = {
+        "lrsizer_serve_accepted_total": jobs["accepted"],
+        'lrsizer_serve_responses_total{type="result"}': jobs["completed"],
+        'lrsizer_serve_responses_total{type="cancelled"}': jobs["cancelled"],
+        'lrsizer_serve_responses_total{type="error"}': jobs["errors"],
+        "lrsizer_serve_cache_hits_total": jobs["cache_hits"],
+        "lrsizer_serve_queue_depth": jobs["queue_depth"],
+        "lrsizer_serve_clients": stats["clients"]["active"],
+        "lrsizer_cache_entries": stats["cache"]["entries"],
+        "lrsizer_cache_evictions_total": stats["cache"]["evictions"],
+        "lrsizer_serve_job_latency_seconds_count": stats["latency"]["count"],
+        'lrsizer_build_info{version="%s"}' % stats["server"]["version"]: 1,
+        "lrsizer_serve_job_latency_seconds_bucket{le=\"+Inf\"}":
+            stats["latency"]["count"],
+    }
+    divergent = {
+        series: (samples.get(series), expected)
+        for series, expected in expectations.items()
+        if samples.get(series) != float(expected)
+    }
+    assert not divergent, (
+        "metrics/stats divergence (series: (scraped, expected)): %r"
+        % divergent)
+    # Client-side tallies close the loop: the registry's accepted count is
+    # exactly the number of size requests the soak clients sent.
+    assert samples["lrsizer_serve_accepted_total"] == expected_accepted, (
+        samples["lrsizer_serve_accepted_total"], expected_accepted)
 
 
 def drain(stream):
@@ -115,19 +220,27 @@ def main():
 
     server = subprocess.Popen(
         [
-            args.lrsizer, "serve", "--listen", "0", "--jobs", "2",
-            "--cache-max-entries", "2", "--stats-dump", "--quiet",
+            args.lrsizer, "serve", "--listen", "0", "--metrics-port", "0",
+            "--jobs", "2", "--cache-max-entries", "2", "--stats-dump",
+            "--quiet",
         ],
         stdout=subprocess.DEVNULL,
         stderr=subprocess.PIPE,
     )
     try:
-        port = parse_port(server.stderr)
+        port, metrics_port = parse_ports(server.stderr)
         stderr_drain = threading.Thread(
             target=drain, args=(server.stderr,), daemon=True)
         stderr_drain.start()
+        probe_healthz(metrics_port)
 
         failures, payloads, lock = [], {}, threading.Lock()
+        scraper_stop = threading.Event()
+        observations = []
+        scraper = threading.Thread(
+            target=scrape_during_soak,
+            args=(metrics_port, scraper_stop, observations, failures))
+        scraper.start()
         clients = [
             threading.Thread(
                 target=run_client,
@@ -138,7 +251,10 @@ def main():
             c.start()
         for c in clients:
             c.join(timeout=600)
+        scraper_stop.set()
+        scraper.join(timeout=600)
         assert not failures, failures
+        assert observations, "no mid-soak /metrics scrapes landed"
 
         # Determinism across clients and cache/eviction churn: every payload
         # for a given seed is identical.
@@ -172,11 +288,18 @@ def main():
         latency = stats["latency"]
         assert latency["count"] == total, latency
         assert latency["p99_ms"] >= latency["p50_ms"] > 0, latency
+        assert stats["server"]["version"].startswith("lrsizer"), stats["server"]
+        assert stats["server"]["uptime_s"] > 0, stats["server"]
+
+        # The server is quiescent now: a scrape taken here must agree with
+        # the stats response series for series.
+        reconcile_metrics(scrape_metrics(metrics_port), stats, total)
 
         with open(args.out, "w") as f:
             json.dump(stats, f, indent=2, sort_keys=True)
-        print("serve soak: %d clients x %d jobs OK; stats saved to %s"
-              % (args.clients, args.jobs, args.out))
+        print("serve soak: %d clients x %d jobs OK (%d mid-soak scrapes); "
+              "stats saved to %s"
+              % (args.clients, args.jobs, len(observations), args.out))
 
         sock.sendall(b'{"type":"shutdown"}\n')
         reader.close()
