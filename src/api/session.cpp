@@ -58,7 +58,7 @@ Status SizingSession::warm_start_from(const core::FlowResult& prior) {
   if (next_ == Stage::kDone) {
     return Status::FailedPrecondition("warm_start_from() after size() has no effect");
   }
-  if (warm_.has_value() || !warm_entries_.empty()) {
+  if (warm_.has_value() || !warm_entries_.empty() || warm_multipliers_.has_value()) {
     return Status::FailedPrecondition("a warm start is already configured");
   }
   core::OgwsWarmStart warm = prior.ogws.warm;
@@ -76,13 +76,38 @@ Status SizingSession::warm_start_sizes(
   if (next_ == Stage::kDone) {
     return Status::FailedPrecondition("warm_start_sizes() after size() has no effect");
   }
-  if (warm_.has_value() || !warm_entries_.empty()) {
+  if (warm_.has_value() || !warm_entries_.empty() || warm_multipliers_.has_value()) {
     return Status::FailedPrecondition("a warm start is already configured");
   }
   if (entries.empty()) {
     return Status::InvalidArgument("warm_start_sizes() got an empty entry list");
   }
   warm_entries_ = std::move(entries);
+  return Status::Ok();
+}
+
+Status SizingSession::warm_start_eco(
+    std::vector<std::pair<std::int32_t, double>> entries,
+    core::OgwsWarmStart multipliers) {
+  if (next_ == Stage::kDone) {
+    return Status::FailedPrecondition("warm_start_eco() after size() has no effect");
+  }
+  if (warm_.has_value() || !warm_entries_.empty() || warm_multipliers_.has_value()) {
+    return Status::FailedPrecondition("a warm start is already configured");
+  }
+  const bool have_multipliers = !multipliers.lambda.empty() ||
+                                !multipliers.gamma_net.empty() ||
+                                multipliers.beta != 0.0 || multipliers.gamma != 0.0;
+  if (entries.empty() && !have_multipliers) {
+    return Status::InvalidArgument(
+        "warm_start_eco() got neither size entries nor multipliers — the "
+        "whole netlist is dirty; run cold instead");
+  }
+  warm_entries_ = std::move(entries);
+  if (have_multipliers) {
+    multipliers.sizes.clear();  // by contract, sizes travel in `entries`
+    warm_multipliers_ = std::move(multipliers);
+  }
   return Status::Ok();
 }
 
@@ -209,7 +234,7 @@ Status SizingSession::size() {
   netlist::Circuit& circuit = elab_->circuit;
 
   // Materialize a sparse warm start against the now-known circuit.
-  if (!warm_entries_.empty()) {
+  if (!warm_entries_.empty() || warm_multipliers_.has_value()) {
     core::OgwsWarmStart warm;
     warm.sizes = circuit.sizes();
     for (const auto& [node, size] : warm_entries_) {
@@ -229,6 +254,15 @@ Status SizingSession::size() {
       warm.sizes[static_cast<std::size_t>(node)] =
           std::clamp(size, circuit.lower_bound(node), circuit.upper_bound(node));
     }
+    if (warm_multipliers_.has_value()) {
+      // warm_start_eco: graft the base run's multiplier state onto the
+      // materialized sizes (lengths are validated just below).
+      warm.lambda = std::move(warm_multipliers_->lambda);
+      warm.beta = warm_multipliers_->beta;
+      warm.gamma = warm_multipliers_->gamma;
+      warm.gamma_net = std::move(warm_multipliers_->gamma_net);
+      warm_multipliers_.reset();
+    }
     warm_ = std::move(warm);
     warm_entries_.clear();
   }
@@ -247,6 +281,15 @@ Status SizingSession::size() {
       out << "warm-start multipliers carry " << warm_->lambda.size()
           << " entries but the elaborated circuit has " << circuit.num_edges()
           << " edges — was the prior result produced from the same netlist and "
+             "elaboration options?";
+      return Status::InvalidArgument(out.str());
+    }
+    if (!warm_->gamma_net.empty() &&
+        warm_->gamma_net.size() != static_cast<std::size_t>(circuit.num_nodes())) {
+      std::ostringstream out;
+      out << "warm-start per-net multipliers carry " << warm_->gamma_net.size()
+          << " entries but the elaborated circuit has " << circuit.num_nodes()
+          << " nodes — was the prior result produced from the same netlist and "
              "elaboration options?";
       return Status::InvalidArgument(out.str());
     }

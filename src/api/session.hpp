@@ -118,6 +118,16 @@ class SizingSession {
   /// against the elaborated circuit when size() runs.
   Status warm_start_sizes(std::vector<std::pair<std::int32_t, double>> entries);
 
+  /// ECO warm start (docs/ECO.md): sparse per-node sizes for the *clean*
+  /// region of an edited netlist — built by eco::seed_from_index from a
+  /// cached base run — plus, optionally, the base run's multiplier state
+  /// (`multipliers.sizes` is ignored; pass it empty). The multipliers are
+  /// only valid when the revised circuit keeps the base's node/edge counts
+  /// (e.g. op-only edits); lengths are validated when size() runs. Fails if
+  /// any warm start is already configured, like the other two seeders.
+  Status warm_start_eco(std::vector<std::pair<std::int32_t, double>> entries,
+                        core::OgwsWarmStart multipliers);
+
   // ---- stages --------------------------------------------------------------
 
   /// Stage 0: logic netlist → circuit graph.
@@ -174,6 +184,9 @@ class SizingSession {
   bool capture_warm_start_ = true;
   std::optional<core::OgwsWarmStart> warm_;
   std::vector<std::pair<std::int32_t, double>> warm_entries_;
+  /// Multiplier state accompanying warm_entries_ (warm_start_eco only);
+  /// merged into the materialized warm start when size() runs.
+  std::optional<core::OgwsWarmStart> warm_multipliers_;
 
   // Intermediate state, populated stage by stage and moved into the final
   // FlowResult by size().

@@ -1,0 +1,110 @@
+#include "eco/buffering.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "netlist/elaborator.hpp"
+#include "util/assert.hpp"
+
+namespace lrsizer::eco {
+
+void optimal_repeaters(double length_um, const netlist::TechParams& tech,
+                       const layout::NeighborOptions& neighbors, bool shielded,
+                       int* k, double* h) {
+  LRSIZER_ASSERT(k != nullptr && h != nullptr);
+  if (length_um <= 0.0) {
+    *k = 0;
+    *h = std::clamp(1.0, tech.min_size, tech.max_size);
+    return;
+  }
+  const double r = tech.wire_res_per_um * length_um;
+  const double c_g = (tech.wire_cap_per_um + tech.wire_fringe_per_um) * length_um;
+  const double c_c = neighbors.fringe_per_um * length_um;
+  const double rb = tech.gate_unit_res;
+  const double cb = tech.gate_unit_cap;
+  // Coupling-aware closed forms (see buffering.hpp): the shielded pattern
+  // halves the Miller contribution, the unshielded one doubles it.
+  const double kk = shielded ? 0.57 : 1.51;
+  const double kh = shielded ? 1.5 : 2.2;
+  const double count = std::sqrt((0.4 * r * c_g + kk * r * c_c) / (0.7 * rb * cb));
+  const double size = std::sqrt((0.7 * rb * c_g + 1.4 * kh * rb * c_c) / (0.7 * r * cb));
+  *k = static_cast<int>(std::floor(count));
+  *h = std::clamp(size, tech.min_size, tech.max_size);
+}
+
+BufferingResult buffer_long_wires(const netlist::LogicNetlist& netlist,
+                                  const core::FlowOptions& options,
+                                  const BufferingOptions& buffering) {
+  LRSIZER_ASSERT_MSG(netlist.finalized(), "buffer_long_wires needs a finalized netlist");
+  LRSIZER_ASSERT(buffering.length_threshold_um > 0.0);
+
+  // Preview elaboration: measure every net's total routed wire length under
+  // the exact options the sizing run will use.
+  const netlist::ElabResult elab =
+      netlist::elaborate(netlist, options.tech, options.elab);
+  const auto n = static_cast<std::size_t>(netlist.num_gates_logic());
+  std::vector<double> net_length(n, 0.0);
+  for (netlist::NodeId v = elab.circuit.first_component();
+       v < elab.circuit.end_component(); ++v) {
+    if (!elab.circuit.is_wire(v)) continue;
+    const std::int32_t net = elab.net_of_node[static_cast<std::size_t>(v)];
+    if (net >= 0) net_length[static_cast<std::size_t>(net)] += elab.circuit.wire_length(v);
+  }
+
+  std::unordered_set<std::string> names;
+  names.reserve(n);
+  for (const netlist::LogicGate& gate : netlist.gates()) names.insert(gate.name);
+
+  BufferingResult result;
+  // redirect[g]: the new-netlist gate consumers of old net g should read —
+  // g's own copy, or the tail of its repeater chain once buffered.
+  std::vector<std::int32_t> redirect(n, -1);
+  for (std::size_t g = 0; g < n; ++g) {
+    const netlist::LogicGate& gate = netlist.gate(static_cast<std::int32_t>(g));
+    std::int32_t ng;
+    if (gate.op == netlist::LogicOp::kInput) {
+      ng = result.netlist.add_input(gate.name);
+    } else {
+      std::vector<std::int32_t> fanin;
+      fanin.reserve(gate.fanin.size());
+      for (const std::int32_t f : gate.fanin) {
+        fanin.push_back(redirect[static_cast<std::size_t>(f)]);
+      }
+      ng = result.netlist.add_gate(gate.name, gate.op, std::move(fanin));
+    }
+    redirect[g] = ng;
+
+    const double length = net_length[g];
+    if (length > buffering.length_threshold_um) {
+      int k = 0;
+      double h = 0.0;
+      optimal_repeaters(length, options.tech, options.neighbors,
+                        buffering.shielded, &k, &h);
+      k = std::min(k, buffering.max_repeaters_per_net);
+      if (k > 0) {
+        for (int i = 1; i <= k; ++i) {
+          std::string name =
+              buffering.name_prefix + std::to_string(i) + "_" + gate.name;
+          while (!names.insert(name).second) name += "_";
+          redirect[g] = result.netlist.add_gate(
+              std::move(name), netlist::LogicOp::kBuf, {redirect[g]});
+        }
+        result.nets.push_back(BufferedNet{gate.name, length, k, h});
+        result.repeaters += k;
+      }
+    }
+    // The primary-output load must see the repeated signal, so the mark
+    // follows the redirect to the chain's tail.
+    if (netlist.is_primary_output(static_cast<std::int32_t>(g))) {
+      result.netlist.mark_output(redirect[g]);
+    }
+  }
+  result.netlist.finalize();
+  return result;
+}
+
+}  // namespace lrsizer::eco

@@ -1,0 +1,82 @@
+// Repeater-insertion pre-pass: split long wires with optimally sized
+// buffer chains before sizing.
+//
+// For a wire of routed length L the classic two-pole (Elmore) delay model
+// gives closed-form optima for the repeater count k and repeater size h
+// (Bakoglu), which Orion extends with the capacitive-coupling term: with
+// per-unit-length wire resistance r̂ and ground capacitance ĉ_g, neighbor
+// coupling capacitance ĉ_c, and a repeater of drive resistance R_b and
+// input capacitance C_b,
+//
+//   k = ⌊√( (0.4·r·c_g + K_k·r·c_c) / (0.7·R_b·C_b) )⌋
+//   h =  √( (0.7·R_b·c_g + 1.4·K_h·R_b·c_c) / (0.7·r·C_b) )
+//
+// where (K_k, K_h) = (0.57, 1.5) when neighbors switch in a shielded/
+// staggered pattern and (1.51, 2.2) for the unshielded worst case — the
+// coupling-aware variant makes long coupled wires buffer earlier and with
+// larger repeaters.
+//
+// buffer_long_wires() applies this at the logic-netlist level: a
+// preview elaboration measures each net's total routed wire length, and
+// nets past the threshold get a chain of k BUFF gates spliced between the
+// driver and every sink, so re-elaboration routes k+1 shorter nets instead
+// of one long one. The transform is deterministic, the output re-parses
+// and re-hashes stably through the .bench round trip, and the before/after
+// pair is exactly the "small structural delta" the incremental sizer
+// (eco/incremental.hpp) is built for.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flow.hpp"
+#include "netlist/logic_netlist.hpp"
+
+namespace lrsizer::eco {
+
+struct BufferingOptions {
+  /// Buffer a net when its total routed wire length (preview elaboration)
+  /// exceeds this many µm.
+  double length_threshold_um = 1500.0;
+  /// Use the shielded/staggered coupling coefficients (0.57/1.5) instead of
+  /// the unshielded worst case (1.51/2.2).
+  bool shielded = false;
+  /// Ceiling on the closed-form k per net (keeps a pathological net from
+  /// exploding the netlist).
+  int max_repeaters_per_net = 8;
+  /// Inserted gates are named "<prefix><i>_<net>" (made unique if taken).
+  std::string name_prefix = "rep";
+};
+
+/// Closed-form optimal repeater count and size for one wire of
+/// `length_um`, using the flow's tech parameters at unit wire width and the
+/// coupling fringe capacitance from the neighbor model. `*k` can come back
+/// 0 (wire too short to benefit); `*h` is clamped to [min_size, max_size].
+void optimal_repeaters(double length_um, const netlist::TechParams& tech,
+                       const layout::NeighborOptions& neighbors, bool shielded,
+                       int* k, double* h);
+
+/// One buffered net in the transform report.
+struct BufferedNet {
+  std::string net;        ///< driving gate's name in the input netlist
+  double length_um = 0.0; ///< total routed wire length that triggered it
+  int repeaters = 0;      ///< BUFF gates inserted (the closed-form k, capped)
+  double size = 0.0;      ///< closed-form h — a warm-start seed for them
+};
+
+struct BufferingResult {
+  netlist::LogicNetlist netlist;  ///< finalized transformed netlist
+  std::vector<BufferedNet> nets;  ///< buffered nets, input definition order
+  std::int64_t repeaters = 0;     ///< Σ repeaters inserted
+};
+
+/// Apply the pre-pass to `netlist` (must be finalized) under the flow's
+/// tech/elab/neighbor options. Gates keep their names and relative order;
+/// each buffered net's sinks (including the primary-output load) are
+/// re-pointed at the end of its repeater chain.
+BufferingResult buffer_long_wires(const netlist::LogicNetlist& netlist,
+                                  const core::FlowOptions& options,
+                                  const BufferingOptions& buffering = {});
+
+}  // namespace lrsizer::eco

@@ -1,0 +1,47 @@
+#include "eco/delta.hpp"
+
+#include "netlist/cone_hash.hpp"
+#include "netlist/hash.hpp"
+#include "netlist/logic_netlist.hpp"
+
+namespace lrsizer::eco {
+
+DeltaAnalyzer::DeltaAnalyzer(const netlist::LogicNetlist& base)
+    : base_hash_(netlist::netlist_hash(base)) {
+  const std::vector<std::uint64_t> cones = netlist::cone_hashes(base);
+  base_gate_of_cone_.reserve(cones.size());
+  for (std::size_t g = 0; g < cones.size(); ++g) {
+    // Names are unique and participate in the hash, so duplicate cone
+    // hashes only occur on a (vanishingly unlikely) 64-bit collision; keep
+    // the first gate deterministically in that case.
+    base_gate_of_cone_.emplace(cones[g], static_cast<std::int32_t>(g));
+  }
+}
+
+Delta DeltaAnalyzer::diff(const netlist::LogicNetlist& revised) const {
+  Delta delta;
+  delta.cones = netlist::cone_hashes(revised);
+  const auto n = static_cast<std::int32_t>(delta.cones.size());
+  delta.matched_base.assign(static_cast<std::size_t>(n), -1);
+  for (std::int32_t g = 0; g < n; ++g) {
+    const auto it = base_gate_of_cone_.find(delta.cones[static_cast<std::size_t>(g)]);
+    if (it != base_gate_of_cone_.end()) {
+      delta.matched_base[static_cast<std::size_t>(g)] = it->second;
+    } else {
+      delta.dirty.push_back(g);
+    }
+  }
+  for (const std::int32_t g : delta.dirty) {
+    bool fanins_clean = true;
+    for (const std::int32_t f : revised.gate(g).fanin) {
+      if (delta.matched_base[static_cast<std::size_t>(f)] < 0) {
+        fanins_clean = false;
+        break;
+      }
+    }
+    if (fanins_clean) delta.modified.push_back(g);
+  }
+  return delta;
+}
+
+}  // namespace lrsizer::eco

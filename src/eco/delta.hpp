@@ -1,0 +1,66 @@
+// Structural delta detection between two revisions of a logic netlist.
+//
+// ECO traffic ("engineering change order") resubmits a netlist with a
+// handful of edited gates. DeltaAnalyzer diffs the revision against a base
+// in O(n) using fanin-cone hashes (netlist/cone_hash.hpp): a gate whose
+// cone hash also appears in the base has an untouched transitive fanin cone
+// and is *clean*; everything else is *dirty*. The Merkle property makes the
+// dirty set downstream-closed automatically — an edited gate changes its
+// own cone hash, which changes every consumer's cone hash, transitively —
+// so "dirty" is exactly the edited nodes plus their fan-out cone, with no
+// explicit graph traversal.
+//
+// Clean gates are matched back to their base counterparts by cone hash
+// (gate names participate in the hash and are unique per netlist, so a
+// match pins down one base gate). The incremental sizer
+// (eco/incremental.hpp) reuses the cached solution for exactly the clean
+// set.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace lrsizer::netlist {
+class LogicNetlist;
+}
+
+namespace lrsizer::eco {
+
+/// The diff of one revision against the analyzer's base netlist. Gate
+/// indices refer to the *revised* netlist except where noted.
+struct Delta {
+  /// Per revised gate: the revised netlist's fanin-cone hashes.
+  std::vector<std::uint64_t> cones;
+  /// Per revised gate: the base gate with the identical fanin cone, or -1
+  /// when the gate is dirty.
+  std::vector<std::int32_t> matched_base;
+  /// Dirty gates (no base cone match), ascending. Downstream-closed: every
+  /// consumer of a dirty gate is itself dirty.
+  std::vector<std::int32_t> dirty;
+  /// The dirty region's roots — dirty gates all of whose fanins are clean.
+  /// These are the actual edits; the rest of `dirty` is their fan-out cone.
+  std::vector<std::int32_t> modified;
+
+  std::size_t num_gates() const { return matched_base.size(); }
+  std::size_t num_clean() const { return num_gates() - dirty.size(); }
+};
+
+class DeltaAnalyzer {
+ public:
+  /// Hashes the base once (O(n)); the base netlist is not retained.
+  explicit DeltaAnalyzer(const netlist::LogicNetlist& base);
+
+  /// Diff a revision against the base. O(revised) — one cone-hash pass plus
+  /// one hash-table probe per gate.
+  Delta diff(const netlist::LogicNetlist& revised) const;
+
+  /// netlist_hash of the base (the "n…" component of its cache keys).
+  std::uint64_t base_netlist_hash() const { return base_hash_; }
+
+ private:
+  std::unordered_map<std::uint64_t, std::int32_t> base_gate_of_cone_;
+  std::uint64_t base_hash_ = 0;
+};
+
+}  // namespace lrsizer::eco

@@ -1,0 +1,105 @@
+// Incremental ECO re-sizing: seed a new sizing run from a cached prior
+// solution, reusing everything the edit did not touch.
+//
+// The pipeline (docs/ECO.md):
+//
+//   1. build_eco_index() snapshots a completed run per *net*: the driving
+//      gate's fanin-cone hash (netlist/cone_hash.hpp) plus the final sizes
+//      of the net's circuit nodes, and the run's best-dual multiplier state.
+//   2. seed_from_index() diffs a revised netlist against the snapshot by
+//      cone hash: every clean net (identical transitive fanin cone, same
+//      node count after elaboration) contributes its cached sizes as sparse
+//      warm-start entries; when the revised circuit keeps the base's exact
+//      node/edge counts — e.g. op-only edits, which do not change the
+//      elaborated structure — the multipliers transfer verbatim too.
+//   3. api::SizingSession::warm_start_eco() consumes the seed; OGWS starts
+//      in the converged neighborhood and re-converges in a fraction of the
+//      cold iteration count (bench/bench_eco.cpp commits the trajectory).
+//
+// Like `--cache-warm`, an ECO-seeded run converges to an equally valid but
+// not bit-identical solution trajectory versus a cold run.
+//
+// IncrementalSizer bundles 2+3 for CLI/bench use; the serve loop instead
+// stores the index inside runtime::ResultCache entries and matches bases by
+// output-cone fingerprint (runtime/cache.hpp).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "api/session.hpp"
+#include "api/status.hpp"
+#include "core/flow.hpp"
+#include "core/ogws.hpp"
+#include "netlist/logic_netlist.hpp"
+#include "runtime/cache.hpp"
+
+namespace lrsizer::eco {
+
+/// Snapshot a completed run for later ECO reuse. `netlist` must be the
+/// (finalized) netlist `result` was sized from. Multipliers are copied from
+/// result.ogws.warm — empty when the run was executed with warm-start
+/// capture off, which only costs ECO consumers the multiplier transfer.
+runtime::EcoIndex build_eco_index(const netlist::LogicNetlist& netlist,
+                                  const core::FlowResult& result);
+
+/// What seed_from_index() recovered from the snapshot for one revision.
+struct EcoSeed {
+  /// Sparse (circuit NodeId, size) warm-start entries covering the clean
+  /// nets — food for api::SizingSession::warm_start_eco.
+  std::vector<std::pair<std::int32_t, double>> sizes;
+  /// The base run's multiplier state when the revised circuit has the same
+  /// node/edge counts; default-constructed (empty) otherwise.
+  core::OgwsWarmStart multipliers;
+  /// Circuit nodes seeded from the snapshot (= sizes.size()).
+  std::int64_t reused_nodes = 0;
+  /// Revised gates with no cone match in the base — the edits plus their
+  /// fan-out cone.
+  std::int32_t dirty_gates = 0;
+  std::int32_t clean_gates = 0;
+
+  bool empty() const { return sizes.empty() && multipliers.empty(); }
+};
+
+/// Diff `revised` against the snapshot and collect the reusable solution
+/// state. Runs one preview elaboration of `revised` under `options` to map
+/// nets to circuit nodes; a clean net whose node count differs from the
+/// base's (its fanout changed) is skipped rather than mis-seeded.
+EcoSeed seed_from_index(const netlist::LogicNetlist& revised,
+                        const core::FlowOptions& options,
+                        const runtime::EcoIndex& index);
+
+/// Convenience driver for CLI/bench flows: hold a base solution, re-size
+/// revisions against it.
+class IncrementalSizer {
+ public:
+  /// Snapshot `base_result` (a completed run of `base` under `options`).
+  IncrementalSizer(const netlist::LogicNetlist& base, core::FlowOptions options,
+                   const core::FlowResult& base_result);
+  /// Adopt a prebuilt snapshot (e.g. out of a runtime::ResultCache entry).
+  IncrementalSizer(runtime::EcoIndex index, core::FlowOptions options);
+
+  struct Result {
+    /// Engaged on success (FlowResult is not default-constructible).
+    std::optional<core::FlowResult> flow;
+    core::FlowSummary summary;
+    std::int64_t reused_nodes = 0;
+    std::int32_t dirty_gates = 0;
+    std::int32_t clean_gates = 0;
+  };
+
+  /// Size `revised` (finalized), warm-started from the snapshot. Falls back
+  /// to a plain cold run when nothing is reusable. On success `*out` holds
+  /// the flow result plus the reuse accounting.
+  api::Status resize(netlist::LogicNetlist revised, Result* out) const;
+
+  const runtime::EcoIndex& index() const { return index_; }
+
+ private:
+  runtime::EcoIndex index_;
+  core::FlowOptions options_;
+};
+
+}  // namespace lrsizer::eco

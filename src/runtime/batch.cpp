@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "api/session.hpp"
+#include "eco/incremental.hpp"
 #include "netlist/generator.hpp"
 #include "obs/registry.hpp"
 #include "util/logging.hpp"
@@ -71,7 +72,13 @@ JobOutcome run_job(BatchJob job, const JobControls& controls) {
           [&observer = controls.observer, &name = outcome.name](
               const core::OgwsIterate& iterate) { observer(name, iterate); });
     }
-    if (!job.warm_sizes.empty()) {
+    if (!job.eco_warm.empty()) {
+      if (const api::Status st = session.warm_start_eco(std::move(job.warm_sizes),
+                                                        std::move(job.eco_warm));
+          !st.ok()) {
+        throw std::invalid_argument("batch job '" + job.name + "': " + st.to_string());
+      }
+    } else if (!job.warm_sizes.empty()) {
       if (const api::Status st = session.warm_start_sizes(std::move(job.warm_sizes));
           !st.ok()) {
         throw std::invalid_argument("batch job '" + job.name + "': " + st.to_string());
@@ -122,10 +129,14 @@ JobOutcome run_one(BatchJob&& job, const BatchOptions& options,
   JobOutcome outcome = run_job(
       std::move(job), JobControls{options.stop, options.observer, options.trace});
   // Publish completed cold runs; cancelled/failed outcomes never enter the
-  // cache (their bits depend on where the interrupt landed).
+  // cache (their bits depend on where the interrupt landed). Entries carry
+  // the per-net ECO index so later revisions can warm-start from them.
   if (key && outcome.ok && !outcome.cancelled && outcome.flow) {
-    options.cache->store(*key, CachedEntry{job_json(outcome),
-                                           sparse_sizes(*outcome.flow)});
+    CachedEntry entry;
+    entry.job = job_json(outcome);
+    entry.sizes = sparse_sizes(*outcome.flow);
+    entry.eco = eco::build_eco_index(outcome.netlist, *outcome.flow);
+    options.cache->store(*key, std::move(entry));
   }
   if (!options.keep_flow_results) outcome.flow.reset();
   return outcome;
@@ -167,7 +178,7 @@ BatchResult run_batch(std::vector<BatchJob> jobs, ThreadPool& pool,
   if (options.cache) {
     std::unordered_map<std::string, std::size_t> owner_of;
     for (std::size_t i = 0; i < n; ++i) {
-      if (!jobs[i].warm_sizes.empty()) continue;
+      if (!jobs[i].warm_sizes.empty() || !jobs[i].eco_warm.empty()) continue;
       keys[i] = cache_key(jobs[i].netlist, jobs[i].options);
       cacheable[i] = 1;
       if ((hit[i] = options.cache->lookup(keys[i].key))) continue;

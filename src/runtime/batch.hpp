@@ -39,6 +39,10 @@ struct BatchJob {
   /// api::SizingSession::warm_start_sizes — e.g. the `# size` annotations of
   /// a previously sized .bench. Empty: cold start.
   std::vector<std::pair<std::int32_t, double>> warm_sizes;
+  /// ECO multiplier state accompanying warm_sizes (eco::seed_from_index).
+  /// Non-empty routes the pair through api::SizingSession::warm_start_eco
+  /// instead of warm_start_sizes; the `sizes` member is ignored.
+  core::OgwsWarmStart eco_warm;
 };
 
 /// Build a job from one of the paper's Table-1 profiles (synthesizes the

@@ -1,5 +1,6 @@
 #include "runtime/cache.hpp"
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <functional>
@@ -137,10 +138,14 @@ CacheKey cache_key(const netlist::LogicNetlist& nl,
 namespace {
 
 /// Accounted size of one completed entry: the key (file stem), the
-/// serialized job JSON (the dominant cost in memory and on disk) and 16
-/// bytes per sparse size pair.
+/// serialized job JSON (the dominant cost in memory and on disk), 16 bytes
+/// per sparse size pair and the EcoIndex payload (8 bytes per stored
+/// double/hash plus 16 per net for its bookkeeping).
 std::size_t entry_bytes(const std::string& key, const CachedEntry& entry) {
-  return key.size() + entry.job.dump().size() + 16 * entry.sizes.size();
+  std::size_t eco = 8 * (entry.eco.output_cones.size() + entry.eco.lambda.size() +
+                         entry.eco.gamma_net.size());
+  for (const EcoIndex::Net& net : entry.eco.nets) eco += 16 + 8 * net.sizes.size();
+  return key.size() + entry.job.dump().size() + 16 * entry.sizes.size() + eco;
 }
 
 }  // namespace
@@ -159,6 +164,10 @@ void ResultCache::erase_locked(const std::string& key) {
   lru_.erase(it->second.lru);
   const auto warm = warm_index_.find(it->second.warm_prefix);
   if (warm != warm_index_.end() && warm->second == key) warm_index_.erase(warm);
+  for (const std::uint64_t cone : it->second.entry->eco.output_cones) {
+    const auto po = po_index_.find(cone);
+    if (po != po_index_.end() && po->second == key) po_index_.erase(po);
+  }
   entries_.erase(it);
 }
 
@@ -178,6 +187,9 @@ bool ResultCache::insert_locked(const std::string& key,
   entries_[key] = Slot{std::move(entry), bytes, warm_prefix, lru_.begin()};
   bytes_ += bytes;
   warm_index_[warm_prefix] = key;
+  for (const std::uint64_t cone : entries_[key].entry->eco.output_cones) {
+    po_index_[cone] = key;
+  }
   // Evict least-recently-used completed entries until the budget holds
   // again. The entry just inserted is at the LRU front, so it survives
   // (its own fit was checked above). In-flight keys live in in_flight_,
@@ -246,7 +258,49 @@ std::shared_ptr<const CachedEntry> ResultCache::lookup_warm(const CacheKey& key)
   const auto it = warm_index_.find(key.warm_prefix);
   if (it == warm_index_.end() || it->second == key.key) return nullptr;
   const auto entry = entries_.find(it->second);
-  return entry != entries_.end() ? entry->second.entry : nullptr;
+  if (entry == entries_.end()) return nullptr;
+  ++warm_hits_;
+  return entry->second.entry;
+}
+
+std::shared_ptr<const CachedEntry> ResultCache::lookup_eco(
+    const std::vector<std::uint64_t>& output_cones,
+    const std::string& exclude_key, std::string* base_key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  // One po_index_ probe per output cone; candidates collect votes and the
+  // most-shared base wins (smallest key on a tie, for determinism).
+  std::unordered_map<std::string, std::size_t> votes;
+  for (const std::uint64_t cone : output_cones) {
+    const auto it = po_index_.find(cone);
+    if (it != po_index_.end() && it->second != exclude_key) ++votes[it->second];
+  }
+  const std::string* best = nullptr;
+  std::size_t best_votes = 0;
+  for (const auto& [key, count] : votes) {
+    if (count > best_votes || (count == best_votes && best && key < *best)) {
+      best = &key;
+      best_votes = count;
+    }
+  }
+  if (!best) return nullptr;
+  const auto entry = entries_.find(*best);
+  if (entry == entries_.end()) return nullptr;
+  touch_locked(entry->second);
+  ++eco_hits_;
+  if (base_key) *base_key = *best;
+  return entry->second.entry;
+}
+
+std::shared_ptr<const CachedEntry> ResultCache::lookup_eco_base(
+    const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto entry = lookup_locked(key);
+  if (entry) {
+    ++eco_hits_;
+  } else {
+    ++misses_;
+  }
+  return entry;
 }
 
 ResultCache::Acquire ResultCache::acquire(const CacheKey& key,
@@ -313,6 +367,16 @@ std::size_t ResultCache::misses() const {
   return misses_;
 }
 
+std::size_t ResultCache::warm_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return warm_hits_;
+}
+
+std::size_t ResultCache::eco_hits() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return eco_hits_;
+}
+
 std::size_t ResultCache::entries() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
@@ -335,6 +399,8 @@ CacheStats ResultCache::stats() const {
   s.bytes = bytes_;
   s.hits = hits_;
   s.misses = misses_;
+  s.warm_hits = warm_hits_;
+  s.eco_hits = eco_hits_;
   s.evictions = evictions_;
   return s;
 }
@@ -358,6 +424,33 @@ std::shared_ptr<const CachedEntry> ResultCache::load_from_disk(
       const auto& p = pair.as_array();
       entry.sizes.emplace_back(static_cast<std::int32_t>(p.at(0).as_number()),
                                p.at(1).as_number());
+    }
+    // Optional (additive to lrsizer-cache-v1): the ECO index. Cone hashes
+    // are 64-bit and therefore serialized as 16-hex-digit strings.
+    if (const Json* eco = doc.find("eco")) {
+      for (const Json& item : eco->at("nets").as_array()) {
+        const auto& net_json = item.as_array();
+        EcoIndex::Net net;
+        net.cone = std::strtoull(net_json.at(0).as_string().c_str(), nullptr, 16);
+        for (const Json& s : net_json.at(1).as_array()) {
+          net.sizes.push_back(s.as_number());
+        }
+        entry.eco.nets.push_back(std::move(net));
+      }
+      for (const Json& cone : eco->at("output_cones").as_array()) {
+        entry.eco.output_cones.push_back(
+            std::strtoull(cone.as_string().c_str(), nullptr, 16));
+      }
+      for (const Json& v : eco->at("lambda").as_array()) {
+        entry.eco.lambda.push_back(v.as_number());
+      }
+      entry.eco.beta = eco->at("beta").as_number();
+      entry.eco.gamma = eco->at("gamma").as_number();
+      for (const Json& v : eco->at("gamma_net").as_array()) {
+        entry.eco.gamma_net.push_back(v.as_number());
+      }
+      entry.eco.num_nodes = static_cast<std::int64_t>(eco->at("num_nodes").as_number());
+      entry.eco.num_edges = static_cast<std::int64_t>(eco->at("num_edges").as_number());
     }
     auto shared = std::make_shared<const CachedEntry>(std::move(entry));
     // Promote to memory within the budget (mutex_ held by caller). Reads
@@ -391,6 +484,36 @@ void ResultCache::persist(const std::string& key, const CachedEntry& entry) {
     sizes.push_back(pair);
   }
   doc.set("sizes", sizes);
+  if (!entry.eco.empty()) {
+    Json eco = Json::object();
+    Json nets = Json::array();
+    for (const EcoIndex::Net& net : entry.eco.nets) {
+      Json item = Json::array();
+      item.push_back(hex16(net.cone));
+      Json net_sizes = Json::array();
+      for (const double s : net.sizes) {
+        Json value(s);
+        net_sizes.push_back(std::move(value));
+      }
+      item.push_back(net_sizes);
+      nets.push_back(item);
+    }
+    eco.set("nets", nets);
+    Json cones = Json::array();
+    for (const std::uint64_t c : entry.eco.output_cones) cones.push_back(hex16(c));
+    eco.set("output_cones", cones);
+    Json lambda = Json::array();
+    for (const double v : entry.eco.lambda) lambda.push_back(v);
+    eco.set("lambda", lambda);
+    eco.set("beta", entry.eco.beta);
+    eco.set("gamma", entry.eco.gamma);
+    Json gamma_net = Json::array();
+    for (const double v : entry.eco.gamma_net) gamma_net.push_back(v);
+    eco.set("gamma_net", gamma_net);
+    eco.set("num_nodes", entry.eco.num_nodes);
+    eco.set("num_edges", entry.eco.num_edges);
+    doc.set("eco", eco);
+  }
   // Write-then-rename so concurrent processes sharing the cache dir (e.g.
   // sharded sweeps) never observe a torn entry; rename is atomic within a
   // directory. Racing writers produce identical bytes anyway (same key ⇒

@@ -71,12 +71,47 @@ struct CacheKey {
 CacheKey cache_key(const netlist::LogicNetlist& netlist,
                    const core::FlowOptions& options);
 
+/// Per-net solution snapshot for ECO re-sizing (docs/ECO.md). Built from a
+/// completed run by eco::build_eco_index; consumed by eco::seed_from_index,
+/// which matches a *revised* netlist's gates against `nets` by fanin-cone
+/// hash (netlist/cone_hash.hpp) and seeds the clean ones' sizes — plus, when
+/// the circuit shape is unchanged, the full multiplier state. Plain data so
+/// the cache can store it without depending on the eco layer.
+struct EcoIndex {
+  struct Net {
+    /// Fanin-cone hash of the gate driving the net.
+    std::uint64_t cone = 0;
+    /// Final sizes of the net's circuit nodes (the gate/driver plus its
+    /// routing-tree wires), ascending NodeId.
+    std::vector<double> sizes;
+  };
+  /// Indexed by the base netlist's logic gate index.
+  std::vector<Net> nets;
+  /// Output-cone fingerprint (netlist::output_cone_hashes) — the cache's
+  /// ECO near-miss probe: a revision shares most of these with its base.
+  std::vector<std::uint64_t> output_cones;
+  /// Best-dual multiplier state of the base run, reusable verbatim when the
+  /// revised circuit has the same node/edge counts (e.g. op-only edits).
+  std::vector<double> lambda;
+  double beta = 0.0;
+  double gamma = 0.0;
+  std::vector<double> gamma_net;
+  /// Shape of the base run's elaborated circuit, for that validity check.
+  std::int64_t num_nodes = 0;
+  std::int64_t num_edges = 0;
+
+  bool empty() const { return nets.empty(); }
+};
+
 /// One completed job, as the cache stores and serves it.
 struct CachedEntry {
   /// The run's `lrsizer-batch-v1` job object (job_json), verbatim.
   Json job;
   /// Final sizes as sparse (circuit NodeId, size) pairs — warm-start food.
   std::vector<std::pair<std::int32_t, double>> sizes;
+  /// Optional per-net snapshot for ECO warm-starting; empty when the
+  /// producer did not build one.
+  EcoIndex eco;
 };
 
 /// Budget for completed entries (in-flight owner/follower registrations are
@@ -89,16 +124,22 @@ struct CacheLimits {
   /// Max completed entries held (memory; mirrored on disk when backed).
   std::size_t max_entries = kUnlimited;
   /// Max Σ accounted entry bytes (key + serialized job JSON + 16 bytes per
-  /// size pair — the dominant cost of an entry on both memory and disk).
+  /// size pair + the EcoIndex payload — the dominant cost of an entry on
+  /// both memory and disk).
   std::size_t max_bytes = kUnlimited;
 };
 
 /// Point-in-time cache counters (see the accessors below for semantics).
+/// Hit kinds are disjoint: `hits` counts exact-key answers only, while
+/// warm/eco reuse bumps its own counter — a request that misses the exact
+/// key but warm-starts still counts one `misses`.
 struct CacheStats {
   std::size_t entries = 0;    ///< completed entries currently held
   std::size_t bytes = 0;      ///< Σ accounted bytes of those entries
-  std::size_t hits = 0;
+  std::size_t hits = 0;       ///< exact-key hits
   std::size_t misses = 0;
+  std::size_t warm_hits = 0;  ///< lookup_warm answers (same circuit, new knobs)
+  std::size_t eco_hits = 0;   ///< ECO base answers (lookup_eco/lookup_eco_base)
   std::size_t evictions = 0;  ///< entries removed (or rejected) for budget
 };
 
@@ -128,8 +169,24 @@ class ResultCache {
 
   /// Most recent completed entry with the same warm prefix but a different
   /// full key — a near-identical job whose sizes can warm-start this one.
-  /// nullptr when none is known (memory-resident index only).
+  /// nullptr when none is known (memory-resident index only). A successful
+  /// answer counts one `warm_hits`.
   std::shared_ptr<const CachedEntry> lookup_warm(const CacheKey& key);
+
+  /// ECO near-miss probe: the completed entry (with a non-empty EcoIndex)
+  /// sharing the most output cones with `output_cones`, excluding
+  /// `exclude_key` (the request's own exact key, which lookup/acquire
+  /// already covers). Memory-resident index only; nullptr when no entry
+  /// shares a single cone. On success `*base_key` (if non-null) receives the
+  /// base entry's full key and one `eco_hits` is counted.
+  std::shared_ptr<const CachedEntry> lookup_eco(
+      const std::vector<std::uint64_t>& output_cones,
+      const std::string& exclude_key, std::string* base_key = nullptr);
+
+  /// Exact-key lookup for a client-named ECO base (`eco_base` in the serve
+  /// protocol): same search as lookup() but a success counts as an
+  /// `eco_hits`, not an exact hit — the entry seeds a different job.
+  std::shared_ptr<const CachedEntry> lookup_eco_base(const std::string& key);
 
   // ---- in-flight dedupe ----------------------------------------------------
 
@@ -163,6 +220,8 @@ class ResultCache {
 
   std::size_t hits() const;    ///< lookup/acquire answered from a completed entry
   std::size_t misses() const;  ///< lookups that found nothing completed
+  std::size_t warm_hits() const;  ///< lookup_warm answers
+  std::size_t eco_hits() const;   ///< lookup_eco/lookup_eco_base answers
   std::size_t entries() const;    ///< completed entries currently held
   std::size_t bytes() const;      ///< Σ accounted bytes of those entries
   std::size_t evictions() const;  ///< entries evicted/rejected for budget
@@ -199,10 +258,15 @@ class ResultCache {
   std::list<std::string> lru_;
   /// warm_prefix -> full key of the most recently completed entry.
   std::unordered_map<std::string, std::string> warm_index_;
+  /// output cone hash -> full key of the most recently completed entry whose
+  /// EcoIndex fingerprint contains it (the lookup_eco vote table).
+  std::unordered_map<std::uint64_t, std::string> po_index_;
   std::unordered_map<std::string, std::vector<FollowerFn>> in_flight_;
   std::size_t bytes_ = 0;
   std::size_t hits_ = 0;
   std::size_t misses_ = 0;
+  std::size_t warm_hits_ = 0;
+  std::size_t eco_hits_ = 0;
   std::size_t evictions_ = 0;
 };
 

@@ -261,6 +261,18 @@ Status parse_request(const std::string& line, const core::FlowOptions& base,
           static_cast<std::int32_t>(node), pair.as_array()[1].as_number());
     }
   }
+  if (const Json* eco = doc.find("eco_base")) {
+    if (!eco->is_string() || eco->as_string().empty()) {
+      return Status::InvalidArgument(
+          "\"eco_base\" must be a non-empty cache-key string");
+    }
+    if (!request.size.job.warm_sizes.empty()) {
+      return Status::InvalidArgument(
+          "\"eco_base\" and \"warm_start\" are mutually exclusive — an ECO "
+          "seed is a warm start");
+    }
+    request.size.eco_base = eco->as_string();
+  }
   *out = std::move(request);
   return Status::Ok();
 }
@@ -338,6 +350,7 @@ Json stats_json(const std::string& id, const StatsSnapshot& s) {
   jobs.set("cache_hits", count(s.cache_hits));
   jobs.set("cancelled", count(s.cancelled));
   jobs.set("errors", count(s.errors));
+  jobs.set("eco", count(s.eco_jobs));
   jobs.set("queue_depth", count(s.queue_depth));
 
   Json clients = Json::object();
@@ -348,6 +361,8 @@ Json stats_json(const std::string& id, const StatsSnapshot& s) {
   cache.set("bytes", count(s.cache_bytes));
   cache.set("hits", count(s.cache_lookup_hits));
   cache.set("misses", count(s.cache_lookup_misses));
+  cache.set("warm_hits", count(s.cache_warm_hits));
+  cache.set("eco_hits", count(s.cache_eco_hits));
   cache.set("hit_rate", cache_hit_rate(s));
   cache.set("evictions", count(s.cache_evictions));
   cache.set("mode", s.cache_disk ? "disk" : "memory");

@@ -6,7 +6,9 @@
 //
 // v2 adds the stats request/response pair (fleet observability) on top of
 // v1; every v1 message is unchanged, so v1 clients keep working against a
-// v2 server apart from the schema string in hello.
+// v2 server apart from the schema string in hello. The ECO additions
+// (request "eco_base", the result's "eco" block inside "job") are
+// v2-additive the same way.
 //
 // Requests:  size | cancel | stats | shutdown
 // Responses: hello | accepted | progress | result | cancelled | stats | error
@@ -41,6 +43,12 @@ struct SizeRequest {
   /// carry one — cache hits and deduped followers answer from the stored
   /// report, which has no trace.
   bool trace = false;
+  /// Cache key of a completed base run to ECO warm-start from (docs/ECO.md).
+  /// Empty: none named — the server may still auto-detect a near-miss base
+  /// when running with --eco. Mutually exclusive with "warm_start" (an ECO
+  /// seed IS a warm start). A named base that is no longer cached simply
+  /// runs cold — serving caches are best-effort.
+  std::string eco_base;
 };
 
 struct Request {
@@ -100,8 +108,9 @@ runtime::Json cancelled_json(const std::string& id,
                              const runtime::Json* partial_job);
 
 /// Answer to a stats request: job counters, client/queue gauges, cache
-/// counters + hit rate, and recent-window p50/p99 job latency. `id` (may be
-/// empty) echoes the request's optional correlation id.
+/// counters (exact/warm/eco hit kinds) + hit rate, and p50/p99 job latency
+/// derived from the obs latency histogram. `id` (may be empty) echoes the
+/// request's optional correlation id.
 runtime::Json stats_json(const std::string& id, const StatsSnapshot& snapshot);
 
 /// Malformed request or failed job. `id` is empty when the line never

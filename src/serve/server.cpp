@@ -4,6 +4,8 @@
 #include <utility>
 #include <vector>
 
+#include "eco/incremental.hpp"
+#include "netlist/cone_hash.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -63,6 +65,15 @@ void Server::register_metrics() {
   cache_hits_total_ = reg.counter(
       "lrsizer_serve_cache_hits_total",
       "Result responses answered without running the flow (cache or dedupe).");
+  const char* eco_help_jobs =
+      "Jobs warm-started from a cached ECO base (named or auto-detected).";
+  eco_jobs_total_ = reg.counter("lrsizer_eco_jobs_total", eco_help_jobs);
+  eco_reused_nodes_total_ = reg.counter(
+      "lrsizer_eco_reused_nodes_total",
+      "Circuit nodes seeded from an ECO base across all ECO jobs.");
+  eco_dirty_gates_total_ = reg.counter(
+      "lrsizer_eco_dirty_gates_total",
+      "Gates with no cone match in their ECO base (the edits plus fan-out).");
   latency_seconds_ = reg.histogram(
       "lrsizer_serve_job_latency_seconds",
       "Job latency from admission to terminal response, in seconds.",
@@ -108,10 +119,21 @@ void Server::register_metrics() {
                "Estimated bytes held by the result cache.", {},
                [this] { return static_cast<double>(cache_->stats().bytes); },
                this);
-  reg.counter_fn("lrsizer_cache_hits_total",
-                 "Result-cache lookups answered from a completed entry.", {},
+  // Disjoint hit kinds (docs/SERVING.md §Cache semantics): exact-key
+  // answers, warm-start seeds, ECO base seeds.
+  const char* cache_hits_help =
+      "Result-cache lookups answered from a completed entry, by kind "
+      "(exact, warm, eco).";
+  reg.counter_fn("lrsizer_cache_hits_total", cache_hits_help,
+                 {{"kind", "exact"}},
                  [this] { return static_cast<double>(cache_->stats().hits); },
                  this);
+  reg.counter_fn(
+      "lrsizer_cache_hits_total", cache_hits_help, {{"kind", "warm"}},
+      [this] { return static_cast<double>(cache_->stats().warm_hits); }, this);
+  reg.counter_fn(
+      "lrsizer_cache_hits_total", cache_hits_help, {{"kind", "eco"}},
+      [this] { return static_cast<double>(cache_->stats().eco_hits); }, this);
   reg.counter_fn("lrsizer_cache_misses_total", "Result-cache lookup misses.",
                  {},
                  [this] { return static_cast<double>(cache_->stats().misses); },
@@ -219,19 +241,24 @@ StatsSnapshot Server::stats_snapshot() const {
   s.cache_hits = cache_hits_total_->value();
   s.cancelled = cancelled_total_->value();
   s.errors = errors_total_->value();
+  s.eco_jobs = eco_jobs_total_->value();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     s.queue_depth = in_flight_;
-    s.latency_count = latency_.count();
-    s.latency_p50_s = latency_.percentile(50.0);
-    s.latency_p99_s = latency_.percentile(99.0);
   }
+  // Latency comes from the obs histogram — the same instrument a /metrics
+  // scrape renders, so the two estimates can never diverge.
+  s.latency_count = latency_seconds_->count();
+  s.latency_p50_s = histogram_percentile(*latency_seconds_, 50.0);
+  s.latency_p99_s = histogram_percentile(*latency_seconds_, 99.0);
   s.active_clients = active_clients();
   const runtime::CacheStats cache = cache_->stats();
   s.cache_entries = cache.entries;
   s.cache_bytes = cache.bytes;
   s.cache_lookup_hits = cache.hits;
   s.cache_lookup_misses = cache.misses;
+  s.cache_warm_hits = cache.warm_hits;
+  s.cache_eco_hits = cache.eco_hits;
   s.cache_evictions = cache.evictions;
   s.cache_disk = cache_->disk_backed();
   return s;
@@ -243,7 +270,6 @@ void Server::finish(const std::shared_ptr<Pending>& pending) {
       std::chrono::duration<double>(now - pending->accepted_at).count();
   latency_seconds_->observe(seconds);
   const std::lock_guard<std::mutex> lock(mutex_);
-  latency_.record(seconds);
   active_.erase(pending->scoped_id);
   --in_flight_;
   if (in_flight_ == 0) idle_cv_.notify_all();
@@ -406,13 +432,45 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
         return;
       case ResultCache::Acquire::kFollower:
         return;
-      case ResultCache::Acquire::kOwner:
-        if (options_.cache_warm && pending->request.job.warm_sizes.empty()) {
+      case ResultCache::Acquire::kOwner: {
+        runtime::BatchJob& job = pending->request.job;
+        // ECO seeding: a named base wins; otherwise (with --eco) probe for
+        // the cached entry sharing the most output cones. A named base that
+        // is gone, or a base with nothing reusable, just runs cold.
+        if (pending->eco_base.empty()) {
+          std::shared_ptr<const CachedEntry> base;
+          std::string base_key = pending->request.eco_base;
+          if (!base_key.empty()) {
+            base = cache_->lookup_eco_base(base_key);
+          } else if (options_.eco) {
+            base = cache_->lookup_eco(netlist::output_cone_hashes(job.netlist),
+                                      pending->key.key, &base_key);
+          }
+          if (base && !base->eco.empty()) {
+            eco::EcoSeed seed =
+                eco::seed_from_index(job.netlist, job.options, base->eco);
+            if (!seed.empty()) {
+              pending->eco_base = base_key;
+              pending->eco_reused_nodes = seed.reused_nodes;
+              pending->eco_dirty_gates = seed.dirty_gates;
+              job.warm_sizes = std::move(seed.sizes);
+              job.eco_warm = std::move(seed.multipliers);
+              eco_jobs_total_->inc();
+              eco_reused_nodes_total_->inc(
+                  static_cast<std::uint64_t>(seed.reused_nodes));
+              eco_dirty_gates_total_->inc(
+                  static_cast<std::uint64_t>(seed.dirty_gates));
+            }
+          }
+        }
+        if (pending->eco_base.empty() && options_.cache_warm &&
+            job.warm_sizes.empty()) {
           if (const auto warm = cache_->lookup_warm(pending->key)) {
-            pending->request.job.warm_sizes = warm->sizes;
+            job.warm_sizes = warm->sizes;
           }
         }
         break;
+      }
     }
   }
   pool_.submit([this, pending = std::move(pending)] { execute(pending); });
@@ -446,8 +504,25 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
       run_job(std::move(pending->request.job), controls);
 
   if (outcome.ok && !outcome.cancelled) {
-    CachedEntry entry{runtime::job_json(outcome),
-                      runtime::sparse_sizes(*outcome.flow)};
+    CachedEntry entry;
+    entry.job = runtime::job_json(outcome);
+    entry.sizes = runtime::sparse_sizes(*outcome.flow);
+    // The "eco" block lives inside the job object (not the result wrapper)
+    // so a repeated identical submission — an exact cache hit served from
+    // entry.job verbatim — stays byte-identical to this first response.
+    if (!pending->eco_base.empty()) {
+      Json eco = Json::object();
+      eco.set("base_hash", pending->eco_base);
+      eco.set("dirty_nodes",
+              static_cast<std::int64_t>(pending->eco_dirty_gates));
+      eco.set("reused_nodes", pending->eco_reused_nodes);
+      entry.job.set("eco", eco);
+    }
+    // Snapshot the solution per net so this entry can serve as a future ECO
+    // base (named via its key, or auto-detected by output-cone overlap).
+    if (pending->cacheable) {
+      entry.eco = eco::build_eco_index(outcome.netlist, *outcome.flow);
+    }
     std::optional<Json> trace_doc;
     if (trace) trace_doc = Json::parse(trace->dump_json());
     emit(pending->client,

@@ -66,6 +66,13 @@ struct ServerOptions {
   /// netlist + elaboration but different solver/bound options (see
   /// BatchOptions::cache_warm for the determinism trade-off).
   bool cache_warm = false;
+  /// On a cache miss, ECO warm-start from the cached base sharing the most
+  /// output cones with the request's netlist (ResultCache::lookup_eco),
+  /// seeding clean-net sizes and — when the circuit shape matches — the
+  /// multiplier state (docs/ECO.md). A request naming "eco_base" uses its
+  /// named base regardless of this flag. Same determinism trade-off as
+  /// cache_warm: the seeded run is not bit-identical to a cold run.
+  bool eco = false;
   /// Backpressure: with > 0, a size request arriving while this many jobs
   /// are already accepted-but-unfinished is rejected with an error
   /// response (the client retries later). 0 = unbounded queue.
@@ -171,6 +178,11 @@ class Server {
     bool cacheable = false;
     std::stop_source stop;
     std::chrono::steady_clock::time_point accepted_at;
+    /// ECO seeding accounting (schedule() fills it, execute() embeds it as
+    /// the job's "eco" block). eco_base empty: the job was not ECO-seeded.
+    std::string eco_base;
+    std::int64_t eco_reused_nodes = 0;
+    std::int32_t eco_dirty_gates = 0;
   };
 
   /// One attached client. The mutex serializes its sink; a removed client
@@ -208,6 +220,9 @@ class Server {
   obs::Counter* cancelled_total_ = nullptr;  ///< responses_total{type="cancelled"}
   obs::Counter* errors_total_ = nullptr;     ///< responses_total{type="error"}
   obs::Counter* cache_hits_total_ = nullptr;
+  obs::Counter* eco_jobs_total_ = nullptr;          ///< lrsizer_eco_jobs_total
+  obs::Counter* eco_reused_nodes_total_ = nullptr;  ///< lrsizer_eco_reused_nodes_total
+  obs::Counter* eco_dirty_gates_total_ = nullptr;   ///< lrsizer_eco_dirty_gates_total
   obs::Histogram* latency_seconds_ = nullptr;
 
   std::chrono::steady_clock::time_point start_steady_{};
@@ -221,12 +236,11 @@ class Server {
   ClientId next_client_ = 1;
   ClientId default_client_ = 0;  ///< 0 = none (multi-client ctor)
 
-  mutable std::mutex mutex_;  ///< guards active_, in_flight_, latency_
+  mutable std::mutex mutex_;  ///< guards active_, in_flight_
   std::condition_variable idle_cv_;
   /// scoped_id -> job; ids live in per-client namespaces.
   std::unordered_map<std::string, std::shared_ptr<Pending>> active_;
   std::size_t in_flight_ = 0;
-  LatencyRing latency_;
 
   runtime::ThreadPool pool_;  ///< last member: workers die before the rest
 };

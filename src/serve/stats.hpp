@@ -2,41 +2,28 @@
 // distribution behind the `{"type":"stats"}` request (lrsizer-serve-v2,
 // docs/SERVING.md) and `lrsizer serve --stats-dump`.
 //
-// LatencyRing keeps the most recent job latencies in a fixed ring so the
-// p50/p99 estimates track current behavior instead of averaging over the
-// server's whole life; memory stays O(capacity) no matter how many jobs
-// run. Neither type locks — the Server records and snapshots under its own
-// mutex.
+// Latency percentiles are derived from the obs latency histogram
+// (lrsizer_serve_job_latency_seconds) — the same instrument a /metrics
+// scrape renders — so the stats response and Prometheus can never disagree
+// about the distribution. histogram_percentile() is the one estimator.
 #pragma once
 
 #include <cstddef>
 #include <string>
-#include <vector>
+
+namespace lrsizer::obs {
+class Histogram;
+}
 
 namespace lrsizer::serve {
 
-/// Fixed-capacity ring of recent job latencies (seconds, accepted →
-/// terminal response). Percentiles are nearest-rank over the retained
-/// window.
-class LatencyRing {
- public:
-  explicit LatencyRing(std::size_t capacity = 4096);
-
-  void record(double seconds);
-
-  /// Total latencies ever recorded (not capped by the window).
-  std::size_t count() const { return count_; }
-
-  /// Nearest-rank percentile over the retained window, p in [0, 100];
-  /// 0.0 when nothing was recorded yet.
-  double percentile(double p) const;
-
- private:
-  std::vector<double> ring_;
-  std::size_t next_ = 0;    ///< write cursor
-  std::size_t filled_ = 0;  ///< valid slots (== capacity once wrapped)
-  std::size_t count_ = 0;
-};
+/// Percentile estimate from a fixed-bucket histogram, p in [0, 100].
+/// Nearest-rank bucket selection (rank = ceil(p/100 · count), min 1) with
+/// linear interpolation inside the chosen bucket, so any non-empty
+/// histogram yields a strictly positive estimate. Observations landing in
+/// the +Inf overflow bucket are reported as the largest finite bound (the
+/// Prometheus histogram_quantile convention). 0.0 when count is zero.
+double histogram_percentile(const obs::Histogram& histogram, double p);
 
 /// One coherent picture of a Server (job counters, queue, clients, cache,
 /// latency) — what the stats response and --stats-dump serialize.
@@ -51,23 +38,30 @@ struct StatsSnapshot {
   std::size_t cache_hits = 0;  ///< results answered without running
   std::size_t cancelled = 0;   ///< cancelled responses
   std::size_t errors = 0;      ///< error responses (parse + job failures)
+  std::size_t eco_jobs = 0;    ///< jobs warm-started from an ECO base
   // Point-in-time gauges.
   std::size_t queue_depth = 0;     ///< jobs accepted but not yet terminal
   std::size_t active_clients = 0;  ///< connected clients
-  // Result-cache counters (runtime::ResultCache::stats()).
+  // Result-cache counters (runtime::ResultCache::stats()). Hit kinds are
+  // disjoint: exact / warm / eco (docs/SERVING.md §Cache semantics).
   std::size_t cache_entries = 0;
   std::size_t cache_bytes = 0;
-  std::size_t cache_lookup_hits = 0;
+  std::size_t cache_lookup_hits = 0;    ///< exact-key hits
   std::size_t cache_lookup_misses = 0;
+  std::size_t cache_warm_hits = 0;      ///< lookup_warm answers
+  std::size_t cache_eco_hits = 0;       ///< ECO base answers
   std::size_t cache_evictions = 0;
   bool cache_disk = false;
-  // Job latency (seconds, accepted → terminal), recent-window percentiles.
+  // Job latency (seconds, accepted → terminal), derived from the obs
+  // latency histogram.
   std::size_t latency_count = 0;
   double latency_p50_s = 0.0;
   double latency_p99_s = 0.0;
 };
 
 /// Cache hit rate over completed lookups, in [0, 1] (0 when none yet).
+/// Exact hits only — warm/eco reuse still runs the flow, so it is not a
+/// "hit" in the answered-without-running sense.
 double cache_hit_rate(const StatsSnapshot& snapshot);
 
 /// Human-readable multi-line rendering — what `--stats-dump` prints on

@@ -35,6 +35,8 @@
 
 #include "core/flow.hpp"
 #include "netlist/bench_parser.hpp"
+#include "netlist/bench_writer.hpp"
+#include "netlist/logic_netlist.hpp"
 #include "obs/registry.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/hash.hpp"
@@ -141,6 +143,42 @@ TEST(ResultCache, StoreLookupAndWarmLookup) {
   ASSERT_NE(cache.lookup_warm(sibling), nullptr);
   EXPECT_EQ(cache.lookup_warm(key), nullptr);
   EXPECT_EQ(cache.lookup_warm(stranger), nullptr);
+}
+
+TEST(ResultCache, EcoLookupsVoteOnConeOverlapAndCountAsEcoHits) {
+  runtime::ResultCache cache;
+  runtime::CacheKey k1{"nA-eB-o1", "nA-eB"};
+  runtime::CacheKey k2{"nC-eD-o1", "nC-eD"};
+  auto with_cones = [](const std::string& marker,
+                       std::vector<std::uint64_t> cones) {
+    runtime::CachedEntry entry = make_entry(marker);
+    entry.eco.nets.push_back({cones[0], {1.0}});
+    entry.eco.output_cones = std::move(cones);
+    return entry;
+  };
+  cache.store(k1, with_cones("one", {10, 20, 30}));
+  cache.store(k2, with_cones("two", {10, 99}));
+
+  // The near-miss probe picks the entry sharing the most output cones.
+  std::string base_key;
+  auto base = cache.lookup_eco({10, 20, 31}, "", &base_key);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base->job.at("name").as_string(), "one");
+  EXPECT_EQ(base_key, k1.key);
+  // Excluding the winner (the request's own key) falls back to the runner-up.
+  base = cache.lookup_eco({10, 20, 31}, k1.key, &base_key);
+  ASSERT_NE(base, nullptr);
+  EXPECT_EQ(base_key, k2.key);
+  // No shared cone at all: no base.
+  EXPECT_EQ(cache.lookup_eco({7, 8}, "", nullptr), nullptr);
+
+  // A client-named base resolves by exact key but counts as an ECO hit,
+  // not an exact hit — the hit kinds stay disjoint.
+  ASSERT_NE(cache.lookup_eco_base(k1.key), nullptr);
+  EXPECT_EQ(cache.lookup_eco_base("nZ-eZ-o9"), nullptr);
+  EXPECT_EQ(cache.stats().eco_hits, 3u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().warm_hits, 0u);
 }
 
 TEST(ResultCache, InFlightDedupePublishAndAbandon) {
@@ -498,6 +536,41 @@ TEST(Protocol, DefaultSeedFollowsTheServersElabSeed) {
   EXPECT_EQ(request.size.job.options.elab.seed, 7u);
 }
 
+TEST(Protocol, EcoBaseParsesAndExcludesWarmStart) {
+  serve::Request request;
+  const core::FlowOptions base;
+  ASSERT_TRUE(serve::parse_request(
+                  R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                  R"("eco_base":"nA-eB-o1"})",
+                  base, &request)
+                  .ok());
+  EXPECT_EQ(request.size.eco_base, "nA-eB-o1");
+
+  // Must be a non-empty string.
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("eco_base":""})",
+                   base, &request)
+                   .ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("eco_base":7})",
+                   base, &request)
+                   .ok());
+  // An ECO seed is a warm start: the two are mutually exclusive, in either
+  // key order.
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("warm_start":[[0,1.0]],"eco_base":"nA-eB-o1"})",
+                   base, &request)
+                   .ok());
+  EXPECT_FALSE(serve::parse_request(
+                   R"({"type":"size","id":"a","input":{"profile":"c17"},)"
+                   R"("eco_base":"nA-eB-o1","warm_start":[[0,1.0]]})",
+                   base, &request)
+                   .ok());
+}
+
 TEST(Protocol, RejectsMalformedRequests) {
   serve::Request request;
   const core::FlowOptions base;
@@ -565,23 +638,28 @@ TEST(Protocol, RejectsMalformedRequests) {
 
 // ---- stats ------------------------------------------------------------------
 
-TEST(Stats, LatencyRingNearestRankPercentilesOverTheWindow) {
-  serve::LatencyRing ring(100);
-  EXPECT_EQ(ring.percentile(50.0), 0.0) << "empty ring reports 0";
-  for (int i = 1; i <= 100; ++i) ring.record(i);
-  EXPECT_EQ(ring.count(), 100u);
-  EXPECT_DOUBLE_EQ(ring.percentile(50.0), 50.0);
-  EXPECT_DOUBLE_EQ(ring.percentile(99.0), 99.0);
-  EXPECT_DOUBLE_EQ(ring.percentile(100.0), 100.0);
-  EXPECT_DOUBLE_EQ(ring.percentile(0.0), 1.0);
+TEST(Stats, HistogramPercentilesInterpolateWithinBuckets) {
+  obs::Histogram h({0.1, 0.5, 2.5});
+  EXPECT_EQ(serve::histogram_percentile(h, 50.0), 0.0)
+      << "empty histogram reports 0";
+  // 10 observations in the (0, 0.1] bucket, 10 in (0.1, 0.5].
+  for (int i = 0; i < 10; ++i) h.observe(0.05);
+  for (int i = 0; i < 10; ++i) h.observe(0.3);
+  // rank(p50) = 10 = the first bucket's last observation → its upper bound.
+  EXPECT_DOUBLE_EQ(serve::histogram_percentile(h, 50.0), 0.1);
+  // rank(p99) = 20 = the second bucket's last observation.
+  EXPECT_DOUBLE_EQ(serve::histogram_percentile(h, 99.0), 0.5);
+  // rank(p25) = 5: halfway through the first bucket by interpolation.
+  EXPECT_DOUBLE_EQ(serve::histogram_percentile(h, 25.0), 0.05);
+  // p0 maps to rank 1 — strictly positive once anything was observed (the
+  // serve soak asserts p99 >= p50 > 0 after a non-empty run).
+  EXPECT_DOUBLE_EQ(serve::histogram_percentile(h, 0.0), 0.01);
 
-  // The ring is a recent window: a small capacity retains only the last
-  // records (count keeps the lifetime total).
-  serve::LatencyRing small(4);
-  for (int i = 1; i <= 8; ++i) small.record(i);
-  EXPECT_EQ(small.count(), 8u);
-  EXPECT_DOUBLE_EQ(small.percentile(0.0), 5.0);
-  EXPECT_DOUBLE_EQ(small.percentile(100.0), 8.0);
+  // Observations in the +Inf overflow bucket report the largest finite
+  // bound — the Prometheus histogram_quantile convention.
+  obs::Histogram over({0.1, 0.5});
+  over.observe(9.0);
+  EXPECT_DOUBLE_EQ(serve::histogram_percentile(over, 99.0), 0.5);
 }
 
 TEST(Stats, StatsRequestParsesWithOptionalIdAndResponseRoundTrips) {
@@ -729,6 +807,107 @@ TEST(Server, DuplicateJobsAnswerFromCacheByteIdentically) {
   // Different seed = different netlist: a miss that re-runs.
   EXPECT_FALSE(by_id[2].at("cache_hit").as_bool());
   EXPECT_NE(by_id[0].at("job").dump(), by_id[2].at("job").dump());
+}
+
+/// Inline-.bench size request (the ECO flow needs two *different* netlists
+/// that share structure, which profile inputs cannot express).
+std::string bench_request(const std::string& id,
+                          const netlist::LogicNetlist& netlist,
+                          const std::string& eco_base = "") {
+  Json request = Json::object();
+  request.set("type", "size");
+  request.set("id", id);
+  Json input = Json::object();
+  input.set("bench", netlist::to_bench_string(netlist));
+  request.set("input", input);
+  Json options = Json::object();
+  options.set("vectors", 8);
+  request.set("options", options);
+  request.set("sizes", true);
+  if (!eco_base.empty()) request.set("eco_base", eco_base);
+  return request.dump();
+}
+
+TEST(Server, EcoBaseSeedsFromTheNamedBaseAndRepeatsAreByteIdentical) {
+  const netlist::LogicNetlist base =
+      netlist::parse_bench_string(netlist::kIscas85C17);
+  // One-gate ECO: flip the op of the last primary-output NAND. Same arity,
+  // so the base's multiplier state transfers too.
+  netlist::LogicNetlist edited;
+  std::int32_t edit = -1;
+  for (std::int32_t g = 0; g < base.num_gates_logic(); ++g) {
+    if (base.is_primary_output(g) &&
+        base.gate(g).op == netlist::LogicOp::kNand) {
+      edit = g;
+    }
+  }
+  ASSERT_GE(edit, 0);
+  for (std::int32_t g = 0; g < base.num_gates_logic(); ++g) {
+    const netlist::LogicGate& gate = base.gate(g);
+    if (gate.op == netlist::LogicOp::kInput) {
+      edited.add_input(gate.name);
+    } else {
+      edited.add_gate(gate.name,
+                      g == edit ? netlist::LogicOp::kNor : gate.op,
+                      gate.fanin);
+    }
+    if (base.is_primary_output(g)) edited.mark_output(g);
+  }
+  edited.finalize();
+
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  serve::Server server(options, collector.sink());
+
+  // Cold base run; its accepted "key" is the handle ECO clients name.
+  ASSERT_TRUE(server.handle_line(bench_request("a", base)));
+  server.drain();
+  const auto accepted = collector.of_type("accepted");
+  ASSERT_EQ(accepted.size(), 1u);
+  const std::string key = accepted[0].at("key").as_string();
+  ASSERT_FALSE(key.empty());
+
+  // The revision, warm-started from the named base — then resubmitted.
+  ASSERT_TRUE(server.handle_line(bench_request("b", edited, key)));
+  server.drain();
+  ASSERT_TRUE(server.handle_line(bench_request("c", edited, key)));
+  server.drain();
+  ASSERT_TRUE(server.handle_line(R"({"type":"stats","id":"s"})"));
+  server.drain();
+
+  const auto results = collector.of_type("result");
+  ASSERT_EQ(results.size(), 3u);
+  std::map<std::string, Json> by_id;
+  for (const Json& r : results) by_id[r.at("id").as_string()] = r;
+
+  // The base ran cold, without an eco block.
+  EXPECT_FALSE(by_id.at("a").at("cache_hit").as_bool());
+  EXPECT_EQ(by_id.at("a").at("job").find("eco"), nullptr);
+
+  // The ECO job reports its provenance inside the job object.
+  const Json& eco_job = by_id.at("b").at("job");
+  EXPECT_FALSE(by_id.at("b").at("cache_hit").as_bool());
+  const Json* eco = eco_job.find("eco");
+  ASSERT_NE(eco, nullptr);
+  EXPECT_EQ(eco->at("base_hash").as_string(), key);
+  EXPECT_GT(eco->at("reused_nodes").as_number(), 0.0);
+  EXPECT_GT(eco->at("dirty_nodes").as_number(), 0.0);
+
+  // Resubmitting the identical ECO request answers from the cache with a
+  // byte-identical job payload — eco block included.
+  EXPECT_TRUE(by_id.at("c").at("cache_hit").as_bool());
+  EXPECT_EQ(by_id.at("c").at("job").dump(), eco_job.dump());
+  EXPECT_EQ(by_id.at("c").at("sizes").dump(), by_id.at("b").at("sizes").dump());
+
+  // Stats: one ECO-seeded job, one exact hit, disjoint kinds.
+  const auto stats = collector.of_type("stats");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].at("jobs").at("eco").as_number(), 1.0);
+  EXPECT_EQ(stats[0].at("jobs").at("cache_hits").as_number(), 1.0);
+  EXPECT_EQ(stats[0].at("cache").at("hits").as_number(), 1.0);
+  EXPECT_EQ(stats[0].at("cache").at("eco_hits").as_number(), 1.0);
+  EXPECT_EQ(stats[0].at("cache").at("warm_hits").as_number(), 0.0);
 }
 
 TEST(Server, CancelMidJobYieldsACancelledResponse) {

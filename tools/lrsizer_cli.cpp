@@ -23,6 +23,7 @@
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -37,6 +38,7 @@
 
 #include "core/flow.hpp"
 #include "core/report.hpp"
+#include "eco/buffering.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/bench_writer.hpp"
 #include "netlist/generator.hpp"
@@ -90,6 +92,14 @@ options:
   --power-bound F   P0 = F x initial power  (default 0.15)
   --noise-bound F   X0 = F x initial noise  (default 0.10)
   --warm-start FILE (run) seed sizes from a sized .bench's # size annotations
+  --buffer-long-wires [UM]  (run/batch) pre-pass: split every net whose
+                    routed wire length exceeds UM um (default 1500) with a
+                    chain of optimally sized repeaters (Orion closed-form
+                    k/h) before sizing; add --shielded for the staggered-
+                    neighbor coupling coefficients
+  --shielded        (with --buffer-long-wires) assume shielded/staggered
+                    neighbor switching (K_k=0.57, K_h=1.5 instead of the
+                    unshielded worst case 1.51/2.2)
   --cache-dir DIR   persist completed results as lrsizer-cache-v1 JSON in
                     DIR and answer identical jobs from there (run/batch/
                     sweep/serve); without it batch/serve still dedupe
@@ -97,6 +107,11 @@ options:
   --cache-warm      on a cache miss, warm-start from a cached result with
                     the same circuit but different bounds/solver options
                     (faster, but not bit-identical to a cold run)
+  --eco             (serve) on a cache miss, ECO warm-start from the cached
+                    base sharing the most output cones with the request
+                    (docs/ECO.md; same determinism trade-off as
+                    --cache-warm). Requests naming "eco_base" use their
+                    named base even without this flag.
   --cache-max-entries N  keep at most N completed results in the cache,
                     LRU-evicted (and unlinked from --cache-dir); 0 disables
                     result storage (default: unlimited)
@@ -156,7 +171,10 @@ struct CliOptions {
   int metrics_port = -1;  ///< -1 = no metrics endpoint; 0 = ephemeral
   int max_pending = 0;
   bool cache_warm = false;
+  bool eco = false;
   bool stats_dump = false;
+  double buffer_long_wires = 0.0;  ///< threshold in um; 0 = pre-pass off
+  bool shielded = false;
   std::size_t cache_max_entries = runtime::CacheLimits::kUnlimited;
   std::size_t cache_max_bytes = runtime::CacheLimits::kUnlimited;
   std::string cache_dir;
@@ -245,6 +263,25 @@ CliOptions parse_args(int argc, char** argv) {
     }
     else if (arg == "--cache-dir") cli.cache_dir = next_value(i);
     else if (arg == "--cache-warm") cli.cache_warm = true;
+    else if (arg == "--eco") cli.eco = true;
+    else if (arg == "--buffer-long-wires") {
+      // The threshold is optional: consume the next token only when it
+      // parses fully as a number, so `--buffer-long-wires c432` still
+      // treats c432 as the input.
+      cli.buffer_long_wires = 1500.0;
+      if (i + 1 < argc) {
+        char* end = nullptr;
+        const double v = std::strtod(argv[i + 1], &end);
+        if (end != argv[i + 1] && *end == '\0') {
+          cli.buffer_long_wires = v;
+          ++i;
+        }
+      }
+      if (cli.buffer_long_wires <= 0.0) {
+        fail("--buffer-long-wires threshold must be > 0 um");
+      }
+    }
+    else if (arg == "--shielded") cli.shielded = true;
     else if (arg == "--cache-max-entries") {
       const long v = parse_long(arg, next_value(i));
       if (v < 0) fail("--cache-max-entries must be >= 0");
@@ -482,6 +519,30 @@ void write_reports(const runtime::BatchResult& batch, const CliOptions& cli) {
   }
 }
 
+/// --buffer-long-wires: run the repeater-insertion pre-pass on every job's
+/// netlist before sizing (eco/buffering.hpp). The transform is
+/// deterministic, so cache keys stay meaningful: the buffered netlist IS
+/// the job's input.
+void apply_buffering(std::vector<runtime::BatchJob>* jobs,
+                     const CliOptions& cli) {
+  if (cli.buffer_long_wires <= 0.0) return;
+  eco::BufferingOptions buffering;
+  buffering.length_threshold_um = cli.buffer_long_wires;
+  buffering.shielded = cli.shielded;
+  for (auto& job : *jobs) {
+    eco::BufferingResult result =
+        eco::buffer_long_wires(job.netlist, job.options, buffering);
+    if (result.repeaters > 0) {
+      std::fprintf(stderr,
+                   "lrsizer: %s: inserted %lld repeater(s) across %zu long "
+                   "net(s) (> %.0f um)\n",
+                   job.name.c_str(), static_cast<long long>(result.repeaters),
+                   result.nets.size(), cli.buffer_long_wires);
+    }
+    job.netlist = std::move(result.netlist);
+  }
+}
+
 /// --shard K/N: keep only the global job list's indices ≡ K (mod N). The
 /// filter runs on the fully assembled, deterministic job list, so N shard
 /// runs partition exactly the jobs one unsharded run would execute.
@@ -552,8 +613,10 @@ int finish(const runtime::BatchResult& batch, const CliOptions& cli) {
 int cmd_run(const CliOptions& cli) {
   if (cli.inputs.size() != 1) fail("run expects exactly one input");
   if (cli.shard_count > 0) fail("--shard only applies to batch/sweep");
+  if (cli.eco) fail("--eco only applies to serve");
   std::vector<runtime::BatchJob> jobs;
   jobs.push_back(load_job(cli.inputs[0], cli));
+  apply_buffering(&jobs, cli);
   if (!cli.warm_start_path.empty()) {
     jobs[0].warm_sizes = load_warm_sizes(cli.warm_start_path);
   }
@@ -618,6 +681,7 @@ int cmd_batch(const CliOptions& cli) {
   // Warm sizes are node-id-keyed against one specific elaborated circuit;
   // silently reusing them across a heterogeneous batch would mislead.
   if (!cli.warm_start_path.empty()) fail("--warm-start only applies to 'run'");
+  if (cli.eco) fail("--eco only applies to serve");
   std::vector<runtime::BatchJob> jobs;
   if (!cli.profiles.empty()) {
     std::vector<std::string> names;
@@ -636,6 +700,7 @@ int cmd_batch(const CliOptions& cli) {
   }
   for (const auto& input : cli.inputs) jobs.push_back(load_job(input, cli));
   if (jobs.empty()) fail("batch needs --profiles and/or input files");
+  apply_buffering(&jobs, cli);
   jobs = apply_shard(std::move(jobs), cli);
 
   // Batches always dedupe through a cache (memory-only without --cache-dir):
@@ -654,6 +719,9 @@ int cmd_batch(const CliOptions& cli) {
 
 int cmd_sweep(const CliOptions& cli) {
   if (!cli.warm_start_path.empty()) fail("--warm-start only applies to 'run'");
+  if (cli.buffer_long_wires > 0.0) {
+    fail("--buffer-long-wires only applies to run/batch");
+  }
   if (cli.sweep_range.empty()) fail("sweep needs --noise LO:HI:STEP");
   double lo = 0.0, hi = 0.0, step = 0.0;
   {
@@ -700,6 +768,9 @@ int cmd_serve(const CliOptions& cli) {
   if (cli.metrics_port >= 0 && cli.listen_port < 0) {
     fail("--metrics-port requires --listen");
   }
+  if (cli.buffer_long_wires > 0.0) {
+    fail("--buffer-long-wires only applies to run/batch");
+  }
   runtime::ResultCache cache(cli.cache_dir, cache_limits(cli));
   serve::ServerOptions options;
   // Worker default mirrors run_batch's jobs × threads split.
@@ -710,6 +781,7 @@ int cmd_serve(const CliOptions& cli) {
   options.base_options = flow_options(cli);
   options.cache = &cache;
   options.cache_warm = cli.cache_warm;
+  options.eco = cli.eco;
   options.max_pending = cli.max_pending;
   options.version = kVersion;
 
