@@ -1,11 +1,13 @@
 #include "api/session.hpp"
 
 #include <algorithm>
+#include <new>
 #include <sstream>
 #include <string>
 #include <utility>
 
 #include "api/options.hpp"
+#include "fault/fault.hpp"
 #include "layout/ordering.hpp"
 #include "obs/trace.hpp"
 #include "runtime/pool.hpp"
@@ -119,6 +121,12 @@ Status SizingSession::elaborate() {
         "complete .bench) before sizing");
   }
   obs::ScopedSpan span(trace_, "elaborate", "session");
+  if (LRSIZER_FAULT_POINT("session.alloc")) {
+    // Elaboration makes the session's big allocation (the RC circuit); this
+    // is where a 10^6-node job would really see bad_alloc. runtime::run_job
+    // catches it and turns the job into a failed outcome.
+    throw std::bad_alloc();
+  }
   elab_ = netlist::elaborate(netlist_, options_.tech, options_.elab);
   span.arg("nodes", static_cast<double>(elab_->circuit.num_nodes()));
   span.arg("edges", static_cast<double>(elab_->circuit.num_edges()));

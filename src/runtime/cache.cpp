@@ -8,6 +8,7 @@
 #include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "netlist/hash.hpp"
 #include "netlist/logic_netlist.hpp"
 #include "util/logging.hpp"
@@ -146,6 +147,69 @@ std::size_t entry_bytes(const std::string& key, const CachedEntry& entry) {
                          entry.eco.gamma_net.size());
   for (const EcoIndex::Net& net : entry.eco.nets) eco += 16 + 8 * net.sizes.size();
   return key.size() + entry.job.dump().size() + 16 * entry.sizes.size() + eco;
+}
+
+/// The "sizes" array of a persisted entry: [[node, size], ...].
+Json sizes_json(const CachedEntry& entry) {
+  Json sizes = Json::array();
+  for (const auto& [node, size] : entry.sizes) {
+    Json pair = Json::array();
+    pair.push_back(static_cast<std::int64_t>(node));
+    pair.push_back(size);
+    sizes.push_back(pair);
+  }
+  return sizes;
+}
+
+/// The "eco" object of a persisted entry. Cone hashes are 64-bit and
+/// therefore serialized as 16-hex-digit strings.
+Json eco_json(const EcoIndex& index) {
+  Json eco = Json::object();
+  Json nets = Json::array();
+  for (const EcoIndex::Net& net : index.nets) {
+    Json item = Json::array();
+    item.push_back(hex16(net.cone));
+    Json net_sizes = Json::array();
+    for (const double s : net.sizes) {
+      Json value(s);
+      net_sizes.push_back(std::move(value));
+    }
+    item.push_back(net_sizes);
+    nets.push_back(item);
+  }
+  eco.set("nets", nets);
+  Json cones = Json::array();
+  for (const std::uint64_t c : index.output_cones) cones.push_back(hex16(c));
+  eco.set("output_cones", cones);
+  Json lambda = Json::array();
+  for (const double v : index.lambda) lambda.push_back(v);
+  eco.set("lambda", lambda);
+  eco.set("beta", index.beta);
+  eco.set("gamma", index.gamma);
+  Json gamma_net = Json::array();
+  for (const double v : index.gamma_net) gamma_net.push_back(v);
+  eco.set("gamma_net", gamma_net);
+  eco.set("num_nodes", index.num_nodes);
+  eco.set("num_edges", index.num_edges);
+  return eco;
+}
+
+/// Integrity checksum of a persisted entry: fnv1a over the key and the
+/// canonical serialization of the payload pieces. Json numbers dump with
+/// shortest-round-trip formatting, so rebuilding the pieces from a parsed
+/// file reproduces the stored bytes exactly — a load-side recompute matches
+/// iff the payload survived the disk intact.
+std::string entry_checksum(const std::string& key, const CachedEntry& entry) {
+  std::uint64_t h = netlist::fnv1a(key);
+  h = netlist::fnv1a("\n", h);
+  h = netlist::fnv1a(entry.job.dump(), h);
+  h = netlist::fnv1a("\n", h);
+  h = netlist::fnv1a(sizes_json(entry).dump(), h);
+  if (!entry.eco.empty()) {
+    h = netlist::fnv1a("\n", h);
+    h = netlist::fnv1a(eco_json(entry.eco).dump(), h);
+  }
+  return hex16(h);
 }
 
 }  // namespace
@@ -392,6 +456,11 @@ std::size_t ResultCache::evictions() const {
   return evictions_;
 }
 
+std::size_t ResultCache::corrupt() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return corrupt_;
+}
+
 CacheStats ResultCache::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   CacheStats s;
@@ -402,6 +471,7 @@ CacheStats ResultCache::stats() const {
   s.warm_hits = warm_hits_;
   s.eco_hits = eco_hits_;
   s.evictions = evictions_;
+  s.corrupt = corrupt_;
   return s;
 }
 
@@ -411,12 +481,20 @@ std::shared_ptr<const CachedEntry> ResultCache::load_from_disk(
     const std::string& key) {
   if (disk_dir_.empty()) return nullptr;
   const auto path = std::filesystem::path(disk_dir_) / (key + ".json");
-  std::ifstream in(path);
-  if (!in) return nullptr;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
+  std::string text;
+  {
+    std::ifstream in(path);
+    if (!in) return nullptr;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+  if (LRSIZER_FAULT_POINT("cache.read")) {
+    // Simulated torn read: only the first half of the file comes back.
+    text.resize(text.size() / 2);
+  }
   try {
-    Json doc = Json::parse(buffer.str());
+    Json doc = Json::parse(text);
     if (doc.at("schema").as_string() != "lrsizer-cache-v1") return nullptr;
     CachedEntry entry;
     entry.job = doc.at("job");
@@ -452,6 +530,14 @@ std::shared_ptr<const CachedEntry> ResultCache::load_from_disk(
       entry.eco.num_nodes = static_cast<std::int64_t>(eco->at("num_nodes").as_number());
       entry.eco.num_edges = static_cast<std::int64_t>(eco->at("num_edges").as_number());
     }
+    // Entries written since the checksum landed carry one over the payload;
+    // verify before serving. Files from older builds lack the field and are
+    // accepted as-is (back-compatible read).
+    if (const Json* checksum = doc.find("checksum")) {
+      if (checksum->as_string() != entry_checksum(key, entry)) {
+        throw std::runtime_error("checksum mismatch");
+      }
+    }
     auto shared = std::make_shared<const CachedEntry>(std::move(entry));
     // Promote to memory within the budget (mutex_ held by caller). Reads
     // never unlink files: a promotion may evict other *memory* entries, and
@@ -462,10 +548,26 @@ std::shared_ptr<const CachedEntry> ResultCache::load_from_disk(
     insert_locked(key, prefix, shared, nullptr);
     return shared;
   } catch (const std::exception& e) {
-    util::log_warn() << "cache file " << path.string() << " unreadable ("
-                     << e.what() << "); treating as a miss";
+    quarantine_locked(path, key, e.what());
     return nullptr;
   }
+}
+
+void ResultCache::quarantine_locked(const std::filesystem::path& path,
+                                    const std::string& key,
+                                    const char* reason) {
+  const auto aside = std::filesystem::path(disk_dir_) / (key + ".corrupt");
+  std::error_code ec;
+  std::filesystem::rename(path, aside, ec);
+  if (ec) {
+    // Rename refused (permissions?): unlink instead, so the corrupt file
+    // cannot keep being re-read as a miss forever.
+    std::filesystem::remove(path, ec);
+  }
+  ++corrupt_;
+  util::log_warn() << "cache file " << path.string() << " corrupt (" << reason
+                   << "); quarantined to " << aside.string()
+                   << ", treating as a miss";
 }
 
 void ResultCache::persist(const std::string& key, const CachedEntry& entry) {
@@ -474,46 +576,14 @@ void ResultCache::persist(const std::string& key, const CachedEntry& entry) {
   std::filesystem::create_directories(disk_dir_, ec);
   Json doc = Json::object();
   doc.set("schema", "lrsizer-cache-v1");
+  // Verified on load. Placed before the payload it covers; still schema v1
+  // (older readers never looked for it, older files load without it).
+  doc.set("checksum", entry_checksum(key, entry));
   doc.set("key", key);
   doc.set("job", entry.job);
-  Json sizes = Json::array();
-  for (const auto& [node, size] : entry.sizes) {
-    Json pair = Json::array();
-    pair.push_back(static_cast<std::int64_t>(node));
-    pair.push_back(size);
-    sizes.push_back(pair);
-  }
-  doc.set("sizes", sizes);
-  if (!entry.eco.empty()) {
-    Json eco = Json::object();
-    Json nets = Json::array();
-    for (const EcoIndex::Net& net : entry.eco.nets) {
-      Json item = Json::array();
-      item.push_back(hex16(net.cone));
-      Json net_sizes = Json::array();
-      for (const double s : net.sizes) {
-        Json value(s);
-        net_sizes.push_back(std::move(value));
-      }
-      item.push_back(net_sizes);
-      nets.push_back(item);
-    }
-    eco.set("nets", nets);
-    Json cones = Json::array();
-    for (const std::uint64_t c : entry.eco.output_cones) cones.push_back(hex16(c));
-    eco.set("output_cones", cones);
-    Json lambda = Json::array();
-    for (const double v : entry.eco.lambda) lambda.push_back(v);
-    eco.set("lambda", lambda);
-    eco.set("beta", entry.eco.beta);
-    eco.set("gamma", entry.eco.gamma);
-    Json gamma_net = Json::array();
-    for (const double v : entry.eco.gamma_net) gamma_net.push_back(v);
-    eco.set("gamma_net", gamma_net);
-    eco.set("num_nodes", entry.eco.num_nodes);
-    eco.set("num_edges", entry.eco.num_edges);
-    doc.set("eco", eco);
-  }
+  doc.set("sizes", sizes_json(entry));
+  if (!entry.eco.empty()) doc.set("eco", eco_json(entry.eco));
+  const std::string payload = doc.dump(2) + "\n";
   // Write-then-rename so concurrent processes sharing the cache dir (e.g.
   // sharded sweeps) never observe a torn entry; rename is atomic within a
   // directory. Racing writers produce identical bytes anyway (same key ⇒
@@ -528,7 +598,36 @@ void ResultCache::persist(const std::string& key, const CachedEntry& entry) {
       util::log_warn() << "cannot persist cache entry to " << tmp.string();
       return;
     }
-    out << doc.dump(2) << "\n";
+    if (LRSIZER_FAULT_POINT("cache.write")) {
+      // Simulated ENOSPC: half the payload lands, then the device fills.
+      out << payload.substr(0, payload.size() / 2);
+      out.setstate(std::ios::badbit);
+    } else {
+      out << payload;
+    }
+    out.flush();
+    if (!out) {
+      // The write failed mid-stream (disk full?). The torn bytes are only
+      // in the tmp file — drop it instead of renaming garbage into place;
+      // the job itself succeeded and is served from memory.
+      util::log_warn() << "cache write to " << tmp.string()
+                       << " failed (disk full?); entry not persisted";
+      std::error_code rm;
+      std::filesystem::remove(tmp, rm);
+      return;
+    }
+  }
+  if (LRSIZER_FAULT_POINT("cache.rename")) {
+    // Simulated torn publish: a crash or a non-atomic filesystem leaves a
+    // half-written file at the *final* path — exactly the damage the
+    // checksum + quarantine path exists to catch.
+    {
+      std::ofstream torn(path);
+      torn << payload.substr(0, payload.size() / 2);
+    }
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    return;
   }
   std::error_code rename_ec;
   std::filesystem::rename(tmp, path, rename_ec);

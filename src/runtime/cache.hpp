@@ -141,15 +141,20 @@ struct CacheStats {
   std::size_t warm_hits = 0;  ///< lookup_warm answers (same circuit, new knobs)
   std::size_t eco_hits = 0;   ///< ECO base answers (lookup_eco/lookup_eco_base)
   std::size_t evictions = 0;  ///< entries removed (or rejected) for budget
+  std::size_t corrupt = 0;    ///< disk entries quarantined to <key>.corrupt
 };
 
 class ResultCache {
  public:
   /// Memory-only cache. With a non-empty `disk_dir`, completed entries are
   /// additionally persisted as `<disk_dir>/<key>.json` (schema
-  /// `lrsizer-cache-v1`) and misses fall back to disk, so the cache
-  /// survives across processes. The directory is created on first store;
-  /// unreadable/corrupt files are treated as misses.
+  /// `lrsizer-cache-v1`, carrying an fnv1a checksum over the payload;
+  /// checksum-less files from older builds still load) and misses fall back
+  /// to disk, so the cache survives across processes. The directory is
+  /// created on first store. A file that fails to parse or whose checksum
+  /// does not match is quarantined: renamed to `<disk_dir>/<key>.corrupt`
+  /// (outside the eviction namespace, so it survives for post-mortems),
+  /// counted in stats().corrupt, and served as a miss.
   ///
   /// `limits` bounds the completed entries this instance holds, LRU-evicted
   /// (least recently stored/looked-up first). When disk-backed, evicting an
@@ -225,6 +230,7 @@ class ResultCache {
   std::size_t entries() const;    ///< completed entries currently held
   std::size_t bytes() const;      ///< Σ accounted bytes of those entries
   std::size_t evictions() const;  ///< entries evicted/rejected for budget
+  std::size_t corrupt() const;    ///< disk entries quarantined as corrupt
   CacheStats stats() const;       ///< all of the above, one lock
 
  private:
@@ -238,6 +244,10 @@ class ResultCache {
 
   std::shared_ptr<const CachedEntry> lookup_locked(const std::string& key);
   std::shared_ptr<const CachedEntry> load_from_disk(const std::string& key);
+  /// Move a corrupt/torn disk file aside to `<key>.corrupt` and count it.
+  /// Caller holds mutex_.
+  void quarantine_locked(const std::filesystem::path& path,
+                         const std::string& key, const char* reason);
   /// Insert/overwrite a completed entry and evict down to the budget;
   /// returns false when the entry alone exceeds it (nothing stored). Disk
   /// files of evicted entries are appended to *unlink for removal after the
@@ -268,6 +278,7 @@ class ResultCache {
   std::size_t warm_hits_ = 0;
   std::size_t eco_hits_ = 0;
   std::size_t evictions_ = 0;
+  std::size_t corrupt_ = 0;
 };
 
 }  // namespace lrsizer::runtime

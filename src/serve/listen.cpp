@@ -15,10 +15,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "fault/fault.hpp"
 #endif
 
 namespace lrsizer::serve {
@@ -29,11 +33,13 @@ namespace {
 
 /// Write one response line (plus newline) to a socket, whole or not at all
 /// from the caller's perspective: EINTR is retried, any other short write
-/// means the client is gone and the read side of the event loop will reap
-/// the connection. MSG_NOSIGNAL because a disconnected client must surface
-/// as a write error, not a process-killing SIGPIPE — this is a long-lived
-/// server (per-fd SO_NOSIGPIPE covers platforms without the flag).
-void write_all_fd(int fd, const std::string& out) {
+/// means the client is gone — false tells the caller to stop writing, and
+/// the event loop reaps the connection. MSG_NOSIGNAL because a
+/// disconnected client must surface as a write error, not a
+/// process-killing SIGPIPE — this is a long-lived server (per-fd
+/// SO_NOSIGPIPE covers platforms without the flag).
+bool write_all_fd(int fd, const std::string& out) {
+  if (LRSIZER_FAULT_POINT("socket.write")) return false;
   std::size_t off = 0;
   while (off < out.size()) {
 #if defined(MSG_NOSIGNAL)
@@ -42,15 +48,16 @@ void write_all_fd(int fd, const std::string& out) {
     const ssize_t n = ::write(fd, out.data() + off, out.size() - off);
 #endif
     if (n < 0 && errno == EINTR) continue;  // retry, or the line tears
-    if (n <= 0) return;
+    if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
+  return true;
 }
 
-void write_line_fd(int fd, const std::string& line) {
+bool write_line_fd(int fd, const std::string& line) {
   std::string out = line;
   out.push_back('\n');
-  write_all_fd(fd, out);
+  return write_all_fd(fd, out);
 }
 
 /// Read lines from one connected fd (the stdin transport). Reads are
@@ -109,6 +116,10 @@ class LineReader {
 struct Conn {
   int fd = -1;
   Server::ClientId client = 0;  ///< jsonl connections only (0 = none)
+  /// Set by the response sink (worker threads) when a write fails; the
+  /// event loop reaps the connection on its next pass. shared_ptr because
+  /// the sink closure outlives Conn vector reallocations.
+  std::shared_ptr<std::atomic<bool>> broken;
   std::string buffer;
   /// An over-budget line was rejected; drop bytes until its newline.
   bool discarding = false;
@@ -158,6 +169,7 @@ const char* reason_phrase(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
     default: return "Error";
   }
 }
@@ -175,10 +187,16 @@ void respond_http(Conn& conn, Server& server) {
         200, reason_phrase(200), "text/plain; version=0.0.4; charset=utf-8",
         obs::render_prometheus(server.registry().snapshot()));
   } else if (req.target == "/healthz") {
-    // 200 while the event loop is alive to answer at all — liveness, not a
-    // job-level health judgement.
-    response = obs::http_response(200, reason_phrase(200),
-                                  "text/plain; charset=utf-8", "ok\n");
+    // 200 while the event loop is alive and accepting work; 503 once a
+    // drain begins so load balancers stop routing here while in-flight
+    // jobs finish. Liveness, not a job-level health judgement.
+    if (server.draining()) {
+      response = obs::http_response(503, reason_phrase(503),
+                                    "text/plain; charset=utf-8", "draining\n");
+    } else {
+      response = obs::http_response(200, reason_phrase(200),
+                                    "text/plain; charset=utf-8", "ok\n");
+    }
   } else {
     response = obs::http_response(404, reason_phrase(404),
                                   "text/plain; charset=utf-8", "not found\n");
@@ -195,7 +213,8 @@ void serve_stdin(Server& server, const std::stop_token& stop) {
   server.hello();
   LineReader input(0);
   std::string line;
-  while (!stop.stop_requested() && input.read_line(line, stop)) {
+  while (!stop.stop_requested() && !server.draining() &&
+         input.read_line(line, stop)) {
     if (!server.handle_line(line)) break;
   }
   server.drain();
@@ -259,6 +278,12 @@ int listen_and_serve(const ListenOptions& listen_options, Server& server) {
     for (const Conn& conn : conns) pfds.push_back({conn.fd, POLLIN, 0});
     const int ready = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 500);
     if (stop.stop_requested()) break;
+    // Graceful drain (SIGTERM): new jobs are already being refused with a
+    // "shutdown" error by the Server; leave the loop once the last
+    // in-flight job has flushed its terminal response. Until then keep
+    // polling so those responses reach their clients and /metrics and
+    // /healthz keep answering (503) for the ops side.
+    if (server.draining() && server.idle()) break;
     if (ready < 0 && errno != EINTR) break;
     if (ready <= 0) continue;
 
@@ -349,16 +374,32 @@ int listen_and_serve(const ListenOptions& listen_options, Server& server) {
     if (!shutdown_requested && (pfds[0].revents & POLLIN) != 0) {
       const int fd = ::accept(listener, nullptr, nullptr);
       if (fd >= 0) {
+        if (server.draining()) {
+          // New work is no longer welcome; close immediately rather than
+          // greet a client whose every request would be refused. Metrics
+          // connections (below) stay served throughout the drain.
+          ::close(fd);
+        } else {
 #if defined(SO_NOSIGPIPE)
-        // BSD/macOS counterpart of MSG_NOSIGNAL in write_line_fd.
-        ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
+          // BSD/macOS counterpart of MSG_NOSIGNAL in write_line_fd.
+          ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof(one));
 #endif
-        Conn conn;
-        conn.fd = fd;
-        conn.client = server.add_client(
-            [fd](const std::string& line) { write_line_fd(fd, line); });
-        server.hello(conn.client);
-        conns.push_back(std::move(conn));
+          Conn conn;
+          conn.fd = fd;
+          conn.broken = std::make_shared<std::atomic<bool>>(false);
+          const std::shared_ptr<std::atomic<bool>> broken = conn.broken;
+          conn.client =
+              server.add_client([fd, broken](const std::string& line) {
+                // Once one write fails the peer is gone; swallow the rest
+                // of its responses instead of hammering a dead socket.
+                if (broken->load(std::memory_order_relaxed)) return;
+                if (!write_line_fd(fd, line)) {
+                  broken->store(true, std::memory_order_relaxed);
+                }
+              });
+          server.hello(conn.client);
+          conns.push_back(std::move(conn));
+        }
       }
     }
     if (!shutdown_requested && metrics_listener >= 0 &&
@@ -378,7 +419,14 @@ int listen_and_serve(const ListenOptions& listen_options, Server& server) {
 
     // Reap disconnected clients: cancel their jobs and drop their pending
     // responses before the fd closes, so no write ever hits a closed fd.
+    // A failed response write (broken sink) is the same condition observed
+    // from the other direction — reap those too; the server itself
+    // survives the loss of any client.
     for (std::size_t i = 0; i < conns.size();) {
+      if (conns[i].broken &&
+          conns[i].broken->load(std::memory_order_relaxed)) {
+        conns[i].dead = true;
+      }
       if (!conns[i].dead) {
         ++i;
         continue;

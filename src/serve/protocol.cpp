@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "api/options.hpp"
+#include "fault/fault.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/generator.hpp"
 #include "netlist/iscas_profiles.hpp"
@@ -145,6 +146,11 @@ Status parse_request(const std::string& line, const core::FlowOptions& base,
       *error_id = found->as_string();
     }
   }
+  if (LRSIZER_FAULT_POINT("json.parse")) {
+    // After the id extraction, so the injected rejection still echoes the
+    // request id and a chaos client can retry it.
+    return Status::InvalidArgument("fault injected: json.parse");
+  }
   const Json* type = doc.find("type");
   if (!type || !type->is_string()) {
     return Status::InvalidArgument("request needs a string \"type\"");
@@ -261,6 +267,15 @@ Status parse_request(const std::string& line, const core::FlowOptions& base,
           static_cast<std::int32_t>(node), pair.as_array()[1].as_number());
     }
   }
+  if (const Json* deadline = doc.find("deadline_ms")) {
+    std::int64_t value = 0;
+    if (!deadline->is_number() ||
+        !checked_integer(*deadline, 0, kMaxExactDouble, &value)) {
+      return Status::InvalidArgument(
+          "\"deadline_ms\" must be an integer in [0, 2^53] (0 = unlimited)");
+    }
+    request.size.deadline_ms = value;
+  }
   if (const Json* eco = doc.find("eco_base")) {
     if (!eco->is_string() || eco->as_string().empty()) {
       return Status::InvalidArgument(
@@ -282,7 +297,7 @@ Status parse_request(const std::string& line, const core::FlowOptions& base,
 Json hello_json(const std::string& version, int jobs,
                 const std::string& cache_mode) {
   Json j = Json::object();
-  j.set("schema", "lrsizer-serve-v2");
+  j.set("schema", "lrsizer-serve-v3");
   j.set("type", "hello");
   j.set("version", version);
   j.set("jobs", static_cast<std::int64_t>(jobs));
@@ -312,11 +327,14 @@ Json progress_json(const std::string& id, const core::OgwsIterate& iterate) {
 
 Json result_json(const std::string& id, bool cache_hit, const Json& job,
                  const std::vector<std::pair<std::int32_t, double>>* sizes,
-                 const Json* trace) {
+                 const Json* trace, bool timeout) {
   Json j = Json::object();
   j.set("type", "result");
   j.set("id", id);
   j.set("cache_hit", cache_hit);
+  // Key absent on normal results (not `false`): cache-hit payloads must
+  // stay byte-identical to pre-deadline builds.
+  if (timeout) j.set("timeout", true);
   j.set("job", job);
   if (sizes) {
     Json array = Json::array();
@@ -349,7 +367,9 @@ Json stats_json(const std::string& id, const StatsSnapshot& s) {
   jobs.set("completed", count(s.completed));
   jobs.set("cache_hits", count(s.cache_hits));
   jobs.set("cancelled", count(s.cancelled));
+  jobs.set("timeouts", count(s.timeouts));
   jobs.set("errors", count(s.errors));
+  jobs.set("shed", count(s.shed));
   jobs.set("eco", count(s.eco_jobs));
   jobs.set("queue_depth", count(s.queue_depth));
 
@@ -365,6 +385,7 @@ Json stats_json(const std::string& id, const StatsSnapshot& s) {
   cache.set("eco_hits", count(s.cache_eco_hits));
   cache.set("hit_rate", cache_hit_rate(s));
   cache.set("evictions", count(s.cache_evictions));
+  cache.set("corrupt", count(s.cache_corrupt));
   cache.set("mode", s.cache_disk ? "disk" : "memory");
 
   Json latency = Json::object();
@@ -374,6 +395,7 @@ Json stats_json(const std::string& id, const StatsSnapshot& s) {
 
   Json server = Json::object();
   server.set("version", s.version);
+  server.set("state", s.state);
   server.set("start_time_unix_s", s.start_time_unix_s);
   server.set("uptime_s", s.uptime_s);
 
@@ -388,10 +410,13 @@ Json stats_json(const std::string& id, const StatsSnapshot& s) {
   return j;
 }
 
-Json error_json(const std::string& id, const std::string& message) {
+Json error_json(const std::string& id, const std::string& code,
+                const std::string& message, std::int64_t retry_after_ms) {
   Json j = Json::object();
   j.set("type", "error");
   if (!id.empty()) j.set("id", id);
+  j.set("code", code);
+  if (retry_after_ms >= 0) j.set("retry_after_ms", retry_after_ms);
   j.set("message", message);
   return j;
 }

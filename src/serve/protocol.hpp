@@ -1,14 +1,17 @@
-// The lrsizer-serve-v2 wire protocol: newline-delimited JSON messages, one
+// The lrsizer-serve-v3 wire protocol: newline-delimited JSON messages, one
 // object per line in both directions. This header is the single in-code
 // mirror of the spec in docs/SERVING.md — request parsing and response
 // building live here, free of any threading, so the protocol round-trips
 // under test without a running server.
 //
-// v2 adds the stats request/response pair (fleet observability) on top of
-// v1; every v1 message is unchanged, so v1 clients keep working against a
-// v2 server apart from the schema string in hello. The ECO additions
-// (request "eco_base", the result's "eco" block inside "job") are
-// v2-additive the same way.
+// v2 added the stats request/response pair (fleet observability) on top of
+// v1. v3 adds the reliability surface (docs/RELIABILITY.md): a machine-
+// readable "code" on every error response (plus "retry_after_ms" on
+// `overloaded` ones), the request "deadline_ms" field, the result
+// "timeout" marker for deadline-cut partial results, and the stats
+// server.state / jobs.timeouts / jobs.shed / cache.corrupt fields. Every
+// v2 message is unchanged, so v2 clients keep working against a v3 server
+// apart from the schema string in hello.
 //
 // Requests:  size | cancel | stats | shutdown
 // Responses: hello | accepted | progress | result | cancelled | stats | error
@@ -49,6 +52,13 @@ struct SizeRequest {
   /// seed IS a warm start). A named base that is no longer cached simply
   /// runs cold — serving caches are best-effort.
   std::string eco_base;
+  /// Wall-clock budget for this job in milliseconds, counted from admission
+  /// (queue wait included). -1: the request named none — the server default
+  /// (--default-deadline-ms) applies. 0: explicitly unlimited, overriding
+  /// the server default. When the deadline fires the server cancels the job
+  /// via its stop_source and answers with the best partial result, marked
+  /// "timeout": true (docs/RELIABILITY.md §Deadlines).
+  std::int64_t deadline_ms = -1;
 };
 
 struct Request {
@@ -96,11 +106,14 @@ runtime::Json progress_json(const std::string& id,
 /// verbatim from the cache on a hit, so duplicate jobs get byte-identical
 /// payloads. `sizes` (optional) is the final sparse size vector; `trace`
 /// (optional) the job's lrsizer-trace-v1 document (requested via "trace",
-/// cold runs only).
+/// cold runs only). `timeout` marks a deadline-cut partial result: the job
+/// object then has "cancelled": true and carries the best iterate's KKT
+/// state; the key is absent entirely on normal results, keeping cache-hit
+/// payloads byte-identical to pre-deadline builds.
 runtime::Json result_json(
     const std::string& id, bool cache_hit, const runtime::Json& job,
     const std::vector<std::pair<std::int32_t, double>>* sizes,
-    const runtime::Json* trace = nullptr);
+    const runtime::Json* trace = nullptr, bool timeout = false);
 
 /// Terminal cancellation. `partial_job` (optional) carries the best partial
 /// result when the cancel landed mid-OGWS.
@@ -114,7 +127,22 @@ runtime::Json cancelled_json(const std::string& id,
 runtime::Json stats_json(const std::string& id, const StatsSnapshot& snapshot);
 
 /// Malformed request or failed job. `id` is empty when the line never
-/// parsed far enough to have one.
-runtime::Json error_json(const std::string& id, const std::string& message);
+/// parsed far enough to have one. `code` is the machine-readable reason,
+/// one of:
+///
+///   parse         the line was not a valid request
+///   oversized     the line exceeded --max-line-bytes
+///   duplicate_id  a job with this id is already active for this client
+///   not_found     cancel named no active job
+///   overloaded    admission control shed the job — retry after the
+///                 response's "retry_after_ms" (set iff code=overloaded)
+///   shutdown      the server is draining and accepts no new work
+///   deadline      the job's deadline fired before any usable partial result
+///   failed        the job ran and failed
+///
+/// `retry_after_ms` < 0 omits the field.
+runtime::Json error_json(const std::string& id, const std::string& code,
+                         const std::string& message,
+                         std::int64_t retry_after_ms = -1);
 
 }  // namespace lrsizer::serve

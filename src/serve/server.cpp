@@ -1,11 +1,14 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <optional>
 #include <utility>
 #include <vector>
 
 #include "eco/incremental.hpp"
+#include "fault/fault.hpp"
 #include "netlist/cone_hash.hpp"
+#include "netlist/logic_netlist.hpp"
 #include "obs/trace.hpp"
 #include "util/logging.hpp"
 
@@ -44,6 +47,13 @@ Server::Server(ServerOptions options, Sink sink)
 
 Server::~Server() {
   drain();
+  // Stop the deadline watchdog (started lazily, so it may never have run).
+  {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_exit_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
   // Callback metrics read through `this` (cache_, pool_, in_flight_); drop
   // them before any member dies. Owned counters stay — on a borrowed
   // registry they simply stop moving, which is the right scrape semantics.
@@ -62,6 +72,14 @@ void Server::register_metrics() {
                                  responses_help, {{"type", "cancelled"}});
   errors_total_ = reg.counter("lrsizer_serve_responses_total", responses_help,
                               {{"type", "error"}});
+  timeouts_total_ = reg.counter(
+      "lrsizer_jobs_timeout_total",
+      "Jobs whose deadline fired before completion (answered as a "
+      "timeout-marked partial result, or a deadline error).");
+  shed_total_ = reg.counter(
+      "lrsizer_serve_shed_total",
+      "Size requests rejected `overloaded` by admission control "
+      "(backpressure, queue-cost budget, per-client fairness cap).");
   cache_hits_total_ = reg.counter(
       "lrsizer_serve_cache_hits_total",
       "Result responses answered without running the flow (cache or dedupe).");
@@ -143,6 +161,26 @@ void Server::register_metrics() {
       "Entries evicted from the result cache by the LRU budget.", {},
       [this] { return static_cast<double>(cache_->stats().evictions); }, this);
   reg.counter_fn(
+      "lrsizer_cache_corrupt_total",
+      "Disk-cache entries that failed parse or checksum verification and "
+      "were quarantined to <key>.corrupt.", {},
+      [this] { return static_cast<double>(cache_->stats().corrupt); }, this);
+  reg.gauge_fn("lrsizer_serve_draining",
+               "1 once the server entered drain mode (begin_drain), else 0.",
+               {}, [this] { return draining() ? 1.0 : 0.0; }, this);
+  // One series per fault point armed at construction time (the CLI arms
+  // --fault-inject/LRSIZER_FAULT before building the server). Points armed
+  // later — e.g. mid-test — are injected but not scraped.
+  for (const std::string& point : fault::armed_points()) {
+    reg.counter_fn(
+        "lrsizer_fault_injected_total",
+        "Faults injected by the deterministic fault-injection framework "
+        "(src/fault), by point.",
+        {{"point", point}},
+        [point] { return static_cast<double>(fault::injected_count(point)); },
+        this);
+  }
+  reg.counter_fn(
       "lrsizer_pool_steals_total",
       "Tasks a pool worker stole from a sibling's deque.", {},
       [this] { return static_cast<double>(pool_.steal_count()); }, this);
@@ -223,13 +261,16 @@ Server::Stats Server::stats() const {
   s.completed = results_total_->value();
   s.cache_hits = cache_hits_total_->value();
   s.cancelled = cancelled_total_->value();
+  s.timeouts = timeouts_total_->value();
   s.errors = errors_total_->value();
+  s.shed = shed_total_->value();
   return s;
 }
 
 StatsSnapshot Server::stats_snapshot() const {
   StatsSnapshot s;
   s.version = options_.version;
+  s.state = draining() ? "draining" : "serving";
   s.start_time_unix_s = start_unix_s_;
   s.uptime_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                              start_steady_)
@@ -240,7 +281,9 @@ StatsSnapshot Server::stats_snapshot() const {
   s.completed = results_total_->value();
   s.cache_hits = cache_hits_total_->value();
   s.cancelled = cancelled_total_->value();
+  s.timeouts = timeouts_total_->value();
   s.errors = errors_total_->value();
+  s.shed = shed_total_->value();
   s.eco_jobs = eco_jobs_total_->value();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -260,6 +303,7 @@ StatsSnapshot Server::stats_snapshot() const {
   s.cache_warm_hits = cache.warm_hits;
   s.cache_eco_hits = cache.eco_hits;
   s.cache_evictions = cache.evictions;
+  s.cache_corrupt = cache.corrupt;
   s.cache_disk = cache_->disk_backed();
   return s;
 }
@@ -272,6 +316,11 @@ void Server::finish(const std::shared_ptr<Pending>& pending) {
   const std::lock_guard<std::mutex> lock(mutex_);
   active_.erase(pending->scoped_id);
   --in_flight_;
+  queue_cost_ -= pending->cost;
+  const auto it = client_pending_.find(pending->client);
+  if (it != client_pending_.end() && --it->second <= 0) {
+    client_pending_.erase(it);
+  }
   if (in_flight_ == 0) idle_cv_.notify_all();
 }
 
@@ -280,10 +329,20 @@ void Server::drain() {
   idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+void Server::begin_drain() {
+  draining_.store(true, std::memory_order_release);
+}
+
+bool Server::idle() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_ == 0;
+}
+
 int Server::serve_stream(std::istream& in) {
   hello();
   std::string line;
-  while (!options_.stop.stop_requested() && std::getline(in, line)) {
+  while (!options_.stop.stop_requested() && !draining() &&
+         std::getline(in, line)) {
     if (!handle_line(line)) break;
   }
   drain();
@@ -295,7 +354,7 @@ bool Server::handle_line(const std::string& line) {
 }
 
 void Server::reject(ClientId client, const std::string& message) {
-  emit(client, error_json("", message));
+  emit(client, error_json("", "oversized", message));
   errors_total_->inc();
 }
 
@@ -309,7 +368,7 @@ bool Server::handle_line(ClientId client, const std::string& line) {
   if (const api::Status st =
           parse_request(line, options_.base_options, &request, &id);
       !st.ok()) {
-    emit(client, error_json(id, st.message()));
+    emit(client, error_json(id, "parse", st.message()));
     errors_total_->inc();
     return true;
   }
@@ -339,7 +398,7 @@ void Server::handle_cancel(ClientId client, const std::string& id) {
     if (it != active_.end()) pending = it->second;
   }
   if (!pending) {
-    emit(client, error_json(id, "cancel: no active job with this id"));
+    emit(client, error_json(id, "not_found", "cancel: no active job with this id"));
     errors_total_->inc();
     return;
   }
@@ -353,37 +412,104 @@ void Server::handle_size(ClientId client, SizeRequest request) {
   pending->client = client;
   pending->request = std::move(request);
   pending->accepted_at = std::chrono::steady_clock::now();
+  // Estimated cost for the admission budget: the logic node count (the
+  // paper's flow is near-linear in it — Figure 10) — known before any
+  // elaboration runs.
+  pending->cost = pending->request.job.netlist.num_gates_logic();
   const std::string id = pending->request.id;
   pending->scoped_id = std::to_string(client) + ':' + id;
 
-  enum class Admit { kOk, kDuplicateId, kBackpressure };
+  enum class Admit {
+    kOk,
+    kDraining,
+    kDuplicateId,
+    kBackpressure,
+    kClientCap,
+    kQueueCost,
+  };
   Admit admit = Admit::kOk;
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    if (active_.count(pending->scoped_id) != 0) {
+    depth = in_flight_;
+    const auto per_client = client_pending_.find(client);
+    if (draining()) {
+      admit = Admit::kDraining;
+    } else if (active_.count(pending->scoped_id) != 0) {
       admit = Admit::kDuplicateId;
     } else if (options_.max_pending > 0 &&
                in_flight_ >= static_cast<std::size_t>(options_.max_pending)) {
       admit = Admit::kBackpressure;
+    } else if (options_.max_pending_per_client > 0 &&
+               per_client != client_pending_.end() &&
+               per_client->second >= options_.max_pending_per_client) {
+      admit = Admit::kClientCap;
+    } else if (options_.max_queue_cost > 0 && in_flight_ > 0 &&
+               queue_cost_ + pending->cost > options_.max_queue_cost) {
+      // `in_flight_ > 0`: an empty queue always admits, so one over-budget
+      // job runs alone instead of being unservable forever.
+      admit = Admit::kQueueCost;
     } else {
       active_[pending->scoped_id] = pending;
       ++in_flight_;
+      queue_cost_ += pending->cost;
+      ++client_pending_[client];
     }
   }
-  if (admit == Admit::kOk) {
-    accepted_total_->inc();
-  } else {
-    errors_total_->inc();
+  switch (admit) {
+    case Admit::kOk:
+      break;
+    case Admit::kDraining:
+      emit(client, error_json(id, "shutdown",
+                              "server is draining and accepts no new jobs"));
+      errors_total_->inc();
+      return;
+    case Admit::kDuplicateId:
+      emit(client, error_json(id, "duplicate_id",
+                              "a job with this id is already active"));
+      errors_total_->inc();
+      return;
+    case Admit::kBackpressure:
+      emit(client,
+           error_json(id, "overloaded",
+                      "backpressure: " + std::to_string(options_.max_pending) +
+                          " jobs already pending — retry later",
+                      retry_after_ms(depth)));
+      errors_total_->inc();
+      shed_total_->inc();
+      return;
+    case Admit::kClientCap:
+      emit(client,
+           error_json(id, "overloaded",
+                      "fairness: this client already has " +
+                          std::to_string(options_.max_pending_per_client) +
+                          " jobs pending — retry later",
+                      retry_after_ms(depth)));
+      errors_total_->inc();
+      shed_total_->inc();
+      return;
+    case Admit::kQueueCost:
+      emit(client,
+           error_json(id, "overloaded",
+                      "queue cost budget exhausted (" +
+                          std::to_string(options_.max_queue_cost) +
+                          " nodes) — retry later",
+                      retry_after_ms(depth)));
+      errors_total_->inc();
+      shed_total_->inc();
+      return;
   }
-  if (admit == Admit::kDuplicateId) {
-    emit(client, error_json(id, "a job with this id is already active"));
-    return;
-  }
-  if (admit == Admit::kBackpressure) {
-    emit(client,
-         error_json(id, "backpressure: " + std::to_string(options_.max_pending) +
-                            " jobs already pending — retry later"));
-    return;
+  accepted_total_->inc();
+  // Effective deadline: the request's own wins (0 = explicitly none),
+  // otherwise the server default. Armed from admission, so queue wait
+  // counts against it.
+  std::int64_t deadline_ms = pending->request.deadline_ms;
+  if (deadline_ms < 0) deadline_ms = options_.default_deadline_ms;
+  if (deadline_ms > 0) {
+    pending->has_deadline = true;
+    pending->deadline =
+        pending->accepted_at + std::chrono::milliseconds(deadline_ms);
+    arm_deadline(pending);
   }
   // Jobs with client-supplied warm sizes bypass the cache: their outcome
   // depends on the seed sizes, not just the key.
@@ -396,6 +522,59 @@ void Server::handle_size(ClientId client, SizeRequest request) {
   schedule(std::move(pending));
 }
 
+std::int64_t Server::retry_after_ms(std::size_t depth) const {
+  // p50 job latency × how many queue "turns" are ahead of a retry. With no
+  // latency history yet, suggest a modest fixed pause.
+  const double p50_s = histogram_percentile(*latency_seconds_, 50.0);
+  if (p50_s <= 0.0) return 100;
+  const double workers = static_cast<double>(pool_.num_workers());
+  const double turns =
+      std::max(1.0, static_cast<double>(depth) / std::max(1.0, workers));
+  return static_cast<std::int64_t>(
+      std::clamp(p50_s * 1e3 * turns, 50.0, 10000.0));
+}
+
+void Server::arm_deadline(const std::shared_ptr<Pending>& pending) {
+  {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    deadlines_.push(DeadlineEntry{pending->deadline, pending});
+    if (!watchdog_.joinable()) {
+      watchdog_ = std::thread([this] { watchdog_loop(); });
+    }
+  }
+  watchdog_cv_.notify_one();
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  while (!watchdog_exit_) {
+    if (deadlines_.empty()) {
+      watchdog_cv_.wait(
+          lock, [this] { return watchdog_exit_ || !deadlines_.empty(); });
+      continue;
+    }
+    const auto next = deadlines_.top().when;
+    // Wake early when an earlier deadline arrives; re-evaluate either way.
+    watchdog_cv_.wait_until(lock, next, [this, next] {
+      return watchdog_exit_ ||
+             (!deadlines_.empty() && deadlines_.top().when < next);
+    });
+    if (watchdog_exit_) break;
+    const auto now = std::chrono::steady_clock::now();
+    while (!deadlines_.empty() && deadlines_.top().when <= now) {
+      const std::shared_ptr<Pending> job = deadlines_.top().job.lock();
+      deadlines_.pop();
+      if (!job) continue;  // already finished; evaporate
+      // timed_out first, then stop: the terminal path reads timed_out only
+      // after observing the stop, so the order makes the flag reliable.
+      job->timed_out.store(true, std::memory_order_release);
+      lock.unlock();
+      job->stop.request_stop();
+      lock.lock();
+    }
+  }
+}
+
 void Server::schedule(std::shared_ptr<Pending> pending) {
   if (pending->cacheable) {
     std::shared_ptr<const CachedEntry> hit;
@@ -403,8 +582,18 @@ void Server::schedule(std::shared_ptr<Pending> pending) {
     // this job attaches as a follower of an identical in-flight run.
     auto on_done = [this, pending](std::shared_ptr<const CachedEntry> entry) {
       if (pending->stop.get_token().stop_requested()) {
-        emit(pending->client, cancelled_json(pending->request.id, nullptr));
-        cancelled_total_->inc();
+        if (pending->timed_out.load(std::memory_order_acquire)) {
+          // A deduped follower has no partial of its own to answer with.
+          emit(pending->client,
+               error_json(pending->request.id, "deadline",
+                          "deadline exceeded while waiting on a deduped "
+                          "identical job"));
+          errors_total_->inc();
+          timeouts_total_->inc();
+        } else {
+          emit(pending->client, cancelled_json(pending->request.id, nullptr));
+          cancelled_total_->inc();
+        }
         finish(pending);
         return;
       }
@@ -533,14 +722,41 @@ void Server::execute(const std::shared_ptr<Pending>& pending) {
     if (pending->cacheable) cache_->publish(pending->key, std::move(entry));
   } else if (outcome.cancelled) {
     if (pending->cacheable) cache_->abandon(pending->key);
-    std::optional<Json> partial;
-    if (outcome.ok) partial = runtime::job_json(outcome);
-    emit(pending->client,
-         cancelled_json(pending->request.id, partial ? &*partial : nullptr));
-    cancelled_total_->inc();
+    if (pending->timed_out.load(std::memory_order_acquire)) {
+      timeouts_total_->inc();
+      if (outcome.ok) {
+        // The deadline fired mid-OGWS: the best partial result (with its
+        // KKT state in the job object) IS the answer — a result marked
+        // "timeout": true, never cached (it is not the converged answer
+        // for this key).
+        const Json job = runtime::job_json(outcome);
+        std::vector<std::pair<std::int32_t, double>> sizes;
+        if (pending->request.want_sizes) {
+          sizes = runtime::sparse_sizes(*outcome.flow);
+        }
+        emit(pending->client,
+             result_json(pending->request.id, false, job,
+                         pending->request.want_sizes ? &sizes : nullptr,
+                         nullptr, /*timeout=*/true));
+        results_total_->inc();
+      } else {
+        // Deadline fired before the sizing stage produced anything usable.
+        emit(pending->client,
+             error_json(pending->request.id, "deadline",
+                        "deadline exceeded before a partial result existed"));
+        errors_total_->inc();
+      }
+    } else {
+      std::optional<Json> partial;
+      if (outcome.ok) partial = runtime::job_json(outcome);
+      emit(pending->client,
+           cancelled_json(pending->request.id, partial ? &*partial : nullptr));
+      cancelled_total_->inc();
+    }
   } else {
     if (pending->cacheable) cache_->abandon(pending->key);
-    emit(pending->client, error_json(pending->request.id, outcome.error));
+    emit(pending->client,
+         error_json(pending->request.id, "failed", outcome.error));
     errors_total_->inc();
   }
   finish(pending);

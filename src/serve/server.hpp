@@ -1,12 +1,22 @@
 // The long-lived sizing service behind `lrsizer serve`.
 //
-// A Server reads lrsizer-serve-v2 request lines (serve/protocol.hpp),
+// A Server reads lrsizer-serve-v3 request lines (serve/protocol.hpp),
 // schedules each size job as one api::SizingSession on a
 // runtime::ThreadPool, and streams responses — accepted, periodic progress
 // (from the session's IterationObserver), then exactly one terminal
 // result / cancelled / error per job — through per-client line sinks.
 // Responses for different jobs interleave; per job the order is always
 // accepted → progress* → terminal.
+//
+// Reliability (docs/RELIABILITY.md): jobs carry deadlines (request
+// "deadline_ms" or --default-deadline-ms) enforced by a watchdog thread
+// that fires the job's stop_source — the session yields its best partial
+// result, answered as a result with "timeout": true. Admission control
+// layers a cost budget (Σ pending node counts) and a per-client fairness
+// cap on top of the flat max_pending; shed jobs get an `overloaded` error
+// with a retry_after_ms hint. begin_drain() flips the server into drain
+// mode: new size requests are rejected with code `shutdown` while accepted
+// work finishes (or deadlines out), which is the SIGTERM path.
 //
 // Clients: a Server fans in any number of clients (add_client/remove_client),
 // each with its own sink. Job ids are scoped per client — two clients may
@@ -29,6 +39,7 @@
 // terminal response.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -37,9 +48,12 @@
 #include <istream>
 #include <memory>
 #include <mutex>
+#include <queue>
 #include <stop_token>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "core/flow.hpp"
 #include "obs/registry.hpp"
@@ -74,9 +88,24 @@ struct ServerOptions {
   /// cache_warm: the seeded run is not bit-identical to a cold run.
   bool eco = false;
   /// Backpressure: with > 0, a size request arriving while this many jobs
-  /// are already accepted-but-unfinished is rejected with an error
-  /// response (the client retries later). 0 = unbounded queue.
+  /// are already accepted-but-unfinished is rejected with an `overloaded`
+  /// error response (the client retries after its retry_after_ms hint).
+  /// 0 = unbounded queue.
   int max_pending = 0;
+  /// Fairness: with > 0, one client may have at most this many jobs
+  /// accepted-but-unfinished; beyond it the request is shed `overloaded`
+  /// even when global budgets have room, so a greedy client cannot starve
+  /// the rest. 0 = no per-client cap.
+  int max_pending_per_client = 0;
+  /// Cost-aware admission: with > 0, a size request whose estimated cost
+  /// (logic node count) would push Σ pending costs past this budget is
+  /// shed `overloaded`. An empty queue always admits — one over-budget job
+  /// is allowed to run alone rather than being unservable. 0 = no budget.
+  std::int64_t max_queue_cost = 0;
+  /// Deadline applied to jobs whose request names none (ms, from
+  /// admission). A request's "deadline_ms" overrides, including 0 = none.
+  /// 0 here = no default deadline.
+  std::int64_t default_deadline_ms = 0;
   /// A request line longer than this is rejected with an error response
   /// instead of being buffered without bound (enforced by the TCP
   /// front-end, which is the one reading from untrusted peers).
@@ -141,6 +170,19 @@ class Server {
   /// Block until every accepted job has emitted its terminal response.
   void drain();
 
+  /// Enter drain mode (idempotent, callable from any thread — including a
+  /// signal-watcher): new size requests are rejected with code `shutdown`,
+  /// in-flight jobs run to their terminal response (or their deadline),
+  /// stats reports state "draining" and /healthz turns 503. There is no way
+  /// back to serving.
+  void begin_drain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+  /// True when no accepted job is awaiting its terminal response — together
+  /// with draining(), the front-end's "drain complete, exit now" signal.
+  bool idle() const;
+
   /// hello + read lines until EOF or shutdown + drain (default client).
   /// Returns 0.
   int serve_stream(std::istream& in);
@@ -159,7 +201,9 @@ class Server {
     std::size_t completed = 0;  ///< result responses (hit or cold)
     std::size_t cache_hits = 0; ///< results answered without running
     std::size_t cancelled = 0;  ///< cancelled responses
+    std::size_t timeouts = 0;   ///< jobs cut by their deadline
     std::size_t errors = 0;     ///< error responses (parse + job failures)
+    std::size_t shed = 0;       ///< jobs rejected by admission control
   };
   Stats stats() const;
 
@@ -178,6 +222,14 @@ class Server {
     bool cacheable = false;
     std::stop_source stop;
     std::chrono::steady_clock::time_point accepted_at;
+    /// Admission cost (logic node count), released by finish().
+    std::int64_t cost = 0;
+    /// Deadline bookkeeping: armed at admission when the effective deadline
+    /// is > 0. The watchdog sets timed_out *before* firing stop, so the
+    /// terminal path can tell a deadline cut from a client cancel.
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+    std::atomic<bool> timed_out{false};
     /// ECO seeding accounting (schedule() fills it, execute() embeds it as
     /// the job's "eco" block). eco_base empty: the job was not ECO-seeded.
     std::string eco_base;
@@ -206,6 +258,12 @@ class Server {
   void finish(const std::shared_ptr<Pending>& pending);
   void handle_size(ClientId client, SizeRequest request);
   void handle_cancel(ClientId client, const std::string& id);
+  /// Register `pending` with the deadline watchdog (lazily starting it).
+  void arm_deadline(const std::shared_ptr<Pending>& pending);
+  void watchdog_loop();
+  /// Backoff hint for `overloaded` rejections: scaled from the p50 job
+  /// latency and the queue depth, clamped to [50, 10000] ms.
+  std::int64_t retry_after_ms(std::size_t depth) const;
 
   ServerOptions options_;
   std::unique_ptr<runtime::ResultCache> owned_cache_;
@@ -219,6 +277,8 @@ class Server {
   obs::Counter* results_total_ = nullptr;    ///< responses_total{type="result"}
   obs::Counter* cancelled_total_ = nullptr;  ///< responses_total{type="cancelled"}
   obs::Counter* errors_total_ = nullptr;     ///< responses_total{type="error"}
+  obs::Counter* timeouts_total_ = nullptr;   ///< lrsizer_jobs_timeout_total
+  obs::Counter* shed_total_ = nullptr;       ///< lrsizer_serve_shed_total
   obs::Counter* cache_hits_total_ = nullptr;
   obs::Counter* eco_jobs_total_ = nullptr;          ///< lrsizer_eco_jobs_total
   obs::Counter* eco_reused_nodes_total_ = nullptr;  ///< lrsizer_eco_reused_nodes_total
@@ -236,11 +296,38 @@ class Server {
   ClientId next_client_ = 1;
   ClientId default_client_ = 0;  ///< 0 = none (multi-client ctor)
 
-  mutable std::mutex mutex_;  ///< guards active_, in_flight_
+  /// Set by begin_drain(); read lock-free on the request path.
+  std::atomic<bool> draining_{false};
+
+  mutable std::mutex mutex_;  ///< guards active_, in_flight_, queue_cost_,
+                              ///< client_pending_
   std::condition_variable idle_cv_;
   /// scoped_id -> job; ids live in per-client namespaces.
   std::unordered_map<std::string, std::shared_ptr<Pending>> active_;
   std::size_t in_flight_ = 0;
+  /// Σ Pending::cost of accepted-but-unfinished jobs (admission budget).
+  std::int64_t queue_cost_ = 0;
+  /// Accepted-but-unfinished jobs per client (fairness cap); entries are
+  /// erased when they reach zero.
+  std::unordered_map<ClientId, int> client_pending_;
+
+  /// Deadline watchdog: a min-heap of (deadline, job) serviced by one
+  /// lazily-started thread that fires each job's stop_source on time.
+  /// weak_ptr so a finished job just evaporates from the heap.
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point when;
+    std::weak_ptr<Pending> job;
+    bool operator>(const DeadlineEntry& other) const {
+      return when > other.when;
+    }
+  };
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_cv_;
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<DeadlineEntry>>
+      deadlines_;
+  bool watchdog_exit_ = false;
+  std::thread watchdog_;  ///< joinable iff a deadline was ever armed
 
   runtime::ThreadPool pool_;  ///< last member: workers die before the rest
 };

@@ -54,24 +54,26 @@ std::string format_stats_text(const StatsSnapshot& s) {
   char buf[256];
   std::string out;
   out += "serve stats\n";
-  std::snprintf(buf, sizeof(buf), "  server: version=%s uptime_s=%.1f\n",
-                s.version.empty() ? "?" : s.version.c_str(), s.uptime_s);
+  std::snprintf(buf, sizeof(buf), "  server: version=%s state=%s uptime_s=%.1f\n",
+                s.version.empty() ? "?" : s.version.c_str(),
+                s.state.empty() ? "?" : s.state.c_str(), s.uptime_s);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  jobs: accepted=%zu completed=%zu cache_hits=%zu "
-                "cancelled=%zu errors=%zu eco=%zu queue_depth=%zu\n",
-                s.accepted, s.completed, s.cache_hits, s.cancelled, s.errors,
-                s.eco_jobs, s.queue_depth);
+                "cancelled=%zu timeouts=%zu errors=%zu shed=%zu eco=%zu "
+                "queue_depth=%zu\n",
+                s.accepted, s.completed, s.cache_hits, s.cancelled, s.timeouts,
+                s.errors, s.shed, s.eco_jobs, s.queue_depth);
   out += buf;
   std::snprintf(buf, sizeof(buf), "  clients: active=%zu\n", s.active_clients);
   out += buf;
   std::snprintf(buf, sizeof(buf),
                 "  cache: entries=%zu bytes=%zu hits=%zu misses=%zu "
                 "warm_hits=%zu eco_hits=%zu hit_rate=%.3f evictions=%zu "
-                "mode=%s\n",
+                "corrupt=%zu mode=%s\n",
                 s.cache_entries, s.cache_bytes, s.cache_lookup_hits,
                 s.cache_lookup_misses, s.cache_warm_hits, s.cache_eco_hits,
-                cache_hit_rate(s), s.cache_evictions,
+                cache_hit_rate(s), s.cache_evictions, s.cache_corrupt,
                 s.cache_disk ? "disk" : "memory");
   out += buf;
   std::snprintf(buf, sizeof(buf),

@@ -1,5 +1,5 @@
 // Fleet-observability surface of the serve loop: the counters and latency
-// distribution behind the `{"type":"stats"}` request (lrsizer-serve-v2,
+// distribution behind the `{"type":"stats"}` request (lrsizer-serve-v3,
 // docs/SERVING.md) and `lrsizer serve --stats-dump`.
 //
 // Latency percentiles are derived from the obs latency histogram
@@ -30,6 +30,7 @@ double histogram_percentile(const obs::Histogram& histogram, double p);
 struct StatsSnapshot {
   // Server identity (v2-additive: absent from pre-0.6 stats responses).
   std::string version;          ///< build version (ServerOptions::version)
+  std::string state = "serving";   ///< "serving" or "draining" (v3)
   double start_time_unix_s = 0.0;  ///< Unix time the server started
   double uptime_s = 0.0;           ///< seconds since start (steady clock)
   // Job counters (monotonic since server start).
@@ -37,7 +38,9 @@ struct StatsSnapshot {
   std::size_t completed = 0;   ///< result responses (hit or cold)
   std::size_t cache_hits = 0;  ///< results answered without running
   std::size_t cancelled = 0;   ///< cancelled responses
+  std::size_t timeouts = 0;    ///< jobs cut by their deadline (v3)
   std::size_t errors = 0;      ///< error responses (parse + job failures)
+  std::size_t shed = 0;        ///< jobs rejected by admission control (v3)
   std::size_t eco_jobs = 0;    ///< jobs warm-started from an ECO base
   // Point-in-time gauges.
   std::size_t queue_depth = 0;     ///< jobs accepted but not yet terminal
@@ -51,6 +54,7 @@ struct StatsSnapshot {
   std::size_t cache_warm_hits = 0;      ///< lookup_warm answers
   std::size_t cache_eco_hits = 0;       ///< ECO base answers
   std::size_t cache_evictions = 0;
+  std::size_t cache_corrupt = 0;  ///< disk entries quarantined as corrupt (v3)
   bool cache_disk = false;
   // Job latency (seconds, accepted → terminal), derived from the obs
   // latency histogram.

@@ -1,5 +1,5 @@
 // Tests for the serving stack: netlist hashing, the result cache (including
-// in-flight dedupe and LRU eviction), the lrsizer-serve-v2 protocol, the
+// in-flight dedupe and LRU eviction), the lrsizer-serve-v3 protocol, the
 // multi-client Server, the TCP event loop, and shard-report merging. Every
 // message type docs/SERVING.md specifies is exercised here (hello, accepted,
 // progress, result, cancelled, stats, error; size, cancel, stats, shutdown),
@@ -754,7 +754,7 @@ TEST(Server, JsonlRoundTripMatchesADirectRun) {
   }
   ASSERT_EQ(collector.of_type("hello").size(), 1u);
   EXPECT_EQ(collector.of_type("hello")[0].at("schema").as_string(),
-            "lrsizer-serve-v2");
+            "lrsizer-serve-v3");
   ASSERT_EQ(collector.of_type("accepted").size(), 1u);
   const auto results = collector.of_type("result");
   ASSERT_EQ(results.size(), 1u);
@@ -988,8 +988,211 @@ TEST(Server, BackpressureRejectsBeyondMaxPending) {
   EXPECT_EQ(errors[0].at("id").as_string(), "b");
   EXPECT_NE(errors[0].at("message").as_string().find("backpressure"),
             std::string::npos);
+  // v3: machine-readable rejection — an "overloaded" code plus a
+  // retry_after_ms hint, so clients can back off without parsing prose.
+  EXPECT_EQ(errors[0].at("code").as_string(), "overloaded");
+  EXPECT_GE(errors[0].at("retry_after_ms").as_number(), 50.0);
+  EXPECT_LE(errors[0].at("retry_after_ms").as_number(), 10000.0);
   ASSERT_TRUE(server.handle_line(R"({"type":"cancel","id":"a"})"));
   server.drain();
+  // Shed jobs are tallied separately from ordinary errors.
+  EXPECT_EQ(server.stats().shed, 1u);
+  EXPECT_EQ(server.stats().errors, 1u);
+}
+
+TEST(Server, PerClientCapShedsTheGreedyClientNotItsNeighbor) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.max_pending_per_client = 1;
+  serve::Server server(options);
+  Collector greedy, modest;
+  const auto cg = server.add_client(greedy.sink());
+  const auto cm = server.add_client(modest.sink());
+  // The greedy client fills its one slot with a long job...
+  ASSERT_TRUE(
+      server.handle_line(cg, size_request("a", "c432", R"(,"progress":1)")));
+  ASSERT_TRUE(greedy.wait_for("progress", 1)) << "job never started";
+  // ...so its second request is shed, while the other client's request is
+  // admitted even though the global queue is not empty.
+  ASSERT_TRUE(server.handle_line(cg, size_request("b", "c17")));
+  ASSERT_TRUE(server.handle_line(cm, size_request("x", "c17")));
+  const auto errors = greedy.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].at("id").as_string(), "b");
+  EXPECT_EQ(errors[0].at("code").as_string(), "overloaded");
+  EXPECT_TRUE(modest.of_type("error").empty());
+  ASSERT_EQ(modest.of_type("accepted").size(), 1u);
+  ASSERT_TRUE(server.handle_line(cg, R"({"type":"cancel","id":"a"})"));
+  server.drain();
+  // With the long job gone the greedy client's slot is free again.
+  ASSERT_TRUE(server.handle_line(cg, size_request("c", "c17")));
+  server.drain();
+  ASSERT_EQ(greedy.of_type("result").size(), 1u);
+  ASSERT_EQ(modest.of_type("result").size(), 1u);
+}
+
+TEST(Server, QueueCostBudgetAdmitsByNodeCountNotJobCount) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  // A budget smaller than any job: the empty-queue rule still admits the
+  // first request (otherwise big jobs could never run at all), and the
+  // budget then sheds everything behind it.
+  options.max_queue_cost = 1;
+  serve::Server server(options);
+  Collector collector;
+  const auto client = server.add_client(collector.sink());
+  ASSERT_TRUE(
+      server.handle_line(client, size_request("a", "c432", R"(,"progress":1)")));
+  ASSERT_TRUE(collector.wait_for("progress", 1)) << "job never started";
+  ASSERT_TRUE(server.handle_line(client, size_request("b", "c17")));
+  const auto errors = collector.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].at("id").as_string(), "b");
+  EXPECT_EQ(errors[0].at("code").as_string(), "overloaded");
+  EXPECT_NE(errors[0].at("message").as_string().find("cost"),
+            std::string::npos);
+  EXPECT_GT(errors[0].at("retry_after_ms").as_number(), 0.0);
+  ASSERT_TRUE(server.handle_line(client, R"({"type":"cancel","id":"a"})"));
+  server.drain();
+  EXPECT_EQ(server.stats().shed, 1u);
+}
+
+TEST(Server, DeadlineCutsAJobToAPartialResultMarkedTimeout) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  serve::Server server(options, collector.sink());
+  server.hello();
+  // c6288 at 256 vectors runs well past any 600 ms deadline. Where the
+  // deadline lands depends on machine speed: mid-OGWS (the common case,
+  // answered with a timeout-marked partial result) or still in elaboration
+  // under heavy slowdown (answered with a "deadline" error). Both shapes
+  // are the contract; both tally as a timeout, never as a cancellation.
+  ASSERT_TRUE(server.handle_line(
+      R"({"type":"size","id":"x","input":{"profile":"c6288"},)"
+      R"("options":{"vectors":256},"deadline_ms":600})"));
+  server.drain();
+
+  const auto results = collector.of_type("result");
+  if (!results.empty()) {
+    // The deadline fired mid-OGWS: the job answers with a *result* carrying
+    // its best partial solution (KKT state included), marked timeout.
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].at("id").as_string(), "x");
+    EXPECT_TRUE(results[0].at("timeout").as_bool());
+    EXPECT_FALSE(results[0].at("cache_hit").as_bool());
+    EXPECT_TRUE(results[0].at("job").at("cancelled").as_bool());
+    EXPECT_GT(results[0].at("job").at("iterations").as_number(), 0.0);
+  } else {
+    // The deadline beat the sizing stage: no partial exists, so the job
+    // answers with a machine-readable deadline error instead.
+    const auto errors = collector.of_type("error");
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].at("id").as_string(), "x");
+    EXPECT_EQ(errors[0].at("code").as_string(), "deadline");
+  }
+  EXPECT_TRUE(collector.of_type("cancelled").empty());
+  EXPECT_EQ(server.stats().timeouts, 1u);
+  EXPECT_EQ(server.stats().cancelled, 0u);
+
+  // The server is fully alive afterwards — and the partial was never
+  // cached, so the same job re-runs rather than serving a truncated
+  // answer.
+  ASSERT_TRUE(server.handle_line(size_request("y", "c17")));
+  server.drain();
+  const auto after = collector.of_type("result");
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after.back().at("id").as_string(), "y");
+  // Untimed results never carry the timeout key (byte-identity with v2).
+  EXPECT_EQ(after.back().find("timeout"), nullptr);
+}
+
+TEST(Server, DefaultDeadlineAppliesWhenTheRequestNamesNone) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  options.default_deadline_ms = 300;
+  serve::Server server(options, collector.sink());
+  server.hello();
+  ASSERT_TRUE(server.handle_line(
+      R"({"type":"size","id":"x","input":{"profile":"c6288"},)"
+      R"("options":{"vectors":256}})"));
+  server.drain();
+  // Timeout-marked partial or deadline error — either way the server
+  // default cut the job and tallied it (see DeadlineCutsAJob... above).
+  const auto results = collector.of_type("result");
+  if (!results.empty()) {
+    EXPECT_TRUE(results[0].at("timeout").as_bool());
+  } else {
+    const auto errors = collector.of_type("error");
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].at("code").as_string(), "deadline");
+  }
+  EXPECT_EQ(server.stats().timeouts, 1u);
+
+  // An explicit "deadline_ms": 0 opts out of the server default: c17
+  // completes normally well within any deadline race.
+  ASSERT_TRUE(server.handle_line(size_request("y", "c17", R"(,"deadline_ms":0)")));
+  server.drain();
+  const auto after = collector.of_type("result");
+  ASSERT_FALSE(after.empty());
+  EXPECT_EQ(after.back().at("id").as_string(), "y");
+  EXPECT_EQ(after.back().find("timeout"), nullptr);
+}
+
+TEST(Server, DrainRefusesNewWorkFinishesInFlightAndReportsState) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  serve::Server server(options, collector.sink());
+  server.hello();
+  ASSERT_TRUE(server.handle_line(size_request("a", "c17")));
+  EXPECT_FALSE(server.draining());
+  server.begin_drain();
+  EXPECT_TRUE(server.draining());
+  // Post-drain requests are refused with the machine-readable shutdown
+  // code; the in-flight job still runs to completion.
+  ASSERT_TRUE(server.handle_line(size_request("late", "c17", R"(,"seed":9)")));
+  server.drain();
+  EXPECT_TRUE(server.idle());
+  const auto errors = collector.of_type("error");
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0].at("id").as_string(), "late");
+  EXPECT_EQ(errors[0].at("code").as_string(), "shutdown");
+  const auto results = collector.of_type("result");
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].at("id").as_string(), "a");
+  // The stats surface says so, for both pollers and --stats-dump readers.
+  ASSERT_TRUE(server.handle_line(R"({"type":"stats","id":"s"})"));
+  const auto stats = collector.of_type("stats");
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_EQ(stats[0].at("server").at("state").as_string(), "draining");
+  EXPECT_NE(serve::format_stats_text(server.stats_snapshot())
+                .find("state=draining"),
+            std::string::npos);
+}
+
+TEST(Server, ErrorCodesIdentifyTheFailureClass) {
+  Collector collector;
+  serve::ServerOptions options;
+  options.jobs = 1;
+  serve::Server server(options, collector.sink());
+  server.hello();
+  ASSERT_TRUE(server.handle_line("this is not json"));
+  ASSERT_TRUE(server.handle_line(R"({"type":"cancel","id":"ghost"})"));
+  // Hold "dup" in flight (c432 runs for seconds) so its id collision is
+  // deterministic, not a race against completion.
+  ASSERT_TRUE(server.handle_line(size_request("dup", "c432", R"(,"progress":1)")));
+  ASSERT_TRUE(collector.wait_for("progress", 1)) << "job never started";
+  ASSERT_TRUE(server.handle_line(size_request("dup", "c17")));
+  ASSERT_TRUE(server.handle_line(R"({"type":"cancel","id":"dup"})"));
+  server.drain();
+  const auto errors = collector.of_type("error");
+  ASSERT_EQ(errors.size(), 3u);
+  EXPECT_EQ(errors[0].at("code").as_string(), "parse");
+  EXPECT_EQ(errors[1].at("code").as_string(), "not_found");
+  EXPECT_EQ(errors[2].at("code").as_string(), "duplicate_id");
+  EXPECT_EQ(errors[2].at("id").as_string(), "dup");
 }
 
 TEST(Server, StatsRequestReportsReconcilableCountersAndLatency) {
@@ -1375,7 +1578,7 @@ TEST(ServeTcp, MultiClientStressMatchesSerialRunsAndStatsReconcile) {
         return;
       }
       const auto hello = client.read_until("hello");
-      if (!hello || hello->at("schema").as_string() != "lrsizer-serve-v2") {
+      if (!hello || hello->at("schema").as_string() != "lrsizer-serve-v3") {
         ++failures;
         return;
       }
@@ -1638,6 +1841,53 @@ TEST(ServeTcp, MetricsEndpointMatchesJsonlStatsAndServesHealthz) {
   const auto after = client.read_until("result");
   ASSERT_TRUE(after.has_value());
   EXPECT_EQ(after->at("id").as_string(), "c");
+}
+
+TEST(ServeTcp, DrainTurnsHealthz503RefusesNewClientsAndExitsCleanly) {
+  serve::ServerOptions options;
+  options.jobs = 1;
+  TcpServer ts(options, /*with_metrics=*/true);
+  ASSERT_NE(ts.port.load(), 0);
+  TcpClient client(ts.port.load());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.read_until("hello").has_value());
+  // c6288 at 64 vectors runs for roughly a second — a wide-open drain
+  // window (a small job would finish before the probes below get a look).
+  client.send_line(
+      R"({"type":"size","id":"x","input":{"profile":"c6288"},)"
+      R"("options":{"vectors":64},"progress":1})");
+  ASSERT_TRUE(client.read_until("progress").has_value());
+
+  // Drain mid-job: the SIGTERM path minus the signal.
+  ts.server->begin_drain();
+
+  // /healthz flips to 503 at once so load balancers route away, while
+  // /metrics keeps answering (lrsizer_serve_draining = 1) for the ops side.
+  const std::string health = http_exchange(
+      ts.metrics_port.load(), "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+  EXPECT_EQ(health.rfind("HTTP/1.1 503 Service Unavailable\r\n", 0), 0u);
+  EXPECT_EQ(health.substr(health.find("\r\n\r\n") + 4), "draining\n");
+  const std::string scrape = http_exchange(
+      ts.metrics_port.load(), "GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+  ASSERT_EQ(scrape.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  const auto samples =
+      parse_exposition(scrape.substr(scrape.find("\r\n\r\n") + 4));
+  EXPECT_EQ(samples.at("lrsizer_serve_draining"), 1.0);
+
+  // New jsonl connections are turned away without a greeting.
+  TcpClient late(ts.port.load());
+  ASSERT_TRUE(late.ok());
+  EXPECT_FALSE(late.read_line().has_value());
+
+  // The in-flight job still reaches its terminal response; once the last
+  // job is done the event loop exits on its own — no stop token involved —
+  // which is what lets the CLI exit 0 after a SIGTERM drain.
+  client.send_line(R"({"type":"cancel","id":"x"})");
+  ASSERT_TRUE(client.read_until("cancelled").has_value());
+  for (int i = 0; i < 600 && !ts.done.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  EXPECT_TRUE(ts.done.load());
 }
 
 #endif  // sockets

@@ -36,7 +36,7 @@ namespace {
 
 using runtime::Json;
 
-/// The complete response vocabulary of lrsizer-serve-v2. Anything else
+/// The complete response vocabulary of lrsizer-serve-v3. Anything else
 /// coming out of the server under fuzzing is a bug.
 bool known_response_type(const std::string& type) {
   return type == "hello" || type == "accepted" || type == "progress" ||

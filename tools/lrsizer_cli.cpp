@@ -39,6 +39,7 @@
 #include "core/flow.hpp"
 #include "core/report.hpp"
 #include "eco/buffering.hpp"
+#include "fault/fault.hpp"
 #include "netlist/bench_parser.hpp"
 #include "netlist/bench_writer.hpp"
 #include "netlist/generator.hpp"
@@ -121,16 +122,34 @@ options:
                     Chrome trace-event JSON (lrsizer-trace-v1; open in
                     Perfetto / chrome://tracing). Results are bit-identical
                     with tracing on or off.
-  --listen PORT     (serve) accept lrsizer-serve-v2 over TCP on
+  --listen PORT     (serve) accept lrsizer-serve-v3 over TCP on
                     127.0.0.1:PORT instead of stdin/stdout; any number of
                     clients may connect concurrently (0 = pick an ephemeral
                     port, announced on stderr)
   --metrics-port N  (serve, with --listen) also answer HTTP GET /metrics
                     (Prometheus text format) and /healthz on 127.0.0.1:N
                     from the same event loop (0 = ephemeral, announced on
-                    stderr)
+                    stderr; /healthz answers 503 "draining" after SIGTERM)
   --max-pending N   (serve) reject size requests beyond N unfinished jobs
-                    with an error response (backpressure; default: unbounded)
+                    with an "overloaded" error carrying a retry_after_ms
+                    hint (backpressure; default: unbounded)
+  --max-pending-per-client N  (serve) cap one client's unfinished jobs at N
+                    so a single aggressive client cannot monopolize the
+                    queue (rejected with "overloaded"; default: unbounded)
+  --max-queue-cost N  (serve) admit a size request only while the summed
+                    logic-gate count of unfinished jobs stays within N — a
+                    cost-aware budget, so one c7552 counts like many c17s
+                    (an empty queue always admits; default: unbounded)
+  --default-deadline-ms N  (serve) deadline for size requests that carry no
+                    "deadline_ms" of their own; a job cut by its deadline
+                    answers with its best partial result, marked
+                    "timeout": true (0 = no default deadline)
+  --fault-inject POINT:TRIGGER  arm a deterministic fault-injection point
+                    (testing/chaos drills; repeatable). TRIGGER is one of
+                    always | nth=N | every=N | p=P[@SEED]. Points:
+                    cache.read, cache.rename, cache.write, json.parse,
+                    session.alloc, socket.write. $LRSIZER_FAULT adds
+                    comma-separated specs the same way (docs/RELIABILITY.md)
   --stats-dump      (serve) print the final stats (jobs, cache, latency
                     percentiles — the stats response's content) on shutdown
   --progress        per-OGWS-iteration progress lines on stderr
@@ -148,6 +167,10 @@ without re-running.
 
 Ctrl-C cancels cooperatively: running jobs return their best partial
 solution, reports are still written, and the exit code is 130.
+
+SIGTERM asks `serve` to drain gracefully instead: new work is refused
+with a "shutdown" error, /healthz turns 503, in-flight jobs run to
+completion (or to their deadlines), and the process exits 0.
 )";
 
 struct CliOptions {
@@ -170,6 +193,10 @@ struct CliOptions {
   int listen_port = -1;  ///< -1 = stdin/stdout; 0 = ephemeral TCP port
   int metrics_port = -1;  ///< -1 = no metrics endpoint; 0 = ephemeral
   int max_pending = 0;
+  int max_pending_per_client = 0;
+  std::int64_t max_queue_cost = 0;
+  std::int64_t default_deadline_ms = 0;
+  std::vector<std::string> fault_specs;
   bool cache_warm = false;
   bool eco = false;
   bool stats_dump = false;
@@ -193,6 +220,16 @@ struct CliOptions {
 std::stop_source g_stop;  // NOLINT(cert-err58-cpp)
 
 extern "C" void handle_interrupt(int) { g_stop.request_stop(); }
+
+// For `serve`, SIGTERM means "drain": stop accepting work, let in-flight
+// jobs finish (or hit their deadlines), then exit 0 — the orchestrator
+// handshake. cmd_serve re-points SIGTERM here; a watcher thread turns the
+// flag into Server::begin_drain() (not signal-safe to call directly).
+std::atomic<bool> g_drain{false};
+
+extern "C" void handle_terminate(int) {
+  g_drain.store(true, std::memory_order_relaxed);
+}
 
 [[noreturn]] void fail(const std::string& message) {
   std::cerr << "lrsizer: " << message << "\n\n" << kUsage;
@@ -310,6 +347,21 @@ CliOptions parse_args(int argc, char** argv) {
       cli.max_pending = static_cast<int>(parse_long(arg, next_value(i)));
       if (cli.max_pending < 0) fail("--max-pending must be >= 0");
     }
+    else if (arg == "--max-pending-per-client") {
+      cli.max_pending_per_client = static_cast<int>(parse_long(arg, next_value(i)));
+      if (cli.max_pending_per_client < 0) {
+        fail("--max-pending-per-client must be >= 0");
+      }
+    }
+    else if (arg == "--max-queue-cost") {
+      cli.max_queue_cost = parse_long(arg, next_value(i));
+      if (cli.max_queue_cost < 0) fail("--max-queue-cost must be >= 0");
+    }
+    else if (arg == "--default-deadline-ms") {
+      cli.default_deadline_ms = parse_long(arg, next_value(i));
+      if (cli.default_deadline_ms < 0) fail("--default-deadline-ms must be >= 0");
+    }
+    else if (arg == "--fault-inject") cli.fault_specs.push_back(next_value(i));
     else if (arg == "--seed") cli.seed = static_cast<std::uint64_t>(parse_long(arg, next_value(i)));
     else if (arg == "--vectors") cli.vectors = static_cast<std::int32_t>(parse_long(arg, next_value(i)));
     else if (arg == "--no-woss") cli.use_woss = false;
@@ -783,26 +835,42 @@ int cmd_serve(const CliOptions& cli) {
   options.cache_warm = cli.cache_warm;
   options.eco = cli.eco;
   options.max_pending = cli.max_pending;
+  options.max_pending_per_client = cli.max_pending_per_client;
+  options.max_queue_cost = cli.max_queue_cost;
+  options.default_deadline_ms = cli.default_deadline_ms;
   options.version = kVersion;
+
+  // main() pointed SIGTERM at the Ctrl-C handler; for serve it means
+  // "drain gracefully" instead (see the usage text).
+  std::signal(SIGTERM, handle_terminate);
 
   // The server registers stop_callbacks on its token; g_stop must stay
   // callback-free so request_stop() remains safe inside the signal handler
-  // (see its comment). A watcher thread bridges the signal token onto the
-  // server's own stop source, running the callbacks on a normal thread.
+  // (see its comment). A watcher thread bridges the signal flags onto the
+  // server — hard stop (Ctrl-C) through the server's own stop source,
+  // drain (SIGTERM) through begin_drain() — running both on a normal
+  // thread. The watcher keeps polling after a drain begins so Ctrl-C can
+  // still cut a drain short.
   std::stop_source serve_stop;
   options.stop = serve_stop.get_token();
   std::atomic<bool> serving{true};
-  std::thread watcher([&serve_stop, &serving] {
+  std::atomic<serve::Server*> drain_target{nullptr};
+  std::thread watcher([&serve_stop, &serving, &drain_target] {
     while (serving.load(std::memory_order_relaxed)) {
       if (g_stop.stop_requested()) {
         serve_stop.request_stop();
         break;
       }
+      if (g_drain.load(std::memory_order_relaxed)) {
+        serve::Server* server = drain_target.load(std::memory_order_acquire);
+        if (server != nullptr) server->begin_drain();  // idempotent
+      }
       std::this_thread::sleep_for(std::chrono::milliseconds(50));
     }
   });
-  const auto stop_watcher = [&serving, &watcher] {
+  const auto stop_watcher = [&serving, &drain_target, &watcher] {
     serving.store(false, std::memory_order_relaxed);
+    drain_target.store(nullptr, std::memory_order_release);
     watcher.join();
   };
 
@@ -815,12 +883,14 @@ int cmd_serve(const CliOptions& cli) {
 
   if (cli.listen_port >= 0) {
     serve::Server server(options);
+    drain_target.store(&server, std::memory_order_release);
     serve::ListenOptions listen;
     listen.port = static_cast<std::uint16_t>(cli.listen_port);
     listen.metrics_port = cli.metrics_port;
     const int rc = serve::listen_and_serve(listen, server);
     stop_watcher();
     dump_stats(server);
+    // A completed drain is a clean exit (0); only a hard stop maps to 130.
     return g_stop.stop_requested() ? 130 : rc;
   }
 
@@ -829,6 +899,7 @@ int cmd_serve(const CliOptions& cli) {
     std::fputc('\n', stdout);
     std::fflush(stdout);
   });
+  drain_target.store(&server, std::memory_order_release);
   serve::serve_stdin(server, options.stop);
   stop_watcher();
   const serve::Server::Stats stats = server.stats();
@@ -892,6 +963,17 @@ int main(int argc, char** argv) {
   if (cli.command == "version") {
     std::cout << kVersion << "\n";
     return 0;
+  }
+  // Arm fault injection before any command builds a Server, so the
+  // per-point lrsizer_fault_injected_total metrics cover every armed
+  // point. Disarmed (the default), every fault point is one relaxed
+  // atomic load.
+  {
+    std::string error;
+    for (const std::string& spec : cli.fault_specs) {
+      if (!fault::arm(spec, &error)) fail("--fault-inject: " + error);
+    }
+    if (fault::arm_from_env(&error) < 0) fail("$LRSIZER_FAULT: " + error);
   }
   std::signal(SIGINT, handle_interrupt);
   std::signal(SIGTERM, handle_interrupt);
