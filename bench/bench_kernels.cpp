@@ -5,10 +5,14 @@
 //
 //   bench_kernels [--profile NAME] [--threads CSV] [--min-ms N] [--json FILE]
 //
-// For each kernel (load pass, upstream pass, arrival pass, full LRS solve)
-// the harness times threads = 1 plus every entry of --threads (default
-// 1,2,4) on a runtime::KernelTeam, reporting ns/op and the speedup against
-// the serial pass. Two additional serial rows measure one OGWS iteration's
+// For each kernel (load pass, upstream pass, arrival pass, full LRS solve,
+// OGWS dual update A4+A5) the harness times threads = 1 plus every entry of
+// --threads (default 1,2,4) on a runtime::KernelTeam, reporting ns/op and
+// the speedup against the serial pass. Two serial rows compare the LRS
+// sweep modes on a steady-state re-solve (perturb ~1% of μ, re-solve from
+// the fixpoint): "lrs_sweep_dense" vs "lrs_sweep_worklist", the worklist
+// row's speedup column anchored to dense. Two additional serial rows
+// measure one OGWS iteration's
 // analysis sequence with the pre-elimination redundancy ("ogws_iteration_
 // legacy": the dual re-runs a full load pass with a fresh allocation, as the
 // old loop did) against the current fused sequence — the single-thread win
@@ -276,6 +280,79 @@ int main(int argc, char** argv) {
                     lrs_ws, runtime);
     };
   });
+
+  // ---- the OGWS dual step A4+A5, serial + level-parallel ----
+  //
+  // Each op restores λ/β/γ from the warmup snapshot first: the
+  // multiplicative rule compounds, so unrestored repeats would walk the
+  // state away from the regime being measured. The restore is an O(|E|)
+  // copy, noise next to the pow()-heavy update itself. The arrivals/loads
+  // computed above (at the uniform start sizes) are the fixed analysis
+  // inputs; ρ is the warmup's steady-state step.
+  const double area_ref =
+      std::max(timing::total_area(circuit, circuit.sizes()), 1e-12);
+  const core::DualScales dual_scales{area_ref, area_ref / inst.bounds.delay_s,
+                                     area_ref / inst.bounds.cap_f,
+                                     area_ref / inst.bounds.noise_f};
+  core::OgwsOptions dual_options;
+  const double dual_rho = dual_options.step0 / std::sqrt(8.0);
+  const double cap_now = timing::total_cap(circuit, circuit.sizes());
+  const double noise_now = inst.coupling.noise_linear(circuit.sizes());
+  const std::vector<double> lambda0 = inst.multipliers.lambda;
+  const double beta0 = inst.multipliers.beta;
+  const double gamma0 = inst.multipliers.gamma;
+  bench_threaded("dual_update", [&](util::Executor* exec) {
+    return [&, exec] {
+      inst.multipliers.lambda = lambda0;
+      inst.multipliers.beta = beta0;
+      inst.multipliers.gamma = gamma0;
+      core::dual_ascent_step(circuit, inst.coupling, inst.bounds, dual_options,
+                             arrivals, circuit.sizes(), cap_now, noise_now,
+                             dual_rho, dual_scales, inst.multipliers, exec);
+    };
+  });
+  inst.multipliers.lambda = lambda0;
+  inst.multipliers.beta = beta0;
+  inst.multipliers.gamma = gamma0;
+
+  // ---- worklist vs dense LRS sweeps (steady-state re-solve) ----
+  //
+  // The scenario worklist mode exists for: a converged solve whose μ vector
+  // is then perturbed a little, as one OGWS dual step does. Each op scales
+  // ~1% of the μ entries by ×1.01 — alternating with ÷1.01 so repeats stay
+  // bounded — and re-solves from the previous fixpoint. Dense warm-starts
+  // but still prices every component each pass; worklist re-processes only
+  // the seeded frontier. The worklist row's speedup column is
+  // dense_ns / worklist_ns (both rows are serial).
+  auto bench_sweep = [&](core::SweepMode sweep_mode) {
+    core::LrsOptions opts;
+    opts.warm_start = true;
+    opts.sweep = sweep_mode;
+    std::vector<double> mu_local = inst.mu;
+    std::vector<double> x_local = circuit.sizes();
+    core::LrsWorkspace ws;
+    core::LrsOptions cold = opts;  // converge once: ops then measure the
+    cold.warm_start = false;       // incremental regime, not the first solve
+    core::run_lrs(circuit, inst.coupling, mu_local, beta, gamma, cold, x_local,
+                  ws);
+    std::int64_t toggle = 0;
+    return seconds_per_op(args.min_ms, [&] {
+             const double f = (toggle++ % 2 == 0) ? 1.01 : 1.0 / 1.01;
+             for (std::size_t i = 7; i < mu_local.size(); i += 97) {
+               mu_local[i] *= f;
+             }
+             core::run_lrs(circuit, inst.coupling, mu_local, beta, gamma, opts,
+                           x_local, ws);
+             g_bench_sink = x_local[x_local.size() / 2];
+           }) *
+           1e9;
+  };
+  const double dense_sweep_ns = bench_sweep(core::SweepMode::kDense);
+  const double worklist_sweep_ns = bench_sweep(core::SweepMode::kWorklist);
+  rows.push_back({"lrs_sweep_dense", 1, dense_sweep_ns, 1.0});
+  rows.push_back({"lrs_sweep_worklist", 1, worklist_sweep_ns,
+                  worklist_sweep_ns > 0.0 ? dense_sweep_ns / worklist_sweep_ns
+                                          : 1.0});
 
   // ---- serial-only reference kernels (Figure 10b linearity set) ----
 

@@ -106,6 +106,18 @@ class FlowOptionsBuilder {
     options_.threads = threads;
     return *this;
   }
+  /// LRS sweep strategy (dense = paper-exact default; worklist = frontier-
+  /// driven incremental sweeps, tolerance-equivalent but not bit-identical
+  /// to dense — see docs/ARCHITECTURE.md §Parallel kernels).
+  FlowOptionsBuilder& sweep_mode(core::SweepMode mode) {
+    options_.ogws.lrs.sweep = mode;
+    return *this;
+  }
+  /// Worklist dirtiness threshold (0 = auto tol/8; must stay below lrs.tol).
+  FlowOptionsBuilder& worklist_eps(double eps) {
+    options_.ogws.lrs.worklist_eps = eps;
+    return *this;
+  }
 
   /// Current (possibly invalid) state, for inspection.
   const core::FlowOptions& peek() const { return options_; }

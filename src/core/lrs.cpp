@@ -23,7 +23,18 @@ constexpr std::int32_t kGrain = 32;
 /// pass is far above this, so the guard never changes a healthy value.
 constexpr double kTinySize = std::numeric_limits<double>::min();
 
+/// The worklist drift test |a − b| / max(|b|, tiny) > eps, in multiply form
+/// (the seeding scan runs it several times per component per pass, and a
+/// divide there costs more than everything else in the scan).
+bool drifted(double a, double b, double eps) {
+  return std::abs(a - b) > eps * std::max(std::abs(b), kTinySize);
+}
+
 }  // namespace
+
+const char* sweep_mode_name(SweepMode mode) {
+  return mode == SweepMode::kWorklist ? "worklist" : "dense";
+}
 
 double optimal_resize(const netlist::Circuit& circuit,
                       const layout::CouplingSet& coupling,
@@ -58,20 +69,48 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
   LRSIZER_ASSERT(x.size() == static_cast<std::size_t>(circuit.num_nodes()));
   LRSIZER_ASSERT(mu.size() == x.size());
 
+  const bool worklist = options.sweep == SweepMode::kWorklist;
+  LRSIZER_ASSERT_MSG(options.worklist_eps >= 0.0 &&
+                         (options.worklist_eps == 0.0 ||
+                          options.worklist_eps < options.tol),
+                     "worklist_eps must be 0 (auto) or in (0, tol)");
+  const double wl_eps =
+      options.worklist_eps > 0.0 ? options.worklist_eps : options.tol / 8.0;
+  // A worklist run resumes its own prior state: the persisted x, loads and
+  // the snapshots describing when each node was last evaluated. Anything
+  // else — first worklist call, circuit change, load-mode switch, or an
+  // intervening dense run (which rewrites x without maintaining snapshots)
+  // — starts cold.
+  const bool wl_resume = worklist && workspace.worklist_valid &&
+                         workspace.pending.size() == x.size() &&
+                         workspace.exit_x.size() == x.size() &&
+                         workspace.loads_mode == static_cast<int>(options.mode);
+  workspace.worklist_valid = false;
+
   // S1: start from the lower bounds (or the caller's x when warm). The S5
   // relative-change test divides by the previous size, so the start point
   // must be positive — lower bounds are (asserted by Circuit::validate) and
-  // warm starts are checked here.
+  // warm starts are checked here. A resumed worklist run keeps its own x —
+  // the convex subproblem has a unique optimum reachable from any positive
+  // start, and re-solving from the previous solution is what makes the
+  // frontier small.
   for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
        ++v) {
     const auto i = static_cast<std::size_t>(v);
-    if (!options.warm_start) {
+    if (!options.warm_start && !wl_resume) {
       LRSIZER_ASSERT_MSG(circuit.lower_bound(v) > 0.0,
                          "LRS needs positive lower bounds");
       x[i] = circuit.lower_bound(v);
     } else {
       LRSIZER_ASSERT_MSG(x[i] > 0.0, "LRS warm start needs positive sizes");
     }
+  }
+  if (worklist && !wl_resume) {
+    workspace.pending.assign(x.size(), 1);
+    workspace.snap_num.assign(x.size(), 0.0);
+    workspace.snap_den.assign(x.size(), 0.0);
+    workspace.snap_x = x;
+    workspace.loads_dirty.assign(x.size(), 0);
   }
 
   util::Executor* exec = util::serial(runtime.executor) ? nullptr : runtime.executor;
@@ -107,7 +146,7 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
   // paper's sweep); under the colored schedule every smaller-id neighbor is
   // already updated and every larger-id neighbor is not yet — exactly the
   // index-order semantics.
-  auto resize_node = [&](netlist::NodeId v) -> double {
+  auto resize_node = [&](netlist::NodeId v, bool record_snapshots) -> double {
     const auto i = static_cast<std::size_t>(v);
     double couple_nbr = 0.0;  // Σ ĉ_ij x_j
     for (const auto& nb : coupling.neighbors(v)) {
@@ -119,6 +158,13 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
                                (beta + workspace.r_up[i]) * circuit.unit_cap(v) +
                                workspace.gamma_coef[i];
     LRSIZER_ASSERT_MSG(denominator > 0.0, "area weights must be positive");
+    if (record_snapshots) {
+      // Worklist bookkeeping: the coupling-free numerator term and the full
+      // denominator at this evaluation — next pass's frontier seeding
+      // re-enters the node when either drifts more than wl_eps.
+      workspace.snap_num[i] = workspace.mu_res[i] * workspace.loads.cap_prime[i];
+      workspace.snap_den[i] = denominator;
+    }
     const double opt = std::sqrt(std::max(numerator, 0.0) / denominator);
     const double next =
         std::clamp(opt, circuit.lower_bound(v), circuit.upper_bound(v));
@@ -132,7 +178,7 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
     if (exec == nullptr) {
       for (netlist::NodeId v = circuit.first_component();
            v < circuit.end_component(); ++v) {
-        max_rel_change = std::max(max_rel_change, resize_node(v));
+        max_rel_change = std::max(max_rel_change, resize_node(v, false));
       }
       return max_rel_change;
     }
@@ -147,7 +193,8 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
       exec->run_chunks(count, kGrain, [&](std::int32_t begin, std::int32_t end) {
         double local = 0.0;
         for (std::int32_t k = begin; k < end; ++k) {
-          local = std::max(local, resize_node(nodes[static_cast<std::size_t>(k)]));
+          local = std::max(local,
+                           resize_node(nodes[static_cast<std::size_t>(k)], false));
         }
         workspace.partials[static_cast<std::size_t>(begin / kGrain)] = local;
       });
@@ -158,12 +205,169 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
     return max_rel_change;
   };
 
+  // --- Worklist mode (SweepMode::kWorklist). ---------------------------------
+  // Evaluate node v from the frontier: clear its flag, resize with snapshot
+  // recording, and when the size has drifted more than wl_eps since it last
+  // flagged its neighbors, mark every coupling neighbor dirty (their
+  // Σ ĉ_ij x_j term moved). Under the order-preserving distance-2 coloring,
+  // same-color nodes share no neighbor, so the flag writes are disjoint and
+  // the parallel sweep is bit-identical to the serial ascending-index one: a
+  // flagged neighbor with a larger index lands in a later color (picked up
+  // this pass), a smaller index in an earlier color (picked up next pass) —
+  // exactly the serial semantics.
+  auto process_worklist_node = [&](netlist::NodeId v) -> double {
+    const auto i = static_cast<std::size_t>(v);
+    workspace.pending[i] = 0;
+    const double x_before = x[i];
+    const double rel_change = resize_node(v, true);
+    if (!workspace.processed.empty()) workspace.processed[i] = 1;
+    if (x[i] != x_before) {
+      // Exact (bit-level) move: the incremental load pass must re-derive
+      // this node and every coupling neighbor (their Σ ĉ_ij x_j term reads
+      // x_i). Writes stay disjoint under the distance-2 coloring: peers of
+      // the same color share no neighbor and never write each other's slot.
+      workspace.loads_dirty[i] = 1;
+      for (const auto& nb : coupling.neighbors(v)) {
+        workspace.loads_dirty[static_cast<std::size_t>(nb.other)] = 1;
+      }
+    }
+    if (drifted(x[i], workspace.snap_x[i], wl_eps)) {
+      for (const auto& nb : coupling.neighbors(v)) {
+        workspace.pending[static_cast<std::size_t>(nb.other)] = 1;
+      }
+      workspace.snap_x[i] = x[i];
+    }
+    return rel_change;
+  };
+
+  // Frontier seeding: re-enter any clean node whose recomputed resize inputs
+  // (numerator term from the refreshed loads/μ, denominator from β, the
+  // refreshed upstream resistance and γ) drifted more than wl_eps since its
+  // last evaluation. Neighbor-size drift is handled by the flags above, so
+  // these two O(1) checks cover every input of Theorem 5's formula.
+  auto seed_frontier = [&]() {
+    for (netlist::NodeId v = circuit.first_component(); v < circuit.end_component();
+         ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (workspace.pending[i] != 0) continue;
+      const double num = workspace.mu_res[i] * workspace.loads.cap_prime[i];
+      const double den = circuit.area_weight(v) +
+                         (beta + workspace.r_up[i]) * circuit.unit_cap(v) +
+                         workspace.gamma_coef[i];
+      if (drifted(num, workspace.snap_num[i], wl_eps) ||
+          drifted(den, workspace.snap_den[i], wl_eps)) {
+        workspace.pending[i] = 1;
+      }
+    }
+  };
+
+  // One worklist pass: evaluate exactly the frontier. Fixed-shape max / sum
+  // reductions as in the dense sweep (sum of per-chunk counts is exact, so
+  // chunk order cannot change it).
+  auto worklist_sweep = [&](long long& processed_count) -> double {
+    double max_rel_change = 0.0;
+    processed_count = 0;
+    if (exec == nullptr) {
+      for (netlist::NodeId v = circuit.first_component();
+           v < circuit.end_component(); ++v) {
+        if (workspace.pending[static_cast<std::size_t>(v)] == 0) continue;
+        max_rel_change = std::max(max_rel_change, process_worklist_node(v));
+        ++processed_count;
+      }
+      return max_rel_change;
+    }
+    for (std::int32_t c = 0; c < colors->num_levels(); ++c) {
+      const auto nodes = colors->level(c);
+      const auto count = static_cast<std::int32_t>(nodes.size());
+      const std::int32_t chunks = util::num_chunks(count, kGrain);
+      workspace.partials.assign(static_cast<std::size_t>(chunks), 0.0);
+      workspace.count_partials.assign(static_cast<std::size_t>(chunks), 0);
+      exec->run_chunks(count, kGrain, [&](std::int32_t begin, std::int32_t end) {
+        double local = 0.0;
+        long long local_count = 0;
+        for (std::int32_t k = begin; k < end; ++k) {
+          const netlist::NodeId v = nodes[static_cast<std::size_t>(k)];
+          if (workspace.pending[static_cast<std::size_t>(v)] == 0) continue;
+          local = std::max(local, process_worklist_node(v));
+          ++local_count;
+        }
+        workspace.partials[static_cast<std::size_t>(begin / kGrain)] = local;
+        workspace.count_partials[static_cast<std::size_t>(begin / kGrain)] =
+            local_count;
+      });
+      for (const double partial : workspace.partials) {
+        max_rel_change = std::max(max_rel_change, partial);
+      }
+      for (const long long partial : workspace.count_partials) {
+        processed_count += partial;
+      }
+    }
+    return max_rel_change;
+  };
+
+  // Incremental load maintenance (worklist mode): re-derive exactly the
+  // dirty nodes in the same descending order the dense pass uses. A node's
+  // loads are a pure function of its own/neighbor sizes and its children's
+  // load_in (timing::compute_node_loads — the dense pass's own body), so
+  // recomputing a superset of the nodes whose inputs changed yields loads
+  // bit-identical to a full pass; a changed load_in propagates to the fanins
+  // (smaller indices — visited later in this order). load_in is the input
+  // capacitance for gates, so the propagation dies at stage boundaries and
+  // the closure stays near the movers.
+  auto incremental_loads = [&]() {
+    for (netlist::NodeId v = circuit.sink() - 1; v >= 1; --v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (workspace.loads_dirty[i] == 0) continue;
+      workspace.loads_dirty[i] = 0;
+      const double load_in_before = workspace.loads.load_in[i];
+      timing::compute_node_loads(circuit, coupling, x, options.mode,
+                                 workspace.loads, v);
+      if (workspace.loads.load_in[i] != load_in_before) {
+        for (const netlist::NodeId u : circuit.inputs(v)) {
+          workspace.loads_dirty[static_cast<std::size_t>(u)] = 1;
+        }
+      }
+    }
+  };
+
   // S2 at the start point; subsequent passes refresh the loads *after* the
   // sweep (see the hand-back contract in lrs.hpp), which serves as the next
-  // pass's S2 and, on exit, as the caller's final-x analysis.
-  timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads, exec);
+  // pass's S2 and, on exit, as the caller's final-x analysis. A resumed
+  // worklist run already holds the loads of its exit x, so instead of a full
+  // pass it diffs the incoming x against that exit x — callers may legally
+  // hand back a modified x — and repairs incrementally.
+  if (wl_resume) {
+    for (netlist::NodeId v = circuit.first_component();
+         v < circuit.end_component(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (x[i] == workspace.exit_x[i]) continue;
+      workspace.pending[i] = 1;
+      workspace.loads_dirty[i] = 1;
+      for (const auto& nb : coupling.neighbors(v)) {
+        workspace.loads_dirty[static_cast<std::size_t>(nb.other)] = 1;
+      }
+      if (drifted(x[i], workspace.snap_x[i], wl_eps)) {
+        for (const auto& nb : coupling.neighbors(v)) {
+          workspace.pending[static_cast<std::size_t>(nb.other)] = 1;
+        }
+        workspace.snap_x[i] = x[i];
+      }
+    }
+    incremental_loads();
+  } else {
+    timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads, exec);
+  }
 
   LrsStats stats;
+  const long long num_components =
+      static_cast<long long>(circuit.end_component() - circuit.first_component());
+  // Worklist stop protocol: each pass begins with a seeding scan that
+  // recomputes every component's resize inputs against its last-evaluated
+  // snapshot, so an *empty* frontier certifies that every component is
+  // ε-stationary (wl_eps < tol) — that scan IS the convergence proof, and no
+  // dense verification pass is needed. The dense tol test is not consulted:
+  // a mover above wl_eps always flags its coupling neighbors, so the loop
+  // cannot stop while any node still has a stale input.
   for (int pass = 0; pass < options.max_passes; ++pass) {
     obs::ScopedSpan span(runtime.trace, "lrs_pass", "lrs");
 
@@ -172,17 +376,65 @@ LrsStats run_lrs(const netlist::Circuit& circuit, const layout::CouplingSet& cou
 
     // S4: greedy closed-form resize, components in color order (= index
     // order semantics, see above).
-    const double max_rel_change = sweep();
+    double max_rel_change = 0.0;
+    long long processed_count = 0;
+    if (!worklist) {
+      max_rel_change = sweep();
+      processed_count = num_components;
+    } else {
+      seed_frontier();
+      bool any_pending = false;
+      for (netlist::NodeId v = circuit.first_component();
+           v < circuit.end_component(); ++v) {
+        if (workspace.pending[static_cast<std::size_t>(v)] != 0) {
+          any_pending = true;
+          break;
+        }
+      }
+      if (!any_pending) {
+        span.arg("pass", pass + 1);
+        span.arg("nodes_processed", 0.0);
+        break;  // frontier empty: every component ε-stationary — converged
+      }
+      if (runtime.probe != nullptr) {
+        workspace.processed.assign(x.size(), 0);
+        if (runtime.probe->on_pass_begin) {
+          runtime.probe->on_pass_begin(pass, x, workspace.loads, workspace.r_up,
+                                       workspace.pending);
+        }
+      } else {
+        workspace.processed.clear();
+      }
+      max_rel_change = worklist_sweep(processed_count);
+      if (runtime.probe != nullptr && runtime.probe->on_pass_end) {
+        runtime.probe->on_pass_end(pass, workspace.processed);
+      }
+    }
 
-    timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads, exec);
+    // Refresh the loads at the post-sweep x. The worklist repair recomputes
+    // only the movers' closure but is bit-identical to the full pass.
+    if (worklist) {
+      incremental_loads();
+    } else {
+      timing::compute_loads(circuit, coupling, x, options.mode, workspace.loads,
+                            exec);
+    }
 
     stats.passes = pass + 1;
     stats.max_rel_change = max_rel_change;
+    stats.nodes_processed += processed_count;
     span.arg("pass", pass + 1);
     span.arg("max_rel_change", max_rel_change);
-    // S5: "repeat until no improvement".
-    if (max_rel_change < options.tol) break;
+    span.arg("nodes_processed", static_cast<double>(processed_count));
+    // S5: "repeat until no improvement" — dense stops at tol; worklist stops
+    // above, when the frontier drains.
+    if (!worklist && max_rel_change < options.tol) break;
   }
+  if (worklist) {
+    workspace.exit_x = x;
+    workspace.loads_mode = static_cast<int>(options.mode);
+  }
+  workspace.worklist_valid = worklist;
   return stats;
 }
 

@@ -17,6 +17,7 @@
 // (Theorem on page 4); tests verify stationarity against numeric gradients.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "core/multipliers.hpp"
@@ -55,6 +56,30 @@ struct NoiseMultipliers {
   }
 };
 
+/// Sweep strategy for S4 (docs/ARCHITECTURE.md §Parallel kernels).
+enum class SweepMode {
+  /// Paper Figure 8: every pass re-evaluates every component. Bit-exact
+  /// reference; the default.
+  kDense,
+  /// Worklist (Galois-style) mode: each pass evaluates only components whose
+  /// resize inputs — numerator term μ_i·r̂_i·C'_i, denominator (β + R_i)
+  /// terms, or a coupling neighbor's size — drifted more than worklist_eps
+  /// since the node was last evaluated; dirtiness propagates to coupling
+  /// neighbors inside the distance-2 color structure. Converges to the same
+  /// fixpoint within tolerance (the per-pass seeding scan re-checks every
+  /// component, so an empty frontier certifies ε-stationarity and stops the
+  /// sweep) but skips clean nodes, so iterates are NOT bit-identical to
+  /// kDense — opt in only where tolerance-equivalence suffices. Worklist
+  /// runs persist x and the snapshot state across calls via LrsWorkspace, so
+  /// successive OGWS iterations re-process only what the multiplier step
+  /// perturbed. At a fixed SweepMode the result is still bit-identical at
+  /// any thread count.
+  kWorklist,
+};
+
+/// Canonical lowercase name ("dense" / "worklist") — cache canon, CLI, serve.
+const char* sweep_mode_name(SweepMode mode);
+
 struct LrsOptions {
   int max_passes = 100;
   /// Fixpoint tolerance: stop when max_i |Δx_i|/x_i falls below this.
@@ -63,11 +88,20 @@ struct LrsOptions {
   /// the incoming x (ablation A1 measures the difference).
   bool warm_start = false;
   timing::CouplingLoadMode mode = timing::CouplingLoadMode::kLocalOnly;
+  SweepMode sweep = SweepMode::kDense;
+  /// Worklist dirtiness threshold: a node re-enters the frontier when a
+  /// resize input drifts more than this (relative). 0 picks tol/8 — small
+  /// enough that skipped nodes stay stationary within tol. Must be < tol.
+  double worklist_eps = 0.0;
 };
 
 struct LrsStats {
   int passes = 0;
   double max_rel_change = 0.0;  ///< at the last pass
+  /// Component evaluations summed over the passes (dense: components ×
+  /// passes; worklist: only frontier nodes). The <25%-reprocessed
+  /// acceptance metric divides this by passes × components.
+  long long nodes_processed = 0;
 };
 
 /// Scratch buffers reused across calls (the OGWS loop calls LRS every
@@ -84,6 +118,60 @@ struct LrsWorkspace {
   /// exact order optimal_resize uses, so the hoist is bit-neutral.
   std::vector<double> mu_res;
   std::vector<double> gamma_coef;
+
+  // --- Worklist-mode state (SweepMode::kWorklist). Persists across run_lrs
+  // calls on the same circuit so successive OGWS iterations seed their
+  // frontier from what actually changed; run_lrs (re)initializes it whenever
+  // `worklist_valid` is false or the circuit size changed, and any dense run
+  // invalidates it (a dense sweep rewrites x without maintaining snapshots).
+  /// Frontier flag per NodeId: 1 = evaluate on the next pass.
+  std::vector<unsigned char> pending;
+  /// μ_i·r̂_i·C'_i at the node's last evaluation (numerator drift check).
+  std::vector<double> snap_num;
+  /// Full Theorem-5 denominator at the node's last evaluation.
+  std::vector<double> snap_den;
+  /// x_i when the node last flagged its coupling neighbors; comparing
+  /// against the *flag-time* size (not last pass's) makes the neighbor
+  /// dirtiness test cumulative, so slow sub-eps drift cannot accumulate
+  /// unnoticed.
+  std::vector<double> snap_x;
+  /// Per-pass scratch: which components the sweep evaluated (only
+  /// maintained when LrsRuntime::probe is set).
+  std::vector<unsigned char> processed;
+  /// Per-chunk partials of the parallel processed-count (sum) reduction.
+  std::vector<long long> count_partials;
+  /// Nodes whose load entries must be recomputed (exact, bit-driven — not
+  /// the eps-thresholded `pending`): a resize that changed x_i bit-wise
+  /// marks i and its coupling neighbors; the incremental load pass then
+  /// propagates along changed load_in values to fanins. Keeping `loads`
+  /// maintained this way is bit-identical to a full compute_loads pass (see
+  /// timing::compute_node_loads) at a fraction of the per-pass cost.
+  std::vector<unsigned char> loads_dirty;
+  /// x as this workspace's last worklist run left it. A resumed run diffs
+  /// the incoming x against it (callers may legally hand back a modified x)
+  /// and marks any externally changed node dirty + pending instead of
+  /// recomputing the loads from scratch.
+  std::vector<double> exit_x;
+  /// CouplingLoadMode (as int) the persisted loads were computed under; a
+  /// mode switch forces a cold start.
+  int loads_mode = -1;
+  bool worklist_valid = false;
+};
+
+/// Test-only observation hooks for the worklist sweep; the dirty-set
+/// property tests replay skipped nodes against the frozen pass-start state.
+/// Both fire on the calling thread, worklist mode only.
+struct LrsProbe {
+  /// After frontier seeding, before the sweep of (0-based) `pass`: the state
+  /// the sweep will read and the frontier it will honor.
+  std::function<void(int pass, const std::vector<double>& x,
+                     const timing::LoadAnalysis& loads,
+                     const std::vector<double>& r_up,
+                     const std::vector<unsigned char>& pending)>
+      on_pass_begin;
+  /// After the sweep: which components it actually evaluated.
+  std::function<void(int pass, const std::vector<unsigned char>& processed)>
+      on_pass_end;
 };
 
 /// Out-of-band execution context for run_lrs — nothing in here changes the
@@ -101,6 +189,8 @@ struct LrsRuntime {
   /// Flow tracing: one span per LRS pass (sweep) when set. nullptr (the
   /// default) costs a single pointer test per pass — see obs/trace.hpp.
   obs::TraceSession* trace = nullptr;
+  /// Worklist observation hooks (tests only); nullptr disables.
+  const LrsProbe* probe = nullptr;
 };
 
 /// Minimize L_{λ,β,γ}(x) over the size box; x is in/out (indexed by NodeId).

@@ -23,7 +23,124 @@ double relative_violation(double value, double bound) {
   return (value - bound) / bound;
 }
 
+/// Chunk size of the parallel dual-step loops (fixed — the Executor
+/// determinism contract keys chunk shapes to (n, grain) only).
+constexpr std::int32_t kDualGrain = 64;
+
 }  // namespace
+
+void dual_ascent_step(const netlist::Circuit& circuit,
+                      const layout::CouplingSet& coupling, const Bounds& bounds,
+                      const OgwsOptions& options,
+                      const timing::ArrivalAnalysis& arrivals,
+                      const std::vector<double>& x, double cap, double noise,
+                      double rho, const DualScales& scales,
+                      MultiplierState& multipliers, util::Executor* exec) {
+  if (util::serial(exec)) exec = nullptr;
+  const bool per_net = bounds.per_net_enabled();
+
+  // Chunked node-range dispatcher. Every body writes only slots owned by its
+  // node (its in-edge λ entries, its own γ_net) and reads only the frozen
+  // arrival analysis / iterate, so chunk execution order cannot change the
+  // result — the parallel path is bit-identical to the serial one.
+  auto for_nodes = [&](netlist::NodeId first, netlist::NodeId last, auto&& body) {
+    const auto count = static_cast<std::int32_t>(last - first);
+    if (exec == nullptr) {
+      for (std::int32_t k = 0; k < count; ++k) body(first + k);
+      return;
+    }
+    exec->run_chunks(count, kDualGrain, [&](std::int32_t begin, std::int32_t end) {
+      for (std::int32_t k = begin; k < end; ++k) body(first + k);
+    });
+  };
+
+  if (options.step_rule == StepRule::kSubgradient) {
+    for_nodes(1, circuit.num_nodes(), [&](netlist::NodeId v) {
+      const auto in_nodes = circuit.inputs(v);
+      const auto in_edges = circuit.input_edges(v);
+      for (std::size_t idx = 0; idx < in_edges.size(); ++idx) {
+        const auto j = static_cast<std::size_t>(in_nodes[idx]);
+        const auto i = static_cast<std::size_t>(v);
+        double slack = 0.0;  // in seconds
+        if (v == circuit.sink()) {
+          slack = arrivals.arrival[j] - bounds.delay_s;
+        } else if (circuit.is_driver(v)) {
+          slack = arrivals.delay[i] - arrivals.arrival[i];
+        } else {
+          slack = arrivals.arrival[j] + arrivals.delay[i] - arrivals.arrival[i];
+        }
+        multipliers.lambda[static_cast<std::size_t>(in_edges[idx])] +=
+            rho * scales.lambda_scale * (slack / bounds.delay_s);
+      }
+    });
+    multipliers.beta += rho * scales.beta_scale * relative_violation(cap, bounds.cap_f);
+    multipliers.gamma +=
+        rho * scales.gamma_scale * relative_violation(noise, bounds.noise_f);
+    if (per_net) {
+      for_nodes(circuit.first_component(), circuit.end_component(),
+                [&](netlist::NodeId v) {
+                  const auto i = static_cast<std::size_t>(v);
+                  const double bound_i = bounds.per_net_noise_f[i];
+                  if (bound_i <= 0.0) return;
+                  multipliers.gamma_net[i] +=
+                      rho * (scales.area_ref / bound_i) *
+                      relative_violation(coupling.owned_noise_linear(v, x), bound_i);
+                });
+    }
+  } else {
+    // Multiplicative: every multiplier scales by (its constraint ratio)^ρ.
+    // Ratios > 1 (violated) inflate, < 1 (slack) decay; positivity is
+    // automatic. Driver edges use D_i/a_i (== 1 by construction).
+    auto pow_clamped = [rho](double ratio) {
+      return std::pow(std::clamp(ratio, 0.05, 20.0), rho);
+    };
+    for_nodes(1, circuit.num_nodes(), [&](netlist::NodeId v) {
+      const auto in_nodes = circuit.inputs(v);
+      const auto in_edges = circuit.input_edges(v);
+      for (std::size_t idx = 0; idx < in_edges.size(); ++idx) {
+        const auto j = static_cast<std::size_t>(in_nodes[idx]);
+        const auto i = static_cast<std::size_t>(v);
+        double ratio = 1.0;
+        if (v == circuit.sink()) {
+          ratio = arrivals.arrival[j] / bounds.delay_s;
+        } else if (!circuit.is_driver(v)) {
+          ratio = (arrivals.arrival[j] + arrivals.delay[i]) /
+                  std::max(arrivals.arrival[i], 1e-30);
+        }
+        multipliers.lambda[static_cast<std::size_t>(in_edges[idx])] *=
+            pow_clamped(ratio);
+      }
+    });
+    // β and γ start at 0; seed them from their scale the first time their
+    // constraint is violated, then update multiplicatively.
+    const double cap_ratio = cap / bounds.cap_f;
+    const double noise_ratio = noise / bounds.noise_f;
+    if (multipliers.beta <= 0.0 && cap_ratio > 1.0) {
+      multipliers.beta = 1e-3 * scales.beta_scale;
+    }
+    if (multipliers.gamma <= 0.0 && noise_ratio > 1.0) {
+      multipliers.gamma = 1e-3 * scales.gamma_scale;
+    }
+    multipliers.beta *= pow_clamped(cap_ratio);
+    multipliers.gamma *= pow_clamped(noise_ratio);
+    if (per_net) {
+      for_nodes(circuit.first_component(), circuit.end_component(),
+                [&](netlist::NodeId v) {
+                  const auto i = static_cast<std::size_t>(v);
+                  const double bound_i = bounds.per_net_noise_f[i];
+                  if (bound_i <= 0.0) return;
+                  const double ratio = coupling.owned_noise_linear(v, x) / bound_i;
+                  double& g = multipliers.gamma_net[i];
+                  if (g <= 0.0 && ratio > 1.0) g = 1e-3 * scales.area_ref / bound_i;
+                  g *= pow_clamped(ratio);
+                });
+    }
+  }
+
+  // A5: nonnegativity + flow conservation.
+  multipliers.clamp_nonnegative();
+  multipliers.project_flow(circuit, exec);
+}
 
 OgwsResult run_ogws(const netlist::Circuit& circuit,
                     const layout::CouplingSet& coupling, const Bounds& bounds,
@@ -36,9 +153,9 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
 
   // Normalization scales: multipliers live at (objective / constraint-unit)
   // magnitude, subgradients are used in bound-relative form.
-  const double lambda_scale = area_ref / bounds.delay_s;
-  const double beta_scale = area_ref / bounds.cap_f;
-  const double gamma_scale = area_ref / bounds.noise_f;
+  const DualScales scales{area_ref, area_ref / bounds.delay_s,
+                          area_ref / bounds.cap_f, area_ref / bounds.noise_f};
+  const double lambda_scale = scales.lambda_scale;
 
   // A1: initial multipliers (λ flow-conserving at λ-scale), or the prior
   // run's best-dual multipliers when warm-starting.
@@ -200,7 +317,7 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
     }
 
     // A2: node weights from edge multipliers.
-    multipliers.compute_mu(circuit, mu);
+    multipliers.compute_mu(circuit, mu, exec);
 
     // A3: inner minimization + arrival times of the sized circuit. run_lrs
     // hands back workspace.loads at the final x (hand-back contract in
@@ -262,8 +379,16 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
     result.area = have_feasible ? best_feasible_area : area;
     result.dual = best_dual;
     result.rel_gap = cert_gap;
-    OgwsIterate iterate{k,        area,     delay,    cap,           noise,
-                        dual,     cert_gap, max_violation, lrs_stats.passes,
+    OgwsIterate iterate{k,
+                        area,
+                        delay,
+                        cap,
+                        noise,
+                        dual,
+                        cert_gap,
+                        max_violation,
+                        lrs_stats.passes,
+                        lrs_stats.nodes_processed,
                         iter_timer.seconds()};
     if (options.record_history) result.history.push_back(iterate);
 
@@ -277,94 +402,12 @@ OgwsResult run_ogws(const netlist::Circuit& circuit,
       break;
     }
 
-    // A4: multiplier step, ρ_k = step0 / sqrt(k) (ρ_k → 0, Σ ρ_k = ∞).
+    // A4 + A5: multiplier step, ρ_k = step0 / sqrt(k) (ρ_k → 0, Σ ρ_k = ∞),
+    // then nonnegativity + flow conservation. Runs level-parallel on `exec`
+    // (bit-identical to serial).
     const double rho = options.step0 / std::sqrt(static_cast<double>(k));
-    if (options.step_rule == StepRule::kSubgradient) {
-      for (netlist::NodeId v = 1; v < circuit.num_nodes(); ++v) {
-        const auto in_nodes = circuit.inputs(v);
-        const auto in_edges = circuit.input_edges(v);
-        for (std::size_t idx = 0; idx < in_edges.size(); ++idx) {
-          const auto j = static_cast<std::size_t>(in_nodes[idx]);
-          const auto i = static_cast<std::size_t>(v);
-          double slack = 0.0;  // in seconds
-          if (v == circuit.sink()) {
-            slack = arrivals.arrival[j] - bounds.delay_s;
-          } else if (circuit.is_driver(v)) {
-            slack = arrivals.delay[i] - arrivals.arrival[i];
-          } else {
-            slack = arrivals.arrival[j] + arrivals.delay[i] - arrivals.arrival[i];
-          }
-          multipliers.lambda[static_cast<std::size_t>(in_edges[idx])] +=
-              rho * lambda_scale * (slack / bounds.delay_s);
-        }
-      }
-      multipliers.beta += rho * beta_scale * relative_violation(cap, bounds.cap_f);
-      multipliers.gamma +=
-          rho * gamma_scale * relative_violation(noise, bounds.noise_f);
-      if (per_net) {
-        for (netlist::NodeId v = circuit.first_component();
-             v < circuit.end_component(); ++v) {
-          const auto i = static_cast<std::size_t>(v);
-          const double bound_i = bounds.per_net_noise_f[i];
-          if (bound_i <= 0.0) continue;
-          multipliers.gamma_net[i] +=
-              rho * (area_ref / bound_i) *
-              relative_violation(coupling.owned_noise_linear(v, x), bound_i);
-        }
-      }
-    } else {
-      // Multiplicative: every multiplier scales by (its constraint ratio)^ρ.
-      // Ratios > 1 (violated) inflate, < 1 (slack) decay; positivity is
-      // automatic. Driver edges use D_i/a_i (== 1 by construction).
-      auto pow_clamped = [rho](double ratio) {
-        return std::pow(std::clamp(ratio, 0.05, 20.0), rho);
-      };
-      for (netlist::NodeId v = 1; v < circuit.num_nodes(); ++v) {
-        const auto in_nodes = circuit.inputs(v);
-        const auto in_edges = circuit.input_edges(v);
-        for (std::size_t idx = 0; idx < in_edges.size(); ++idx) {
-          const auto j = static_cast<std::size_t>(in_nodes[idx]);
-          const auto i = static_cast<std::size_t>(v);
-          double ratio = 1.0;
-          if (v == circuit.sink()) {
-            ratio = arrivals.arrival[j] / bounds.delay_s;
-          } else if (!circuit.is_driver(v)) {
-            ratio = (arrivals.arrival[j] + arrivals.delay[i]) /
-                    std::max(arrivals.arrival[i], 1e-30);
-          }
-          multipliers.lambda[static_cast<std::size_t>(in_edges[idx])] *=
-              pow_clamped(ratio);
-        }
-      }
-      // β and γ start at 0; seed them from their scale the first time their
-      // constraint is violated, then update multiplicatively.
-      const double cap_ratio = cap / bounds.cap_f;
-      const double noise_ratio = noise / bounds.noise_f;
-      if (multipliers.beta <= 0.0 && cap_ratio > 1.0) {
-        multipliers.beta = 1e-3 * beta_scale;
-      }
-      if (multipliers.gamma <= 0.0 && noise_ratio > 1.0) {
-        multipliers.gamma = 1e-3 * gamma_scale;
-      }
-      multipliers.beta *= pow_clamped(cap_ratio);
-      multipliers.gamma *= pow_clamped(noise_ratio);
-      if (per_net) {
-        for (netlist::NodeId v = circuit.first_component();
-             v < circuit.end_component(); ++v) {
-          const auto i = static_cast<std::size_t>(v);
-          const double bound_i = bounds.per_net_noise_f[i];
-          if (bound_i <= 0.0) continue;
-          const double ratio = coupling.owned_noise_linear(v, x) / bound_i;
-          double& g = multipliers.gamma_net[i];
-          if (g <= 0.0 && ratio > 1.0) g = 1e-3 * area_ref / bound_i;
-          g *= pow_clamped(ratio);
-        }
-      }
-    }
-
-    // A5: nonnegativity + flow conservation.
-    multipliers.clamp_nonnegative();
-    multipliers.project_flow(circuit);
+    dual_ascent_step(circuit, coupling, bounds, options, arrivals, x, cap, noise,
+                     rho, scales, multipliers, exec);
 
     iterate.seconds = iter_timer.seconds();
     if (options.record_history) result.history.back().seconds = iterate.seconds;

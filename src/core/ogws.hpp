@@ -32,6 +32,7 @@
 #include "core/problem.hpp"
 #include "layout/neighbors.hpp"
 #include "netlist/circuit.hpp"
+#include "timing/arrival.hpp"
 #include "util/memtrack.hpp"
 #include "util/parallel.hpp"
 
@@ -72,8 +73,40 @@ struct OgwsIterate {
   double rel_gap = 0.0;     ///< certificate gap so far (best primal vs best dual)
   double max_violation = 0.0;  ///< max relative constraint violation
   int lrs_passes = 0;
+  /// Node evaluations the inner LRS solver performed this iteration (summed
+  /// over its passes). Dense sweeps evaluate every component each pass;
+  /// worklist sweeps (LrsOptions::sweep) evaluate only the dirty frontier.
+  long long lrs_nodes_processed = 0;
   double seconds = 0.0;     ///< wall time of this iteration
 };
+
+/// Normalization scales of a run (docs/ARCHITECTURE.md, decision D3),
+/// derived from the reference area and the constraint bounds. Precomputed
+/// once per run and shared with dual_ascent_step.
+struct DualScales {
+  double area_ref = 0.0;
+  double lambda_scale = 0.0;  ///< area_ref / delay bound
+  double beta_scale = 0.0;    ///< area_ref / cap bound
+  double gamma_scale = 0.0;   ///< area_ref / noise bound
+};
+
+/// One OGWS dual step (A4 + A5): update every multiplier from the iterate's
+/// constraint residuals under `options.step_rule` with step size `rho`, then
+/// clamp at 0 and re-project λ onto flow conservation. `arrivals` and the
+/// scalar totals `cap`/`noise` must describe the iterate `x`. With a
+/// non-serial executor the per-edge and per-net updates run chunked (each
+/// node writes only its own in-edge λ / its own γ_net slot and reads frozen
+/// analyses) and the projection runs over the reverse-level wavefronts —
+/// bit-identical to the serial path at any thread count. Exposed separately
+/// from run_ogws so the kernel bench can time it in isolation.
+void dual_ascent_step(const netlist::Circuit& circuit,
+                      const layout::CouplingSet& coupling, const Bounds& bounds,
+                      const OgwsOptions& options,
+                      const timing::ArrivalAnalysis& arrivals,
+                      const std::vector<double>& x, double cap, double noise,
+                      double rho, const DualScales& scales,
+                      MultiplierState& multipliers,
+                      util::Executor* exec = nullptr);
 
 /// Restartable OGWS state: the sizes of a prior run's returned iterate plus
 /// the multiplier vector at its best dual. Seeding a fresh run with this

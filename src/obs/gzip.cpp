@@ -1,0 +1,81 @@
+#include "obs/gzip.hpp"
+
+#ifdef LRSIZER_HAVE_ZLIB
+#include <zlib.h>
+
+#include <cstring>
+#endif
+
+namespace lrsizer::obs {
+
+#ifdef LRSIZER_HAVE_ZLIB
+
+namespace {
+
+/// windowBits 15 plus 16 selects gzip (not raw deflate / zlib) framing.
+constexpr int kGzipWindowBits = 15 + 16;
+constexpr std::size_t kChunk = 16384;
+
+}  // namespace
+
+bool gzip_available() { return true; }
+
+bool gzip_compress(const std::string& in, std::string* out) {
+  z_stream zs;
+  std::memset(&zs, 0, sizeof(zs));
+  if (deflateInit2(&zs, Z_DEFAULT_COMPRESSION, Z_DEFLATED, kGzipWindowBits, 8,
+                   Z_DEFAULT_STRATEGY) != Z_OK) {
+    return false;
+  }
+  out->clear();
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(in.data()));
+  zs.avail_in = static_cast<uInt>(in.size());
+  char buffer[kChunk];
+  int rc = Z_OK;
+  do {
+    zs.next_out = reinterpret_cast<Bytef*>(buffer);
+    zs.avail_out = kChunk;
+    rc = deflate(&zs, Z_FINISH);
+    if (rc != Z_OK && rc != Z_STREAM_END) {
+      deflateEnd(&zs);
+      return false;
+    }
+    out->append(buffer, kChunk - zs.avail_out);
+  } while (rc != Z_STREAM_END);
+  deflateEnd(&zs);
+  return true;
+}
+
+bool gzip_decompress(const std::string& in, std::string* out) {
+  z_stream zs;
+  std::memset(&zs, 0, sizeof(zs));
+  if (inflateInit2(&zs, kGzipWindowBits) != Z_OK) return false;
+  out->clear();
+  zs.next_in = reinterpret_cast<Bytef*>(const_cast<char*>(in.data()));
+  zs.avail_in = static_cast<uInt>(in.size());
+  char buffer[kChunk];
+  int rc = Z_OK;
+  do {
+    zs.next_out = reinterpret_cast<Bytef*>(buffer);
+    zs.avail_out = kChunk;
+    rc = inflate(&zs, Z_NO_FLUSH);
+    if (rc != Z_OK && rc != Z_STREAM_END) {
+      inflateEnd(&zs);
+      return false;
+    }
+    out->append(buffer, kChunk - zs.avail_out);
+  } while (rc != Z_STREAM_END && zs.avail_in > 0);
+  inflateEnd(&zs);
+  // Truncated input never reaches Z_STREAM_END; reject it.
+  return rc == Z_STREAM_END;
+}
+
+#else  // !LRSIZER_HAVE_ZLIB
+
+bool gzip_available() { return false; }
+bool gzip_compress(const std::string&, std::string*) { return false; }
+bool gzip_decompress(const std::string&, std::string*) { return false; }
+
+#endif
+
+}  // namespace lrsizer::obs

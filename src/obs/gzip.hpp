@@ -1,0 +1,27 @@
+// gzip compression for the /metrics scrape path (PR 7 follow-on).
+//
+// Thin wrappers over zlib's deflate/inflate with the gzip framing
+// (windowBits 15+16). zlib is optional at build time: src/CMakeLists.txt
+// defines LRSIZER_HAVE_ZLIB when find_package(ZLIB) succeeds, and without it
+// every function here degrades to "not available" — the /metrics endpoint
+// then simply answers identity-encoded, which is always correct. Callers
+// must therefore treat a false return as "send the plain body", never as an
+// error.
+#pragma once
+
+#include <string>
+
+namespace lrsizer::obs {
+
+/// True when this build can gzip (zlib was found at configure time).
+bool gzip_available();
+
+/// Compress `in` into gzip framing. Returns false (leaving `out`
+/// unspecified) when zlib is unavailable or compression fails.
+bool gzip_compress(const std::string& in, std::string* out);
+
+/// Inverse of gzip_compress; used by the round-trip tests and any client
+/// tooling. False when zlib is unavailable or `in` is not valid gzip.
+bool gzip_decompress(const std::string& in, std::string* out);
+
+}  // namespace lrsizer::obs

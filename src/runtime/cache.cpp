@@ -116,6 +116,10 @@ Json canonical_options_json(const core::FlowOptions& o) {
   lrs.set("tol", o.ogws.lrs.tol);
   lrs.set("warm_start", o.ogws.lrs.warm_start);
   lrs.set("mode", load_mode_name(o.ogws.lrs.mode));
+  // Sweep strategy DOES split the cache (unlike threads): worklist results
+  // are tolerance-equivalent to dense, not bit-identical.
+  lrs.set("sweep", core::sweep_mode_name(o.ogws.lrs.sweep));
+  lrs.set("worklist_eps", o.ogws.lrs.worklist_eps);
   ogws.set("lrs", lrs);
   ogws.set("record_history", o.ogws.record_history);
   j.set("ogws", ogws);

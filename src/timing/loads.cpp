@@ -12,68 +12,78 @@ constexpr std::int32_t kGrain = 64;
 
 }  // namespace
 
+// The per-node body, shared verbatim by the sequential, wavefront and
+// incremental (compute_node_loads) paths so all three are bit-identical.
+// Writes only node v's slots; reads only the children's load_in (complete
+// before v under any of those orders) and x.
+void compute_node_loads(const netlist::Circuit& circuit,
+                        const layout::CouplingSet& coupling,
+                        const std::vector<double>& x, CouplingLoadMode mode,
+                        LoadAnalysis& out, netlist::NodeId v) {
+  using netlist::NodeId;
+  using netlist::NodeKind;
+  const NodeId sink = circuit.sink();
+  const auto i = static_cast<std::size_t>(v);
+
+  double child_sum = circuit.pin_load(v);  // C_L attached at this output
+  for (NodeId child : circuit.outputs(v)) {
+    if (child == sink) continue;  // the sink edge itself carries no cap
+    child_sum += out.load_in[static_cast<std::size_t>(child)];
+  }
+
+  switch (circuit.kind(v)) {
+    case NodeKind::kGate: {
+      // A gate drives its fanout stage; its own input cap faces upstream.
+      out.cap_delay[i] = child_sum;
+      out.cap_prime[i] = child_sum;
+      out.load_in[i] = circuit.unit_cap(v) * x[i];
+      break;
+    }
+    case NodeKind::kWire: {
+      const double half = 0.5 * (circuit.unit_cap(v) * x[i] + circuit.fringe_cap(v));
+      double couple_const = 0.0;  // Σ c̃_ij (effective)
+      double couple_own = 0.0;    // Σ ĉ_ij x_i
+      double couple_nbr = 0.0;    // Σ ĉ_ij x_j
+      for (const auto& nb : coupling.neighbors(v)) {
+        couple_const += nb.c_tilde;
+        couple_own += nb.c_hat * x[i];
+        couple_nbr += nb.c_hat * x[static_cast<std::size_t>(nb.other)];
+      }
+      out.cap_delay[i] = half + couple_const + couple_own + couple_nbr + child_sum;
+      out.cap_prime[i] = 0.5 * circuit.fringe_cap(v) + couple_const + child_sum;
+      // Parent sees both π halves plus the downstream subtree; coupling is
+      // included only in propagate mode.
+      const double ground_down = half + child_sum;
+      out.load_in[i] = half + ground_down;
+      if (mode == CouplingLoadMode::kPropagateUpstream) {
+        out.load_in[i] += couple_const + couple_own + couple_nbr;
+      }
+      break;
+    }
+    case NodeKind::kDriver: {
+      out.cap_delay[i] = child_sum;
+      out.cap_prime[i] = child_sum;
+      out.load_in[i] = 0.0;  // drivers are roots; nothing is upstream
+      break;
+    }
+    case NodeKind::kSource:
+    case NodeKind::kSink:
+      break;
+  }
+}
+
 void compute_loads(const netlist::Circuit& circuit, const layout::CouplingSet& coupling,
                    const std::vector<double>& x, CouplingLoadMode mode,
                    LoadAnalysis& out, util::Executor* exec) {
   using netlist::NodeId;
-  using netlist::NodeKind;
 
   const auto n = static_cast<std::size_t>(circuit.num_nodes());
   LRSIZER_ASSERT(x.size() == n);
   out.resize(n);
 
   const NodeId sink = circuit.sink();
-  // Per-node body, shared verbatim by the sequential and wavefront paths so
-  // the two are bit-identical. Writes only node v's slots; reads only the
-  // children's load_in (complete before v under either order) and x.
   auto load_node = [&](NodeId v) {
-    const auto i = static_cast<std::size_t>(v);
-
-    double child_sum = circuit.pin_load(v);  // C_L attached at this output
-    for (NodeId child : circuit.outputs(v)) {
-      if (child == sink) continue;  // the sink edge itself carries no cap
-      child_sum += out.load_in[static_cast<std::size_t>(child)];
-    }
-
-    switch (circuit.kind(v)) {
-      case NodeKind::kGate: {
-        // A gate drives its fanout stage; its own input cap faces upstream.
-        out.cap_delay[i] = child_sum;
-        out.cap_prime[i] = child_sum;
-        out.load_in[i] = circuit.unit_cap(v) * x[i];
-        break;
-      }
-      case NodeKind::kWire: {
-        const double half = 0.5 * (circuit.unit_cap(v) * x[i] + circuit.fringe_cap(v));
-        double couple_const = 0.0;  // Σ c̃_ij (effective)
-        double couple_own = 0.0;    // Σ ĉ_ij x_i
-        double couple_nbr = 0.0;    // Σ ĉ_ij x_j
-        for (const auto& nb : coupling.neighbors(v)) {
-          couple_const += nb.c_tilde;
-          couple_own += nb.c_hat * x[i];
-          couple_nbr += nb.c_hat * x[static_cast<std::size_t>(nb.other)];
-        }
-        out.cap_delay[i] = half + couple_const + couple_own + couple_nbr + child_sum;
-        out.cap_prime[i] = 0.5 * circuit.fringe_cap(v) + couple_const + child_sum;
-        // Parent sees both π halves plus the downstream subtree; coupling is
-        // included only in propagate mode.
-        const double ground_down = half + child_sum;
-        out.load_in[i] = half + ground_down;
-        if (mode == CouplingLoadMode::kPropagateUpstream) {
-          out.load_in[i] += couple_const + couple_own + couple_nbr;
-        }
-        break;
-      }
-      case NodeKind::kDriver: {
-        out.cap_delay[i] = child_sum;
-        out.cap_prime[i] = child_sum;
-        out.load_in[i] = 0.0;  // drivers are roots; nothing is upstream
-        break;
-      }
-      case NodeKind::kSource:
-      case NodeKind::kSink:
-        break;
-    }
+    compute_node_loads(circuit, coupling, x, mode, out, v);
   };
 
   if (util::serial(exec)) {

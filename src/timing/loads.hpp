@@ -58,4 +58,16 @@ void compute_loads(const netlist::Circuit& circuit, const layout::CouplingSet& c
                    const std::vector<double>& x, CouplingLoadMode mode,
                    LoadAnalysis& out, util::Executor* exec = nullptr);
 
+/// Recompute node v's three load entries in place. This is the exact
+/// per-node body of compute_loads (the full sweep calls it), so selectively
+/// re-running it over any superset of the nodes whose inputs (own/neighbor
+/// sizes, children's load_in) changed — in descending node order — yields
+/// loads bit-identical to a full sweep: same pure function, same inputs.
+/// The worklist LRS sweep uses this for incremental load maintenance.
+/// `out` must be sized and v's children's load_in entries must be final.
+void compute_node_loads(const netlist::Circuit& circuit,
+                        const layout::CouplingSet& coupling,
+                        const std::vector<double>& x, CouplingLoadMode mode,
+                        LoadAnalysis& out, netlist::NodeId v);
+
 }  // namespace lrsizer::timing

@@ -12,6 +12,8 @@
 #include "core/flow.hpp"
 #include "core/lrs.hpp"
 #include "core/multipliers.hpp"
+#include "core/ogws.hpp"
+#include "core/problem.hpp"
 #include "layout/channels.hpp"
 #include "layout/coloring.hpp"
 #include "netlist/elaborator.hpp"
@@ -237,6 +239,128 @@ TEST(ParallelKernels, LrsBitIdenticalAcrossThreads) {
     EXPECT_EQ(stats.max_rel_change, stats_serial.max_rel_change) << threads;
     // The hand-back contract holds in both paths: loads are at the final x.
     EXPECT_EQ(ws.loads.cap_delay, ws_serial.loads.cap_delay) << threads;
+  }
+}
+
+TEST(ParallelKernels, WorklistLrsBitIdenticalAcrossThreads) {
+  // The colored worklist sweep writes neighbor flags (pending / loads_dirty)
+  // from inside the parallel chunks; this is the TSan-covered witness that
+  // the distance-2 coloring keeps those writes disjoint. A resumed second
+  // call exercises the incremental load repair under threads too.
+  const Instance inst = make_instance("c499");
+  core::LrsOptions options;
+  options.sweep = core::SweepMode::kWorklist;
+  options.warm_start = true;
+
+  auto run_pair = [&](util::Executor* exec, const netlist::LevelSchedule* colors,
+                      std::vector<double>& x, core::LrsWorkspace& ws) {
+    const core::LrsRuntime lrs_runtime{exec, colors};
+    auto mu = inst.mu;
+    core::run_lrs(inst.circuit, inst.coupling, mu, 1e9, 1e9, options, x, ws,
+                  lrs_runtime);
+    for (std::size_t i = 5; i < mu.size(); i += 73) mu[i] *= 1.01;
+    return core::run_lrs(inst.circuit, inst.coupling, mu, 1e9, 1e9, options, x,
+                         ws, lrs_runtime);
+  };
+
+  core::LrsWorkspace ws_serial;
+  std::vector<double> x_serial(inst.mu.size(), 1.0);
+  const auto stats_serial = run_pair(nullptr, nullptr, x_serial, ws_serial);
+
+  const auto colors = layout::build_coupling_colors(inst.circuit, inst.coupling);
+  for (const int threads : {2, 8}) {
+    runtime::KernelTeam team(threads);
+    core::LrsWorkspace ws;
+    std::vector<double> x(inst.mu.size(), 1.0);
+    const auto stats = run_pair(&team, &colors, x, ws);
+    EXPECT_EQ(x, x_serial) << threads;
+    EXPECT_EQ(stats.passes, stats_serial.passes) << threads;
+    EXPECT_EQ(stats.nodes_processed, stats_serial.nodes_processed) << threads;
+    EXPECT_EQ(ws.loads.load_in, ws_serial.loads.load_in) << threads;
+  }
+}
+
+// ---- dual-ascent kernels ----------------------------------------------------
+
+/// Deterministic non-uniform λ (varied per edge so the projection actually
+/// rescales) on top of the flow-conserving default.
+core::MultiplierState perturbed_multipliers(const netlist::Circuit& circuit) {
+  core::MultiplierState m(circuit);
+  m.init_default(circuit);
+  for (std::size_t e = 0; e < m.lambda.size(); ++e) {
+    m.lambda[e] *= 1.0 + 0.13 * static_cast<double>(e % 7);
+  }
+  m.beta = 0.25;
+  m.gamma = 0.125;
+  return m;
+}
+
+TEST(ParallelKernels, FlowProjectionAndMuBitIdenticalAcrossThreads) {
+  const Instance inst = make_instance("c499");
+
+  core::MultiplierState serial = perturbed_multipliers(inst.circuit);
+  serial.project_flow(inst.circuit);
+  std::vector<double> mu_serial;
+  serial.compute_mu(inst.circuit, mu_serial);
+
+  for (const int threads : {2, 8}) {
+    runtime::KernelTeam team(threads);
+    core::MultiplierState m = perturbed_multipliers(inst.circuit);
+    m.project_flow(inst.circuit, &team);
+    EXPECT_EQ(m.lambda, serial.lambda) << threads;
+    std::vector<double> mu;
+    m.compute_mu(inst.circuit, mu, &team);
+    EXPECT_EQ(mu, mu_serial) << threads;
+  }
+}
+
+TEST(ParallelKernels, DualAscentStepBitIdenticalAcrossThreads) {
+  const Instance inst = make_instance("c499");
+  const auto& circuit = inst.circuit;
+  const auto& x = circuit.sizes();
+  const auto mode = timing::CouplingLoadMode::kLocalOnly;
+
+  timing::LoadAnalysis loads;
+  timing::compute_loads(circuit, inst.coupling, x, mode, loads);
+  timing::ArrivalAnalysis arrivals;
+  timing::compute_arrivals(circuit, x, loads, arrivals);
+  const double cap = timing::total_cap(circuit, x);
+  const double noise = inst.coupling.noise_linear(x);
+  const double area_ref = timing::total_area(circuit, x);
+
+  for (const auto rule : {core::StepRule::kSubgradient, core::StepRule::kMultiplicative}) {
+    for (const double per_net : {0.0, 0.5}) {
+      core::BoundFactors factors;
+      factors.per_net_noise = per_net;
+      const auto bounds = core::derive_bounds(circuit, inst.coupling, x, mode, factors);
+      const core::DualScales scales{area_ref, area_ref / bounds.delay_s,
+                                    area_ref / bounds.cap_f,
+                                    area_ref / bounds.noise_f};
+      core::OgwsOptions options;
+      options.step_rule = rule;
+
+      auto step = [&](util::Executor* exec) {
+        core::MultiplierState m = perturbed_multipliers(circuit);
+        if (bounds.per_net_enabled()) {
+          m.gamma_net.assign(static_cast<std::size_t>(circuit.num_nodes()), 0.5);
+        }
+        core::dual_ascent_step(circuit, inst.coupling, bounds, options, arrivals,
+                               x, cap, noise, 0.7, scales, m, exec);
+        return m;
+      };
+      const core::MultiplierState serial = step(nullptr);
+      for (const int threads : {2, 8}) {
+        runtime::KernelTeam team(threads);
+        const core::MultiplierState m = step(&team);
+        const std::string label = "rule=" + std::to_string(static_cast<int>(rule)) +
+                                  " per_net=" + std::to_string(per_net) +
+                                  " threads=" + std::to_string(threads);
+        EXPECT_EQ(m.lambda, serial.lambda) << label;
+        EXPECT_EQ(m.beta, serial.beta) << label;
+        EXPECT_EQ(m.gamma, serial.gamma) << label;
+        EXPECT_EQ(m.gamma_net, serial.gamma_net) << label;
+      }
+    }
   }
 }
 

@@ -86,6 +86,11 @@ options:
   --jobs N          concurrent jobs (default: cores / --threads)
   --threads N       kernel threads per job for the sizing stage (default 1;
                     0 = hardware concurrency; results are bit-identical)
+  --sweep MODE      LRS sweep strategy: dense (paper-exact, the default) or
+                    worklist (frontier-driven incremental passes — skips
+                    nodes whose resize inputs did not move; converges to the
+                    same solution within tolerance but is not bit-identical
+                    to dense)
   --seed N          generator/elaboration seed (default 1)
   --vectors N       stage-1 simulation vectors (default 32)
   --no-woss         keep the initial track order (skip stage-1 WOSS)
@@ -188,6 +193,7 @@ struct CliOptions {
   double noise_bound = 0.10;
   int jobs = 0;
   int threads = 1;
+  core::SweepMode sweep = core::SweepMode::kDense;
   int shard_index = 0;
   int shard_count = 0;   ///< 0 = unsharded
   int listen_port = -1;  ///< -1 = stdin/stdout; 0 = ephemeral TCP port
@@ -286,6 +292,12 @@ CliOptions parse_args(int argc, char** argv) {
     else if (arg == "--threads") {
       cli.threads = static_cast<int>(parse_long(arg, next_value(i)));
       if (cli.threads < 0) fail("--threads must be >= 0 (0 = hardware concurrency)");
+    }
+    else if (arg == "--sweep") {
+      const std::string value = next_value(i);
+      if (value == "dense") cli.sweep = core::SweepMode::kDense;
+      else if (value == "worklist") cli.sweep = core::SweepMode::kWorklist;
+      else fail("--sweep must be dense or worklist");
     }
     else if (arg == "--shard") {
       const std::string value = next_value(i);
@@ -398,6 +410,7 @@ core::FlowOptions flow_options(const CliOptions& cli) {
   options.bound_factors.power = cli.power_bound;
   options.bound_factors.noise = cli.noise_bound;
   options.threads = cli.threads;
+  options.ogws.lrs.sweep = cli.sweep;
   return options;
 }
 
